@@ -1,0 +1,98 @@
+// M1 — engineering microbenchmarks (google-benchmark): substrate and
+// protocol throughput. Not a paper experiment; guards against the
+// simulator becoming the bottleneck of the reproduction.
+#include <benchmark/benchmark.h>
+
+#include "baselines/registry.hpp"
+#include "harness/cluster.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "topology/tree.hpp"
+#include "workload/workload.hpp"
+
+namespace dmx {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_at(static_cast<Tick>(i % 97), [&sum] { ++sum; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
+
+class PingMessage final : public net::Message {
+ public:
+  std::string_view kind() const override { return "PING"; }
+  std::size_t payload_bytes() const override { return 0; }
+};
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network network(sim, 2, std::make_unique<net::FixedLatency>(1));
+    std::uint64_t delivered = 0;
+    network.set_delivery_handler(
+        [&delivered](const net::Envelope&) { ++delivered; });
+    for (int i = 0; i < 1000; ++i) {
+      network.send(1, 2, std::make_unique<PingMessage>());
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_AlgorithmSaturatedEntries(benchmark::State& state,
+                                  const std::string& name) {
+  const int n = 16;
+  for (auto _ : state) {
+    harness::ClusterConfig config;
+    config.n = n;
+    config.initial_token_holder = 1;
+    config.tree = topology::Tree::star(n, 1);
+    harness::Cluster cluster(baselines::algorithm_by_name(name),
+                             std::move(config));
+    cluster.set_event_logging(false);
+    workload::WorkloadConfig wl;
+    wl.target_entries = 500;
+    wl.mean_think_ticks = 0.0;
+    wl.seed = 3;
+    const workload::WorkloadResult result =
+        workload::run_workload(cluster, wl);
+    benchmark::DoNotOptimize(result.entries);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          500);
+}
+BENCHMARK_CAPTURE(BM_AlgorithmSaturatedEntries, neilsen, "Neilsen");
+BENCHMARK_CAPTURE(BM_AlgorithmSaturatedEntries, raymond, "Raymond");
+BENCHMARK_CAPTURE(BM_AlgorithmSaturatedEntries, suzuki_kasami,
+                  "Suzuki-Kasami");
+BENCHMARK_CAPTURE(BM_AlgorithmSaturatedEntries, ricart_agrawala,
+                  "Ricart-Agrawala");
+BENCHMARK_CAPTURE(BM_AlgorithmSaturatedEntries, maekawa, "Maekawa");
+
+void BM_TopologyDiameter(benchmark::State& state) {
+  const topology::Tree tree = topology::Tree::random_tree(200, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.diameter());
+  }
+}
+BENCHMARK(BM_TopologyDiameter);
+
+}  // namespace
+}  // namespace dmx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Shared helpers for the experiment benches (E1–E6 in DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/registry.hpp"
+#include "harness/cluster.hpp"
+#include "harness/probe.hpp"
+#include "metrics/table.hpp"
+#include "topology/tree.hpp"
+#include "workload/workload.hpp"
+
+namespace dmx::bench {
+
+inline topology::Tree make_topology(const std::string& kind, int n,
+                                    std::uint64_t seed = 1) {
+  if (kind == "line") return topology::Tree::line(n);
+  if (kind == "star") return topology::Tree::star(n, 1);
+  if (kind == "kary3") return topology::Tree::kary(n, 3);
+  if (kind == "radiating") {
+    return topology::Tree::radiating_star(n, std::max(2, n / 4));
+  }
+  if (kind == "random") return topology::Tree::random_tree(n, seed);
+  DMX_CHECK_MSG(false, "unknown topology kind " << kind);
+  return topology::Tree::line(n);
+}
+
+inline harness::Cluster make_cluster(const proto::Algorithm& algo,
+                                     const std::string& topology_kind, int n,
+                                     NodeId holder = 1,
+                                     std::uint64_t seed = 1) {
+  harness::ClusterConfig config;
+  config.n = n;
+  // Singhal's staircase initialization pins the initial holder to node 1.
+  config.initial_token_holder = algo.name == "Singhal" ? 1 : holder;
+  config.tree = make_topology(topology_kind, n, seed);
+  config.seed = seed;
+  return harness::Cluster(algo, std::move(config));
+}
+
+/// Worst measured single-entry cost over every (token position, requester)
+/// placement — the empirical counterpart of the §6.1 upper bounds.
+inline std::uint64_t worst_case_probe(harness::Cluster& cluster) {
+  std::uint64_t worst = 0;
+  const bool movable_token = cluster.algorithm().token_based;
+  for (NodeId holder = 1; holder <= cluster.size(); ++holder) {
+    if (movable_token) {
+      harness::park_token_at(cluster, holder);
+    } else if (holder > 1) {
+      break;  // placement-independent
+    }
+    for (NodeId requester = 1; requester <= cluster.size(); ++requester) {
+      const harness::ProbeResult probe =
+          harness::single_entry_probe(cluster, requester);
+      worst = std::max(worst, probe.messages_total);
+      if (movable_token) harness::park_token_at(cluster, holder);
+    }
+  }
+  return worst;
+}
+
+/// Mean single-entry cost over all placements, weighted uniformly — the
+/// §6.2 "equal likelihood of holding the token" assumption.
+inline double average_probe(harness::Cluster& cluster) {
+  std::uint64_t total = 0;
+  std::uint64_t count = 0;
+  const bool movable_token = cluster.algorithm().token_based;
+  const int holders = movable_token ? cluster.size() : 1;
+  for (NodeId holder = 1; holder <= holders; ++holder) {
+    if (movable_token) harness::park_token_at(cluster, holder);
+    for (NodeId requester = 1; requester <= cluster.size(); ++requester) {
+      const harness::ProbeResult probe =
+          harness::single_entry_probe(cluster, requester);
+      total += probe.messages_total;
+      ++count;
+      if (movable_token) harness::park_token_at(cluster, holder);
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(count);
+}
+
+}  // namespace dmx::bench

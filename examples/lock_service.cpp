@@ -1,0 +1,56 @@
+// A real multi-threaded lock service: N worker threads (one per node)
+// increment a shared, deliberately unsynchronized counter under a
+// DistributedMutex backed by the Neilsen DAG protocol. Lost updates would
+// make the final count fall short — run it and check the arithmetic.
+//
+//   $ ./lock_service [workers] [increments]
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "runtime/lock_cluster.hpp"
+#include "topology/tree.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmx;
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int increments = argc > 2 ? std::atoi(argv[2]) : 250;
+
+  runtime::LockClusterConfig config;
+  config.n = workers;
+  config.initial_token_holder = 1;
+  config.tree = topology::Tree::star(workers, 1);
+  config.jitter_us = 20;  // shake the thread schedules a little
+  runtime::LockCluster cluster(baselines::algorithm_by_name("Neilsen"),
+                               std::move(config));
+
+  long long counter = 0;  // protected only by the distributed mutex
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (NodeId v = 1; v <= workers; ++v) {
+    threads.emplace_back([&cluster, &counter, increments, v] {
+      runtime::DistributedMutex mutex = cluster.mutex(v);
+      for (int i = 0; i < increments; ++i) {
+        std::lock_guard<runtime::DistributedMutex> guard(mutex);
+        ++counter;  // the critical section
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const long long expected =
+      static_cast<long long>(workers) * increments;
+  std::cout << "workers: " << workers << ", increments each: " << increments
+            << "\ncounter: " << counter << " (expected " << expected << ") "
+            << (counter == expected ? "— mutual exclusion held"
+                                    : "— LOST UPDATES!")
+            << "\ncritical sections served: " << cluster.total_entries()
+            << "\n";
+  if (auto error = cluster.first_error()) {
+    std::cout << "protocol error: " << *error << "\n";
+    return 1;
+  }
+  return counter == expected ? 0 : 1;
+}

@@ -1,0 +1,48 @@
+// Exhaustively verifies the Neilsen algorithm's safety and liveness over
+// EVERY message/request interleaving of a small configuration — the
+// Chapter 5 proofs, machine-checked against the production protocol code.
+//
+//   $ ./model_check [n] [requests_per_node] [topology: line|star|random]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "modelcheck/explorer.hpp"
+#include "topology/tree.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmx;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int requests = argc > 2 ? std::atoi(argv[2]) : 1;
+  const std::string kind = argc > 3 ? argv[3] : "star";
+
+  const topology::Tree tree = kind == "line" ? topology::Tree::line(n)
+                              : kind == "random"
+                                  ? topology::Tree::random_tree(n, 1)
+                                  : topology::Tree::star(n, 1);
+
+  std::cout << "model-checking Neilsen on " << kind << "(" << n << "), "
+            << requests << " request(s) per node, all interleavings...\n";
+
+  modelcheck::ExplorerConfig config;
+  config.n = n;
+  config.initial_token_holder = 1;
+  config.tree = &tree;
+  config.requests_per_node = requests;
+  const modelcheck::ExplorerResult result = modelcheck::explore(config);
+
+  std::cout << "states explored:   " << result.states << "\n"
+            << "transitions:       " << result.transitions << "\n"
+            << "terminal states:   " << result.terminal_states << "\n";
+  if (result.ok) {
+    std::cout << "VERIFIED: mutual exclusion, token uniqueness, Lemma 2 "
+                 "structure, deadlock- and\nstarvation-freedom hold in "
+                 "every reachable state.\n";
+    return 0;
+  }
+  std::cout << "VIOLATION: " << result.violation << "\n";
+  for (const auto& action : result.counterexample) {
+    std::cout << "  " << action.to_string() << "\n";
+  }
+  return 1;
+}

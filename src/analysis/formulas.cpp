@@ -1,0 +1,71 @@
+#include "analysis/formulas.hpp"
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace dmx::analysis {
+
+int lamport_worst_case(int n) { return 3 * (n - 1); }
+int ricart_agrawala_worst_case(int n) { return 2 * (n - 1); }
+int carvalho_roucairol_worst_case(int n) { return 2 * (n - 1); }
+int suzuki_kasami_worst_case(int n) { return n; }
+int singhal_worst_case(int n) { return n; }
+double maekawa_best_case(int n) { return 3.0 * std::sqrt(n); }
+double maekawa_worst_case(int n) { return 7.0 * std::sqrt(n); }
+int raymond_worst_case(const topology::Tree& tree) {
+  return 2 * tree.diameter();
+}
+int neilsen_worst_case(const topology::Tree& tree) {
+  return tree.diameter() + 1;
+}
+int central_worst_case() { return 3; }
+
+double neilsen_star_average(int n) {
+  const double nd = n;
+  return 3.0 - 5.0 / nd + 2.0 / (nd * nd);
+}
+
+double central_average(int n) { return 3.0 - 3.0 / static_cast<double>(n); }
+
+namespace {
+
+/// Sum of pairwise distances over ordered (h, r) pairs with h != r.
+long long ordered_distance_sum(const topology::Tree& tree) {
+  long long sum = 0;
+  for (NodeId h = 1; h <= tree.size(); ++h) {
+    for (NodeId r = 1; r <= tree.size(); ++r) {
+      if (h != r) sum += tree.distance(h, r);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+double neilsen_tree_average(const topology::Tree& tree) {
+  const long long n = tree.size();
+  const long long pairs = n * n;
+  // r == h contributes 0; r != h contributes d(r,h) + 1.
+  const long long total = ordered_distance_sum(tree) + n * (n - 1);
+  return static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+double raymond_tree_average(const topology::Tree& tree) {
+  const long long n = tree.size();
+  const long long pairs = n * n;
+  return static_cast<double>(2 * ordered_distance_sum(tree)) /
+         static_cast<double>(pairs);
+}
+
+int neilsen_sync_delay() { return 1; }
+int suzuki_kasami_sync_delay() { return 1; }
+int singhal_sync_delay() { return 1; }
+int central_sync_delay() { return 2; }
+int raymond_sync_delay(const topology::Tree& tree) { return tree.diameter(); }
+
+std::size_t neilsen_node_state_bytes() {
+  return sizeof(bool) + 2 * sizeof(NodeId);
+}
+
+}  // namespace dmx::analysis

@@ -1,0 +1,50 @@
+// Closed-form cost models from the paper (Chapters 2 and 6), as code.
+//
+// Two uses: benches print these next to measured numbers, and property
+// tests assert that the simulator's measured averages equal the analytic
+// values exactly — on arbitrary trees, not just the star the paper
+// analyses (the per-tree averages generalize §6.2's derivation).
+#pragma once
+
+#include "topology/tree.hpp"
+
+namespace dmx::analysis {
+
+// --- §6.1 worst-case messages per critical-section entry -----------------
+int lamport_worst_case(int n);            // 3(N-1)
+int ricart_agrawala_worst_case(int n);    // 2(N-1)
+int carvalho_roucairol_worst_case(int n); // 2(N-1) (lower bound is 0)
+int suzuki_kasami_worst_case(int n);      // N
+int singhal_worst_case(int n);            // N
+double maekawa_best_case(int n);          // ~3 sqrt(N)
+double maekawa_worst_case(int n);         // ~7 sqrt(N)
+int raymond_worst_case(const topology::Tree& tree);  // 2D
+int neilsen_worst_case(const topology::Tree& tree);  // D+1
+int central_worst_case();                 // 3
+
+// --- §6.2 average messages per entry --------------------------------------
+/// Star topology: 3 - 5/N + 2/N^2 (the paper's closed form).
+double neilsen_star_average(int n);
+/// Centralized scheme: 3 - 3/N.
+double central_average(int n);
+
+/// Exact uniform average for Neilsen on an arbitrary tree: the cost of a
+/// single entry with requester r and token at h is d(r,h)+1 (0 if r==h);
+/// averaging over all (h, r) pairs generalizes the paper's derivation.
+double neilsen_tree_average(const topology::Tree& tree);
+
+/// Same for Raymond: cost 2*d(r,h) — the token retraces the request path.
+double raymond_tree_average(const topology::Tree& tree);
+
+// --- §6.3 synchronization delay -------------------------------------------
+int neilsen_sync_delay();                          // 1
+int suzuki_kasami_sync_delay();                    // 1
+int singhal_sync_delay();                          // 1
+int central_sync_delay();                          // 2
+int raymond_sync_delay(const topology::Tree& tree);  // <= D
+
+// --- §6.4 storage ----------------------------------------------------------
+/// Bytes of protocol state per Neilsen node: three scalar variables.
+std::size_t neilsen_node_state_bytes();
+
+}  // namespace dmx::analysis

@@ -1,0 +1,109 @@
+#include "baselines/carvalho_roucairol.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace dmx::baselines {
+
+void CrNode::request_cs(proto::Context& ctx) {
+  DMX_CHECK(!waiting_ && !in_cs_);
+  waiting_ = true;
+  my_seq_ = clock_ + 1;
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (j != self_ && !authorized_[static_cast<std::size_t>(j)]) {
+      ctx.send(j,
+               std::make_unique<CrMessage>(CrMessage::Type::kRequest, my_seq_));
+    }
+  }
+  try_enter(ctx);  // may already hold every authorization
+}
+
+void CrNode::try_enter(proto::Context& ctx) {
+  if (!waiting_) return;
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (!authorized_[static_cast<std::size_t>(j)]) return;
+  }
+  waiting_ = false;
+  in_cs_ = true;
+  ctx.grant();
+}
+
+void CrNode::release_cs(proto::Context& ctx) {
+  DMX_CHECK(in_cs_);
+  in_cs_ = false;
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (deferred_[static_cast<std::size_t>(j)]) {
+      deferred_[static_cast<std::size_t>(j)] = false;
+      authorized_[static_cast<std::size_t>(j)] = false;
+      ctx.send(j, std::make_unique<CrMessage>(CrMessage::Type::kReply, clock_));
+    }
+  }
+}
+
+void CrNode::on_message(proto::Context& ctx, NodeId from,
+                        const net::Message& message) {
+  const auto* msg = dynamic_cast<const CrMessage*>(&message);
+  DMX_CHECK_MSG(msg != nullptr, "unexpected message kind " << message.kind());
+  clock_ = std::max(clock_, msg->sequence());
+  switch (msg->type()) {
+    case CrMessage::Type::kRequest: {
+      const bool mine_first =
+          waiting_ && before(my_seq_, self_, msg->sequence(), from);
+      if (in_cs_ || mine_first) {
+        deferred_[static_cast<std::size_t>(from)] = true;
+      } else {
+        // Grant our permission away; if we are still waiting ourselves we
+        // must simultaneously re-request from `from` (we just lost the
+        // authorization we would otherwise have relied on).
+        authorized_[static_cast<std::size_t>(from)] = false;
+        ctx.send(from,
+                 std::make_unique<CrMessage>(CrMessage::Type::kReply, clock_));
+        if (waiting_) {
+          ctx.send(from, std::make_unique<CrMessage>(CrMessage::Type::kRequest,
+                                                     my_seq_));
+        }
+      }
+      break;
+    }
+    case CrMessage::Type::kReply:
+      authorized_[static_cast<std::size_t>(from)] = true;
+      try_enter(ctx);
+      break;
+  }
+}
+
+std::size_t CrNode::state_bytes() const {
+  return 2 * static_cast<std::size_t>(n_) * sizeof(bool) + 3 * sizeof(int) +
+         2 * sizeof(bool);
+}
+
+std::string CrNode::debug_state() const {
+  std::size_t held = 0;
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (authorized_[static_cast<std::size_t>(j)]) ++held;
+  }
+  std::ostringstream oss;
+  oss << "seq=" << my_seq_ << " waiting=" << (waiting_ ? 't' : 'f')
+      << " in_cs=" << (in_cs_ ? 't' : 'f') << " auth=" << held << "/" << n_;
+  return oss.str();
+}
+
+proto::Algorithm make_carvalho_roucairol_algorithm() {
+  proto::Algorithm algo;
+  algo.name = "Carvalho-Roucairol";
+  algo.token_based = false;
+  algo.needs_tree = false;
+  algo.factory = [](const proto::ClusterSpec& spec) {
+    std::vector<std::unique_ptr<proto::MutexNode>> nodes(
+        static_cast<std::size_t>(spec.n) + 1);
+    for (NodeId v = 1; v <= spec.n; ++v) {
+      nodes[static_cast<std::size_t>(v)] = std::make_unique<CrNode>(v, spec.n);
+    }
+    return nodes;
+  };
+  return algo;
+}
+
+}  // namespace dmx::baselines

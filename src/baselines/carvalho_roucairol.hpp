@@ -1,0 +1,78 @@
+// Carvalho–Roucairol's optimization of Ricart–Agrawala (§2.3).
+//
+// A REPLY from node j is an authorization that remains valid across
+// repeated entries until j requests again; a node re-requests only from
+// nodes whose authorization it lost. Messages per entry range from 0
+// (all authorizations retained) to 2(N-1).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+
+namespace dmx::baselines {
+
+class CrMessage final : public net::Message {
+ public:
+  enum class Type { kRequest, kReply };
+  CrMessage(Type type, int sequence) : type_(type), sequence_(sequence) {}
+  Type type() const { return type_; }
+  int sequence() const { return sequence_; }
+  std::string_view kind() const override {
+    return type_ == Type::kRequest ? "REQUEST" : "REPLY";
+  }
+  std::size_t payload_bytes() const override { return sizeof(int); }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << kind() << "(sn=" << sequence_ << ")";
+    return oss.str();
+  }
+
+ private:
+  Type type_;
+  int sequence_;
+};
+
+class CrNode final : public proto::MutexNode {
+ public:
+  CrNode(NodeId self, int n)
+      : self_(self), n_(n),
+        authorized_(static_cast<std::size_t>(n) + 1, false),
+        deferred_(static_cast<std::size_t>(n) + 1, false) {
+    authorized_[static_cast<std::size_t>(self)] = true;
+  }
+
+  void request_cs(proto::Context& ctx) override;
+  void release_cs(proto::Context& ctx) override;
+  void on_message(proto::Context& ctx, NodeId from,
+                  const net::Message& message) override;
+  bool has_token() const override { return false; }
+  std::size_t state_bytes() const override;
+  std::string debug_state() const override;
+
+  bool authorized_by(NodeId j) const {
+    return authorized_[static_cast<std::size_t>(j)];
+  }
+
+ private:
+  static bool before(int ts_a, NodeId a, int ts_b, NodeId b) {
+    return ts_a < ts_b || (ts_a == ts_b && a < b);
+  }
+  void try_enter(proto::Context& ctx);
+
+  NodeId self_;
+  int n_;
+  int clock_ = 0;
+  int my_seq_ = 0;
+  bool waiting_ = false;
+  bool in_cs_ = false;
+  std::vector<bool> authorized_;  // permission from j still valid
+  std::vector<bool> deferred_;    // reply owed to j at release
+};
+
+proto::Algorithm make_carvalho_roucairol_algorithm();
+
+}  // namespace dmx::baselines

@@ -1,0 +1,132 @@
+#include "baselines/central.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dmx::baselines {
+
+void CentralNode::request_cs(proto::Context& ctx) {
+  DMX_CHECK(!waiting_ && !in_cs_);
+  waiting_ = true;
+  if (is_coordinator()) {
+    coordinator_handle_request(ctx, self_);
+  } else {
+    ctx.send(coordinator_,
+             std::make_unique<CentralMessage>(CentralMessage::Type::kRequest));
+  }
+}
+
+void CentralNode::release_cs(proto::Context& ctx) {
+  DMX_CHECK(in_cs_);
+  in_cs_ = false;
+  if (is_coordinator()) {
+    busy_with_ = kNilNode;
+    coordinator_grant_next(ctx);
+  } else {
+    ctx.send(coordinator_,
+             std::make_unique<CentralMessage>(CentralMessage::Type::kRelease));
+  }
+}
+
+void CentralNode::coordinator_handle_request(proto::Context& ctx,
+                                             NodeId who) {
+  if (busy_with_ == kNilNode) {
+    busy_with_ = who;
+    if (who == self_) {
+      // Own request granted locally, no messages.
+      DMX_CHECK(waiting_);
+      waiting_ = false;
+      in_cs_ = true;
+      ctx.grant();
+    } else {
+      ctx.send(who,
+               std::make_unique<CentralMessage>(CentralMessage::Type::kGrant));
+    }
+  } else {
+    queue_.push_back(who);
+  }
+}
+
+void CentralNode::coordinator_grant_next(proto::Context& ctx) {
+  DMX_CHECK(busy_with_ == kNilNode);
+  if (queue_.empty()) return;
+  const NodeId next = queue_.front();
+  queue_.pop_front();
+  busy_with_ = next;
+  if (next == self_) {
+    DMX_CHECK(waiting_);
+    waiting_ = false;
+    in_cs_ = true;
+    ctx.grant();
+  } else {
+    ctx.send(next,
+             std::make_unique<CentralMessage>(CentralMessage::Type::kGrant));
+  }
+}
+
+void CentralNode::on_message(proto::Context& ctx, NodeId from,
+                             const net::Message& message) {
+  const auto* msg = dynamic_cast<const CentralMessage*>(&message);
+  DMX_CHECK_MSG(msg != nullptr, "unexpected message kind " << message.kind());
+  switch (msg->type()) {
+    case CentralMessage::Type::kRequest:
+      DMX_CHECK(is_coordinator());
+      coordinator_handle_request(ctx, from);
+      break;
+    case CentralMessage::Type::kRelease:
+      DMX_CHECK(is_coordinator());
+      DMX_CHECK_MSG(busy_with_ == from,
+                    "RELEASE from " << from << " but grant is at "
+                                    << busy_with_);
+      busy_with_ = kNilNode;
+      coordinator_grant_next(ctx);
+      break;
+    case CentralMessage::Type::kGrant:
+      DMX_CHECK(!is_coordinator());
+      DMX_CHECK(waiting_);
+      waiting_ = false;
+      in_cs_ = true;
+      ctx.grant();
+      break;
+  }
+}
+
+std::size_t CentralNode::state_bytes() const {
+  std::size_t bytes = 2 * sizeof(bool) + sizeof(NodeId);  // waiting/in_cs/coord
+  if (is_coordinator()) {
+    bytes += sizeof(NodeId) + queue_.size() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+std::string CentralNode::debug_state() const {
+  std::ostringstream oss;
+  oss << (is_coordinator() ? "coord" : "client")
+      << " waiting=" << (waiting_ ? 't' : 'f')
+      << " in_cs=" << (in_cs_ ? 't' : 'f');
+  if (is_coordinator()) {
+    oss << " busy_with=" << busy_with_ << " queued=" << queue_.size();
+  }
+  return oss.str();
+}
+
+proto::Algorithm make_central_algorithm() {
+  proto::Algorithm algo;
+  algo.name = "Central";
+  algo.token_based = false;
+  algo.needs_tree = false;
+  algo.factory = [](const proto::ClusterSpec& spec) {
+    std::vector<std::unique_ptr<proto::MutexNode>> nodes(
+        static_cast<std::size_t>(spec.n) + 1);
+    for (NodeId v = 1; v <= spec.n; ++v) {
+      nodes[static_cast<std::size_t>(v)] =
+          std::make_unique<CentralNode>(v, spec.initial_token_holder);
+    }
+    return nodes;
+  };
+  return algo;
+}
+
+}  // namespace dmx::baselines

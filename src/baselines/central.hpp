@@ -1,0 +1,71 @@
+// Centralized mutual exclusion (the yardstick of §6.1–6.3).
+//
+// One coordinator holds an explicit waiting queue. Clients send REQUEST,
+// receive GRANT, and send RELEASE on exit — three messages per entry (zero
+// when the coordinator itself requests). Synchronization delay is two
+// messages (RELEASE then GRANT), which is the figure the paper's one-
+// message delay is compared against.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+
+namespace dmx::baselines {
+
+class CentralMessage final : public net::Message {
+ public:
+  enum class Type { kRequest, kGrant, kRelease };
+  explicit CentralMessage(Type type) : type_(type) {}
+  Type type() const { return type_; }
+  std::string_view kind() const override {
+    switch (type_) {
+      case Type::kRequest: return "REQUEST";
+      case Type::kGrant: return "GRANT";
+      case Type::kRelease: return "RELEASE";
+    }
+    return "?";
+  }
+  std::size_t payload_bytes() const override { return 0; }
+
+ private:
+  Type type_;
+};
+
+class CentralNode final : public proto::MutexNode {
+ public:
+  CentralNode(NodeId self, NodeId coordinator)
+      : self_(self), coordinator_(coordinator) {}
+
+  void request_cs(proto::Context& ctx) override;
+  void release_cs(proto::Context& ctx) override;
+  void on_message(proto::Context& ctx, NodeId from,
+                  const net::Message& message) override;
+  bool has_token() const override { return false; }
+  std::size_t state_bytes() const override;
+  std::string debug_state() const override;
+
+  bool is_coordinator() const { return self_ == coordinator_; }
+
+ private:
+  // Coordinator-side: hands the resource to the next waiter, if any.
+  void coordinator_grant_next(proto::Context& ctx);
+  // Coordinator-side: a request arrived (from a client or from itself).
+  void coordinator_handle_request(proto::Context& ctx, NodeId who);
+
+  NodeId self_;
+  NodeId coordinator_;
+  bool waiting_ = false;
+  bool in_cs_ = false;
+  // Coordinator state:
+  NodeId busy_with_ = kNilNode;       // node currently granted, or nil
+  std::deque<NodeId> queue_;          // waiting requesters, FIFO
+};
+
+/// Centralized coordinator scheme; ClusterSpec::initial_token_holder is
+/// the coordinator.
+proto::Algorithm make_central_algorithm();
+
+}  // namespace dmx::baselines

@@ -1,0 +1,89 @@
+// Lamport's distributed queue algorithm (§2.1).
+//
+// Logical clocks totally order requests; every node mirrors the waiting
+// queue. REQUEST is broadcast, ACKNOWLEDGEd by every receiver, and a
+// RELEASE broadcast retires it: at most 3(N-1) messages per entry. The
+// thesis notes the ACK can be skipped when the receiver itself has an
+// outstanding request (its own REQUEST/RELEASE substitutes under FIFO
+// channels); the flag below enables that optimization.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+
+namespace dmx::baselines {
+
+class LamportMessage final : public net::Message {
+ public:
+  enum class Type { kRequest, kAck, kRelease };
+  LamportMessage(Type type, int timestamp)
+      : type_(type), timestamp_(timestamp) {}
+  Type type() const { return type_; }
+  int timestamp() const { return timestamp_; }
+  std::string_view kind() const override {
+    switch (type_) {
+      case Type::kRequest: return "REQUEST";
+      case Type::kAck: return "ACKNOWLEDGE";
+      case Type::kRelease: return "RELEASE";
+    }
+    return "?";
+  }
+  std::size_t payload_bytes() const override { return sizeof(int); }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << kind() << "(ts=" << timestamp_ << ")";
+    return oss.str();
+  }
+
+ private:
+  Type type_;
+  int timestamp_;
+};
+
+class LamportNode final : public proto::MutexNode {
+ public:
+  LamportNode(NodeId self, int n, bool ack_optimization)
+      : self_(self), n_(n),
+        ack_optimization_(ack_optimization),
+        request_ts_(static_cast<std::size_t>(n) + 1, 0),
+        last_ts_(static_cast<std::size_t>(n) + 1, 0) {}
+
+  void request_cs(proto::Context& ctx) override;
+  void release_cs(proto::Context& ctx) override;
+  void on_message(proto::Context& ctx, NodeId from,
+                  const net::Message& message) override;
+  bool has_token() const override { return false; }
+  std::size_t state_bytes() const override;
+  std::string debug_state() const override;
+
+ private:
+  /// (ts, id) lexicographic priority; true if a beats b.
+  static bool before(int ts_a, NodeId a, int ts_b, NodeId b) {
+    return ts_a < ts_b || (ts_a == ts_b && a < b);
+  }
+  /// Enters the CS if our request heads the queue and every other node
+  /// has been heard from after our request timestamp.
+  void try_enter(proto::Context& ctx);
+
+  NodeId self_;
+  int n_;
+  bool ack_optimization_;
+  int clock_ = 0;
+  bool waiting_ = false;
+  bool in_cs_ = false;
+  /// The replicated queue: pending request timestamp per node (0 = none).
+  /// One outstanding request per node makes a map-by-node exact.
+  std::vector<int> request_ts_;
+  /// Highest timestamp received from each node (any message type).
+  std::vector<int> last_ts_;
+};
+
+/// `ack_optimization` selects the thesis variant that suppresses ACKs when
+/// the receiver has its own outstanding request.
+proto::Algorithm make_lamport_algorithm(bool ack_optimization = true);
+
+}  // namespace dmx::baselines

@@ -1,0 +1,244 @@
+#include "baselines/maekawa.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace dmx::baselines {
+
+MaekawaNode::MaekawaNode(NodeId self, std::vector<NodeId> quorum)
+    : self_(self), quorum_(std::move(quorum)) {
+  DMX_CHECK_MSG(
+      std::find(quorum_.begin(), quorum_.end(), self_) != quorum_.end(),
+      "committee of node " << self_ << " must contain the node itself");
+}
+
+void MaekawaNode::send_or_local(proto::Context& ctx, NodeId to,
+                                MaekawaMessage msg) {
+  if (to == self_) {
+    dispatch(ctx, self_, msg);
+  } else {
+    ctx.send(to, std::make_unique<MaekawaMessage>(msg));
+  }
+}
+
+void MaekawaNode::request_cs(proto::Context& ctx) {
+  DMX_CHECK(!waiting_cs_ && !in_cs_);
+  waiting_cs_ = true;
+  my_seq_ = ++clock_;
+  locked_members_.clear();
+  failed_members_.clear();
+  pending_inquires_.clear();
+  for (NodeId member : quorum_) {
+    send_or_local(ctx, member,
+                  MaekawaMessage(MaekawaMessage::Type::kRequest, my_seq_));
+  }
+}
+
+void MaekawaNode::release_cs(proto::Context& ctx) {
+  DMX_CHECK(in_cs_);
+  in_cs_ = false;
+  locked_members_.clear();
+  for (NodeId member : quorum_) {
+    send_or_local(ctx, member,
+                  MaekawaMessage(MaekawaMessage::Type::kRelease, clock_));
+  }
+}
+
+void MaekawaNode::try_enter(proto::Context& ctx) {
+  if (!waiting_cs_ || locked_members_.size() != quorum_.size()) return;
+  waiting_cs_ = false;
+  in_cs_ = true;
+  failed_members_.clear();
+  pending_inquires_.clear();
+  ctx.grant();
+}
+
+// --- Arbiter role ---------------------------------------------------------
+
+void MaekawaNode::arbiter_grant(proto::Context& ctx, Priority request) {
+  locked_for_ = request;
+  send_or_local(ctx, request.second,
+                MaekawaMessage(MaekawaMessage::Type::kLocked, request.first));
+}
+
+void MaekawaNode::arbiter_on_request(proto::Context& ctx, Priority request) {
+  if (!locked_for_.has_value()) {
+    arbiter_grant(ctx, request);
+    return;
+  }
+  waiting_.insert({request, WaitingRequest{request, false}});
+  // A newcomer that outranks the current lock triggers (at most one
+  // outstanding) INQUIRE toward the lock holder; the INQUIRE names the
+  // lock holder's own request sequence so a stale INQUIRE from a
+  // previous round is recognizable.
+  if (request < *locked_for_ && !inquire_outstanding_) {
+    inquire_outstanding_ = true;
+    send_or_local(
+        ctx, locked_for_->second,
+        MaekawaMessage(MaekawaMessage::Type::kInquire, locked_for_->first));
+  }
+  // Sanders' rule: FAIL every waiting request that is outranked — by the
+  // lock or by a better waiter — so it can answer INQUIREs elsewhere.
+  const Priority best_waiting = waiting_.begin()->first;
+  for (auto& [priority, entry] : waiting_) {
+    const bool is_frontrunner =
+        priority == best_waiting && priority < *locked_for_;
+    if (!is_frontrunner && !entry.fail_sent) {
+      entry.fail_sent = true;
+      send_or_local(
+          ctx, priority.second,
+          MaekawaMessage(MaekawaMessage::Type::kFail, priority.first));
+    }
+  }
+}
+
+void MaekawaNode::arbiter_on_release(proto::Context& ctx, NodeId from) {
+  DMX_CHECK_MSG(locked_for_.has_value() && locked_for_->second == from,
+                "RELEASE from " << from << " which does not hold the lock");
+  locked_for_.reset();
+  inquire_outstanding_ = false;
+  if (!waiting_.empty()) {
+    const Priority best = waiting_.begin()->first;
+    waiting_.erase(waiting_.begin());
+    arbiter_grant(ctx, best);
+  }
+}
+
+void MaekawaNode::arbiter_on_relinquish(proto::Context& ctx, NodeId from) {
+  DMX_CHECK_MSG(locked_for_.has_value() && locked_for_->second == from,
+                "RELINQUISH from " << from
+                                   << " which does not hold the lock");
+  // The relinquished request goes back into the queue (it already knows it
+  // is outranked, so no further FAIL is owed to it).
+  waiting_.insert({*locked_for_, WaitingRequest{*locked_for_, true}});
+  locked_for_.reset();
+  inquire_outstanding_ = false;
+  DMX_CHECK(!waiting_.empty());
+  const Priority best = waiting_.begin()->first;
+  waiting_.erase(waiting_.begin());
+  arbiter_grant(ctx, best);
+}
+
+// --- Requester role --------------------------------------------------------
+
+void MaekawaNode::requester_on_locked(proto::Context& ctx, NodeId member,
+                                      int seq) {
+  if (!waiting_cs_ || seq != my_seq_) return;  // stale round
+  locked_members_.insert(member);
+  failed_members_.erase(member);
+  try_enter(ctx);
+}
+
+void MaekawaNode::requester_on_fail(proto::Context& ctx, NodeId member,
+                                    int seq) {
+  if (!waiting_cs_ || seq != my_seq_) return;  // stale round
+  failed_members_.insert(member);
+  requester_relinquish_pending(ctx);
+}
+
+void MaekawaNode::requester_relinquish_pending(proto::Context& ctx) {
+  if (failed_members_.empty()) return;
+  // We are provably outranked somewhere: give back every inquired lock.
+  for (NodeId member : pending_inquires_) {
+    locked_members_.erase(member);
+    send_or_local(ctx, member,
+                  MaekawaMessage(MaekawaMessage::Type::kRelinquish, clock_));
+  }
+  pending_inquires_.clear();
+}
+
+void MaekawaNode::requester_on_inquire(proto::Context& ctx, NodeId member,
+                                       int seq) {
+  if (in_cs_ || !waiting_cs_ || seq != my_seq_) {
+    // Either we already entered (our RELEASE will answer), or the INQUIRE
+    // is stale: it crossed our RELEASE in flight, or it concerns a
+    // previous request round whose lock we no longer hold.
+    return;
+  }
+  if (!failed_members_.empty()) {
+    locked_members_.erase(member);
+    send_or_local(ctx, member,
+                  MaekawaMessage(MaekawaMessage::Type::kRelinquish, clock_));
+  } else {
+    // Undecided: remember the inquiry; a later FAIL resolves it.
+    pending_inquires_.insert(member);
+  }
+}
+
+// --- Dispatch ----------------------------------------------------------------
+
+void MaekawaNode::dispatch(proto::Context& ctx, NodeId from,
+                           const MaekawaMessage& msg) {
+  clock_ = std::max(clock_, msg.sequence());
+  switch (msg.type()) {
+    case MaekawaMessage::Type::kRequest:
+      arbiter_on_request(ctx, Priority{msg.sequence(), from});
+      break;
+    case MaekawaMessage::Type::kRelease:
+      arbiter_on_release(ctx, from);
+      break;
+    case MaekawaMessage::Type::kRelinquish:
+      arbiter_on_relinquish(ctx, from);
+      break;
+    case MaekawaMessage::Type::kLocked:
+      requester_on_locked(ctx, from, msg.sequence());
+      break;
+    case MaekawaMessage::Type::kFail:
+      requester_on_fail(ctx, from, msg.sequence());
+      break;
+    case MaekawaMessage::Type::kInquire:
+      requester_on_inquire(ctx, from, msg.sequence());
+      break;
+  }
+}
+
+void MaekawaNode::on_message(proto::Context& ctx, NodeId from,
+                             const net::Message& message) {
+  const auto* msg = dynamic_cast<const MaekawaMessage*>(&message);
+  DMX_CHECK_MSG(msg != nullptr, "unexpected message kind " << message.kind());
+  dispatch(ctx, from, *msg);
+}
+
+std::size_t MaekawaNode::state_bytes() const {
+  // Committee list + arbiter queue + requester bookkeeping sets.
+  return quorum_.size() * sizeof(NodeId) +
+         waiting_.size() * (sizeof(int) + sizeof(NodeId) + sizeof(bool)) +
+         (locked_members_.size() + failed_members_.size() +
+          pending_inquires_.size()) *
+             sizeof(NodeId) +
+         sizeof(int) * 2 + sizeof(bool) * 3;
+}
+
+std::string MaekawaNode::debug_state() const {
+  std::ostringstream oss;
+  oss << "waiting=" << (waiting_cs_ ? 't' : 'f')
+      << " in_cs=" << (in_cs_ ? 't' : 'f') << " locked_by="
+      << locked_members_.size() << "/" << quorum_.size();
+  if (locked_for_.has_value()) {
+    oss << " arbiter_lock=(" << locked_for_->first << ","
+        << locked_for_->second << ")";
+  }
+  return oss.str();
+}
+
+proto::Algorithm make_maekawa_algorithm() {
+  proto::Algorithm algo;
+  algo.name = "Maekawa";
+  algo.token_based = false;
+  algo.needs_tree = false;
+  algo.factory = [](const proto::ClusterSpec& spec) {
+    const quorum::QuorumSet quorums = quorum::maekawa_quorums(spec.n);
+    std::vector<std::unique_ptr<proto::MutexNode>> nodes(
+        static_cast<std::size_t>(spec.n) + 1);
+    for (NodeId v = 1; v <= spec.n; ++v) {
+      nodes[static_cast<std::size_t>(v)] = std::make_unique<MaekawaNode>(
+          v, quorums[static_cast<std::size_t>(v)]);
+    }
+    return nodes;
+  };
+  return algo;
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,123 @@
+// Maekawa's sqrt(N) quorum algorithm (§2.6), with Sanders' deadlock fix.
+//
+// Each node I has a committee S_I (pairwise-intersecting, built in
+// src/quorum). To enter, I must be "locked" by every committee member.
+// An arbiter locks for the highest-priority request it has seen; priority
+// inversion is repaired via INQUIRE (ask the current lock holder to give
+// the lock back) and RELINQUISH, while FAIL tells a requester it is
+// outranked (so it can answer INQUIREs immediately). Per the Sanders
+// correction, an arbiter FAILs any queued request that is outranked by a
+// newer arrival, not only the newcomer — this is what makes the protocol
+// deadlock-free and raises the worst case to ~7 sqrt(N) messages.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+#include "quorum/quorum.hpp"
+
+namespace dmx::baselines {
+
+class MaekawaMessage final : public net::Message {
+ public:
+  enum class Type { kRequest, kLocked, kRelease, kFail, kInquire, kRelinquish };
+  explicit MaekawaMessage(Type type, int sequence = 0)
+      : type_(type), sequence_(sequence) {}
+  Type type() const { return type_; }
+  int sequence() const { return sequence_; }
+  std::string_view kind() const override {
+    switch (type_) {
+      case Type::kRequest: return "REQUEST";
+      case Type::kLocked: return "LOCKED";
+      case Type::kRelease: return "RELEASE";
+      case Type::kFail: return "FAIL";
+      case Type::kInquire: return "INQUIRE";
+      case Type::kRelinquish: return "RELINQUISH";
+    }
+    return "?";
+  }
+  std::size_t payload_bytes() const override {
+    return type_ == Type::kRequest ? sizeof(int) : 0;
+  }
+
+ private:
+  Type type_;
+  int sequence_;
+};
+
+class MaekawaNode final : public proto::MutexNode {
+ public:
+  /// `quorum` is this node's committee (containing the node itself).
+  MaekawaNode(NodeId self, std::vector<NodeId> quorum);
+
+  void request_cs(proto::Context& ctx) override;
+  void release_cs(proto::Context& ctx) override;
+  void on_message(proto::Context& ctx, NodeId from,
+                  const net::Message& message) override;
+  bool has_token() const override { return false; }
+  std::size_t state_bytes() const override;
+  std::string debug_state() const override;
+
+  const std::vector<NodeId>& quorum() const { return quorum_; }
+
+ private:
+  /// Request priority: lower (sequence, origin) outranks.
+  using Priority = std::pair<int, NodeId>;
+
+  // --- Arbiter role (this node as committee member of others) ----------
+  struct WaitingRequest {
+    Priority priority;
+    bool fail_sent = false;
+  };
+  void arbiter_on_request(proto::Context& ctx, Priority request);
+  void arbiter_on_release(proto::Context& ctx, NodeId from);
+  void arbiter_on_relinquish(proto::Context& ctx, NodeId from);
+  void arbiter_grant(proto::Context& ctx, Priority request);
+
+  // --- Requester role ----------------------------------------------------
+  // LOCKED/FAIL/INQUIRE carry the sequence number of the request they
+  // concern; the requester ignores messages whose sequence is not its
+  // current request's (stale traffic from a previous round racing the
+  // round boundary — answering a stale INQUIRE would relinquish a lock
+  // this node no longer holds).
+  void requester_on_locked(proto::Context& ctx, NodeId member, int seq);
+  void requester_on_fail(proto::Context& ctx, NodeId member, int seq);
+  void requester_on_inquire(proto::Context& ctx, NodeId member, int seq);
+  void requester_relinquish_pending(proto::Context& ctx);
+  void try_enter(proto::Context& ctx);
+
+  /// Messages to our own committee membership short-circuit locally
+  /// (Maekawa: a requester "pretends to have received the REQUEST
+  /// itself"); only cross-node traffic hits the network.
+  void send_or_local(proto::Context& ctx, NodeId to, MaekawaMessage msg);
+  void dispatch(proto::Context& ctx, NodeId from, const MaekawaMessage& msg);
+
+  NodeId self_;
+  std::vector<NodeId> quorum_;
+
+  // Arbiter state.
+  std::optional<Priority> locked_for_;
+  bool inquire_outstanding_ = false;
+  std::map<Priority, WaitingRequest> waiting_;  // ordered by priority
+
+  // Requester state.
+  int clock_ = 0;
+  int my_seq_ = 0;
+  bool waiting_cs_ = false;
+  bool in_cs_ = false;
+  std::set<NodeId> locked_members_;   // members currently locked for us
+  std::set<NodeId> failed_members_;   // members that FAILed us (un-cleared)
+  std::set<NodeId> pending_inquires_; // INQUIREs we could not answer yet
+};
+
+/// Committees come from quorum::maekawa_quorums (projective plane when
+/// possible, grid otherwise).
+proto::Algorithm make_maekawa_algorithm();
+
+}  // namespace dmx::baselines

@@ -1,0 +1,121 @@
+#include "baselines/raymond.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dmx::baselines {
+
+RaymondNode RaymondNode::restore(NodeId self, NodeId holder, bool using_cs,
+                                 bool asked, bool waiting,
+                                 std::deque<NodeId> queue) {
+  RaymondNode node(self, holder);
+  node.using_ = using_cs;
+  node.asked_ = asked;
+  node.waiting_ = waiting;
+  node.queue_ = std::move(queue);
+  return node;
+}
+
+void RaymondNode::assign_privilege(proto::Context& ctx) {
+  if (holder_ != self_ || using_ || queue_.empty()) return;
+  const NodeId head = queue_.front();
+  queue_.pop_front();
+  if (head == self_) {
+    DMX_CHECK(waiting_);
+    waiting_ = false;
+    using_ = true;
+    ctx.grant();
+  } else {
+    holder_ = head;
+    asked_ = false;
+    ctx.send(head,
+             std::make_unique<RaymondMessage>(RaymondMessage::Type::kPrivilege));
+  }
+}
+
+void RaymondNode::make_request(proto::Context& ctx) {
+  if (holder_ == self_ || queue_.empty() || asked_) return;
+  asked_ = true;
+  ctx.send(holder_,
+           std::make_unique<RaymondMessage>(RaymondMessage::Type::kRequest));
+}
+
+void RaymondNode::request_cs(proto::Context& ctx) {
+  DMX_CHECK(!waiting_ && !using_);
+  DMX_CHECK_MSG(std::find(queue_.begin(), queue_.end(), self_) == queue_.end(),
+                "self already queued");
+  waiting_ = true;
+  queue_.push_back(self_);
+  assign_privilege(ctx);
+  make_request(ctx);
+}
+
+void RaymondNode::release_cs(proto::Context& ctx) {
+  DMX_CHECK(using_);
+  using_ = false;
+  assign_privilege(ctx);
+  make_request(ctx);
+}
+
+void RaymondNode::on_message(proto::Context& ctx, NodeId from,
+                             const net::Message& message) {
+  const auto* msg = dynamic_cast<const RaymondMessage*>(&message);
+  DMX_CHECK_MSG(msg != nullptr, "unexpected message kind " << message.kind());
+  switch (msg->type()) {
+    case RaymondMessage::Type::kRequest:
+      queue_.push_back(from);
+      break;
+    case RaymondMessage::Type::kPrivilege:
+      DMX_CHECK_MSG(holder_ == from, "PRIVILEGE from " << from
+                                                       << " but holder is "
+                                                       << holder_);
+      holder_ = self_;
+      asked_ = false;
+      break;
+  }
+  assign_privilege(ctx);
+  make_request(ctx);
+}
+
+std::size_t RaymondNode::state_bytes() const {
+  // HOLDER + USING + ASKED + the explicit request queue (the structure
+  // Neilsen's FOLLOW variable replaces).
+  return sizeof(NodeId) + 2 * sizeof(bool) + queue_.size() * sizeof(NodeId);
+}
+
+std::string RaymondNode::debug_state() const {
+  std::ostringstream oss;
+  oss << "HOLDER=" << holder_ << " USING=" << (using_ ? 't' : 'f')
+      << " ASKED=" << (asked_ ? 't' : 'f') << " |Q|=" << queue_.size();
+  return oss.str();
+}
+
+proto::Algorithm make_raymond_algorithm() {
+  proto::Algorithm algo;
+  algo.name = "Raymond";
+  algo.token_based = true;
+  algo.token_message_kinds = {"PRIVILEGE"};
+  algo.needs_tree = true;
+  algo.factory = [](const proto::ClusterSpec& spec) {
+    DMX_CHECK_MSG(spec.tree != nullptr, "Raymond requires a logical tree");
+    DMX_CHECK(spec.tree->size() == spec.n);
+    const std::vector<NodeId> toward =
+        spec.tree->next_pointers_toward(spec.initial_token_holder);
+    std::vector<std::unique_ptr<proto::MutexNode>> nodes(
+        static_cast<std::size_t>(spec.n) + 1);
+    for (NodeId v = 1; v <= spec.n; ++v) {
+      const NodeId holder = v == spec.initial_token_holder
+                                ? v
+                                : toward[static_cast<std::size_t>(v)];
+      nodes[static_cast<std::size_t>(v)] =
+          std::make_unique<RaymondNode>(v, holder);
+    }
+    return nodes;
+  };
+  return algo;
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,79 @@
+// Raymond's tree-based algorithm (§2.7) — the paper's closest relative.
+//
+// The token sits at some node of an unrooted tree; every other node's
+// HOLDER pointer gives the neighbour toward it. Each node keeps a FIFO
+// queue of requests (its own id or a neighbour's), forwards at most one
+// outstanding REQUEST toward the holder (the ASKED flag), and passes the
+// PRIVILEGE back along the request path. Worst case 2D messages per entry
+// and synchronization delay up to D — both halved/beaten by Neilsen's
+// edge-inversion design, which is exactly what the benches compare.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+
+namespace dmx::baselines {
+
+class RaymondMessage final : public net::Message {
+ public:
+  enum class Type { kRequest, kPrivilege };
+  explicit RaymondMessage(Type type) : type_(type) {}
+  Type type() const { return type_; }
+  std::string_view kind() const override {
+    return type_ == Type::kRequest ? "REQUEST" : "PRIVILEGE";
+  }
+  std::size_t payload_bytes() const override { return 0; }
+
+ private:
+  Type type_;
+};
+
+class RaymondNode final : public proto::MutexNode {
+ public:
+  /// `holder` is the neighbour toward the token, or the node's own id if
+  /// it is the initial token holder.
+  RaymondNode(NodeId self, NodeId holder) : self_(self), holder_(holder) {}
+
+  void request_cs(proto::Context& ctx) override;
+  void release_cs(proto::Context& ctx) override;
+  void on_message(proto::Context& ctx, NodeId from,
+                  const net::Message& message) override;
+  bool has_token() const override { return holder_ == self_; }
+  std::size_t state_bytes() const override;
+  std::string debug_state() const override;
+
+  NodeId holder() const { return holder_; }
+  bool asked() const { return asked_; }
+  bool using_cs() const { return using_; }
+  bool waiting() const { return waiting_; }
+  const std::deque<NodeId>& queue() const { return queue_; }
+
+  /// Reconstructs a node in an arbitrary mid-protocol state; used by the
+  /// exhaustive model checker (src/modelcheck) so that explored
+  /// transitions run this production handler code.
+  static RaymondNode restore(NodeId self, NodeId holder, bool using_cs,
+                             bool asked, bool waiting,
+                             std::deque<NodeId> queue);
+
+ private:
+  /// Raymond's ASSIGN_PRIVILEGE: if we hold an unused token and someone
+  /// is queued, pass it (or enter, if we queued ourselves first).
+  void assign_privilege(proto::Context& ctx);
+  /// Raymond's MAKE_REQUEST: forward one REQUEST toward the holder on
+  /// behalf of the queue head, unless one is already outstanding.
+  void make_request(proto::Context& ctx);
+
+  NodeId self_;
+  NodeId holder_;
+  bool using_ = false;
+  bool asked_ = false;
+  bool waiting_ = false;  // application blocked (self is or was queued)
+  std::deque<NodeId> queue_;
+};
+
+proto::Algorithm make_raymond_algorithm();
+
+}  // namespace dmx::baselines

@@ -1,0 +1,46 @@
+#include "baselines/registry.hpp"
+
+#include "baselines/carvalho_roucairol.hpp"
+#include "baselines/central.hpp"
+#include "baselines/lamport.hpp"
+#include "baselines/maekawa.hpp"
+#include "baselines/raymond.hpp"
+#include "baselines/ricart_agrawala.hpp"
+#include "baselines/singhal.hpp"
+#include "baselines/suzuki_kasami.hpp"
+#include "common/check.hpp"
+#include "core/algorithm.hpp"
+
+namespace dmx::baselines {
+
+std::vector<proto::Algorithm> all_algorithms() {
+  std::vector<proto::Algorithm> algorithms;
+  algorithms.push_back(core::make_neilsen_algorithm());
+  algorithms.push_back(make_raymond_algorithm());
+  algorithms.push_back(make_central_algorithm());
+  algorithms.push_back(make_suzuki_kasami_algorithm());
+  algorithms.push_back(make_singhal_algorithm());
+  algorithms.push_back(make_lamport_algorithm());
+  algorithms.push_back(make_ricart_agrawala_algorithm());
+  algorithms.push_back(make_carvalho_roucairol_algorithm());
+  algorithms.push_back(make_maekawa_algorithm());
+  return algorithms;
+}
+
+std::vector<proto::Algorithm> token_algorithms() {
+  std::vector<proto::Algorithm> result;
+  for (auto& algo : all_algorithms()) {
+    if (algo.token_based) result.push_back(std::move(algo));
+  }
+  return result;
+}
+
+proto::Algorithm algorithm_by_name(const std::string& name) {
+  for (auto& algo : all_algorithms()) {
+    if (algo.name == name) return algo;
+  }
+  DMX_CHECK_MSG(false, "unknown algorithm: " << name);
+  return {};  // unreachable
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,21 @@
+// Central registry of every implemented mutual-exclusion algorithm.
+// Benches and cross-algorithm tests iterate this list so each new
+// algorithm automatically joins every safety/liveness suite and table.
+#pragma once
+
+#include <vector>
+
+#include "proto/algorithm.hpp"
+
+namespace dmx::baselines {
+
+/// All algorithms: the Neilsen core plus the eight Chapter 2 baselines.
+std::vector<proto::Algorithm> all_algorithms();
+
+/// Only the token-based ones (Neilsen, Raymond, Suzuki–Kasami, Singhal).
+std::vector<proto::Algorithm> token_algorithms();
+
+/// Finds an algorithm by name (aborts if absent).
+proto::Algorithm algorithm_by_name(const std::string& name);
+
+}  // namespace dmx::baselines

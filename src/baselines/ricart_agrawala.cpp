@@ -1,0 +1,100 @@
+#include "baselines/ricart_agrawala.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace dmx::baselines {
+
+void RaNode::request_cs(proto::Context& ctx) {
+  DMX_CHECK(!waiting_ && !in_cs_);
+  waiting_ = true;
+  my_seq_ = clock_ + 1;
+  replies_outstanding_ = n_ - 1;
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (j != self_) {
+      ctx.send(j,
+               std::make_unique<RaMessage>(RaMessage::Type::kRequest, my_seq_));
+    }
+  }
+  if (replies_outstanding_ == 0) {  // single-node system
+    waiting_ = false;
+    in_cs_ = true;
+    ctx.grant();
+  }
+}
+
+void RaNode::release_cs(proto::Context& ctx) {
+  DMX_CHECK(in_cs_);
+  in_cs_ = false;
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (deferred_[static_cast<std::size_t>(j)]) {
+      deferred_[static_cast<std::size_t>(j)] = false;
+      ctx.send(j,
+               std::make_unique<RaMessage>(RaMessage::Type::kReply, clock_));
+    }
+  }
+}
+
+void RaNode::on_message(proto::Context& ctx, NodeId from,
+                        const net::Message& message) {
+  const auto* msg = dynamic_cast<const RaMessage*>(&message);
+  DMX_CHECK_MSG(msg != nullptr, "unexpected message kind " << message.kind());
+  clock_ = std::max(clock_, msg->sequence());
+  switch (msg->type()) {
+    case RaMessage::Type::kRequest: {
+      // Defer while inside the CS, or while requesting with priority over
+      // the incoming request.
+      const bool mine_first =
+          waiting_ && before(my_seq_, self_, msg->sequence(), from);
+      if (in_cs_ || mine_first) {
+        deferred_[static_cast<std::size_t>(from)] = true;
+      } else {
+        ctx.send(from,
+                 std::make_unique<RaMessage>(RaMessage::Type::kReply, clock_));
+      }
+      break;
+    }
+    case RaMessage::Type::kReply:
+      DMX_CHECK(waiting_ && replies_outstanding_ > 0);
+      if (--replies_outstanding_ == 0) {
+        waiting_ = false;
+        in_cs_ = true;
+        ctx.grant();
+      }
+      break;
+  }
+}
+
+std::size_t RaNode::state_bytes() const {
+  // Deferred-reply bitmap + clocks.
+  return static_cast<std::size_t>(n_) * sizeof(bool) + 3 * sizeof(int) +
+         2 * sizeof(bool);
+}
+
+std::string RaNode::debug_state() const {
+  std::ostringstream oss;
+  oss << "seq=" << my_seq_ << " waiting=" << (waiting_ ? 't' : 'f')
+      << " in_cs=" << (in_cs_ ? 't' : 'f')
+      << " outstanding=" << replies_outstanding_;
+  return oss.str();
+}
+
+proto::Algorithm make_ricart_agrawala_algorithm() {
+  proto::Algorithm algo;
+  algo.name = "Ricart-Agrawala";
+  algo.token_based = false;
+  algo.needs_tree = false;
+  algo.factory = [](const proto::ClusterSpec& spec) {
+    std::vector<std::unique_ptr<proto::MutexNode>> nodes(
+        static_cast<std::size_t>(spec.n) + 1);
+    for (NodeId v = 1; v <= spec.n; ++v) {
+      nodes[static_cast<std::size_t>(v)] = std::make_unique<RaNode>(v, spec.n);
+    }
+    return nodes;
+  };
+  return algo;
+}
+
+}  // namespace dmx::baselines

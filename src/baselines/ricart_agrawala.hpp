@@ -1,0 +1,69 @@
+// Ricart–Agrawala's optimal assertion-based algorithm (§2.2).
+//
+// REQUEST is broadcast with a sequence number; each receiver replies
+// immediately or defers until it exits its own critical section. Exactly
+// 2(N-1) messages per entry.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+
+namespace dmx::baselines {
+
+class RaMessage final : public net::Message {
+ public:
+  enum class Type { kRequest, kReply };
+  RaMessage(Type type, int sequence) : type_(type), sequence_(sequence) {}
+  Type type() const { return type_; }
+  int sequence() const { return sequence_; }
+  std::string_view kind() const override {
+    return type_ == Type::kRequest ? "REQUEST" : "REPLY";
+  }
+  std::size_t payload_bytes() const override { return sizeof(int); }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << kind() << "(sn=" << sequence_ << ")";
+    return oss.str();
+  }
+
+ private:
+  Type type_;
+  int sequence_;
+};
+
+class RaNode final : public proto::MutexNode {
+ public:
+  RaNode(NodeId self, int n)
+      : self_(self), n_(n),
+        deferred_(static_cast<std::size_t>(n) + 1, false) {}
+
+  void request_cs(proto::Context& ctx) override;
+  void release_cs(proto::Context& ctx) override;
+  void on_message(proto::Context& ctx, NodeId from,
+                  const net::Message& message) override;
+  bool has_token() const override { return false; }
+  std::size_t state_bytes() const override;
+  std::string debug_state() const override;
+
+ private:
+  static bool before(int ts_a, NodeId a, int ts_b, NodeId b) {
+    return ts_a < ts_b || (ts_a == ts_b && a < b);
+  }
+
+  NodeId self_;
+  int n_;
+  int clock_ = 0;  // highest sequence number seen
+  int my_seq_ = 0;
+  bool waiting_ = false;
+  bool in_cs_ = false;
+  int replies_outstanding_ = 0;
+  std::vector<bool> deferred_;  // reply owed to node j at release
+};
+
+proto::Algorithm make_ricart_agrawala_algorithm();
+
+}  // namespace dmx::baselines

@@ -1,0 +1,164 @@
+#include "baselines/singhal.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace dmx::baselines {
+
+SinghalNode::SinghalNode(NodeId self, int n)
+    : self_(self), n_(n),
+      sv_(static_cast<std::size_t>(n) + 1, SinghalState::kNone),
+      sn_(static_cast<std::size_t>(n) + 1, 0) {
+  // Staircase initialization: node i assumes nodes 1..i-1 are requesting.
+  // Node 1 holds the token. This asymmetry guarantees that the requesting
+  // sets of any two nodes intersect at the token's trail.
+  for (NodeId j = 1; j < self; ++j) {
+    sv(j) = SinghalState::kRequesting;
+  }
+  if (self == 1) {
+    sv(1) = SinghalState::kHolding;
+    has_token_ = true;
+    token_.tsv.assign(static_cast<std::size_t>(n) + 1, SinghalState::kNone);
+    token_.tsn.assign(static_cast<std::size_t>(n) + 1, 0);
+  }
+}
+
+void SinghalNode::request_cs(proto::Context& ctx) {
+  DMX_CHECK(!waiting_ && !in_cs_);
+  if (has_token_) {
+    DMX_CHECK(sv(self_) == SinghalState::kHolding);
+    sv(self_) = SinghalState::kExecuting;
+    in_cs_ = true;
+    ctx.grant();
+    return;
+  }
+  waiting_ = true;
+  sv(self_) = SinghalState::kRequesting;
+  sn(self_) += 1;
+  const int seq = sn(self_);
+  // The heuristic: ask only the nodes we believe are requesting (they
+  // either hold the token, will hold it soon, or know who does).
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (j != self_ && sv(j) == SinghalState::kRequesting) {
+      ctx.send(j, std::make_unique<SinghalRequestMessage>(seq));
+    }
+  }
+}
+
+void SinghalNode::release_cs(proto::Context& ctx) {
+  DMX_CHECK(in_cs_ && has_token_);
+  in_cs_ = false;
+  sv(self_) = SinghalState::kNone;
+  token_.tsv[static_cast<std::size_t>(self_)] = SinghalState::kNone;
+  token_.tsn[static_cast<std::size_t>(self_)] = sn(self_);
+  // Mutual knowledge merge between the node and the token: fresher
+  // sequence number wins.
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (sn(j) > token_.tsn[static_cast<std::size_t>(j)]) {
+      token_.tsn[static_cast<std::size_t>(j)] = sn(j);
+      token_.tsv[static_cast<std::size_t>(j)] = sv(j);
+    } else {
+      sn(j) = token_.tsn[static_cast<std::size_t>(j)];
+      sv(j) = token_.tsv[static_cast<std::size_t>(j)];
+    }
+  }
+  // Round-robin fairness scan for the next requester, starting past self.
+  for (int offset = 1; offset <= n_; ++offset) {
+    const NodeId j = static_cast<NodeId>((self_ - 1 + offset) % n_ + 1);
+    if (j != self_ && sv(j) == SinghalState::kRequesting) {
+      has_token_ = false;
+      ctx.send(j, std::make_unique<SinghalTokenMessage>(std::move(token_)));
+      token_ = SinghalToken{};
+      return;
+    }
+  }
+  sv(self_) = SinghalState::kHolding;  // nobody wants it; keep holding
+}
+
+void SinghalNode::on_message(proto::Context& ctx, NodeId from,
+                             const net::Message& message) {
+  if (const auto* req =
+          dynamic_cast<const SinghalRequestMessage*>(&message)) {
+    if (req->sequence() <= sn(from)) {
+      return;  // stale request; already superseded
+    }
+    sn(from) = req->sequence();
+    const SinghalState previous = sv(from);
+    sv(from) = SinghalState::kRequesting;
+    switch (sv(self_)) {
+      case SinghalState::kNone:
+        break;  // nothing to contribute
+      case SinghalState::kRequesting:
+        // Make the relation symmetric: if we did not already consider
+        // `from` a requester, it does not know about our request either.
+        if (previous != SinghalState::kRequesting) {
+          ctx.send(from, std::make_unique<SinghalRequestMessage>(sn(self_)));
+        }
+        break;
+      case SinghalState::kExecuting:
+        break;  // will be served at release via the merged arrays
+      case SinghalState::kHolding:
+        // Idle token holder: hand over immediately.
+        DMX_CHECK(has_token_);
+        sv(self_) = SinghalState::kNone;
+        token_.tsv[static_cast<std::size_t>(from)] = SinghalState::kRequesting;
+        token_.tsn[static_cast<std::size_t>(from)] = sn(from);
+        has_token_ = false;
+        ctx.send(from, std::make_unique<SinghalTokenMessage>(std::move(token_)));
+        token_ = SinghalToken{};
+        break;
+    }
+    return;
+  }
+  if (const auto* tok = dynamic_cast<const SinghalTokenMessage*>(&message)) {
+    DMX_CHECK_MSG(waiting_, "TOKEN at node " << self_ << " not waiting");
+    token_ = tok->token();
+    has_token_ = true;
+    waiting_ = false;
+    in_cs_ = true;
+    sv(self_) = SinghalState::kExecuting;
+    ctx.grant();
+    return;
+  }
+  DMX_CHECK_MSG(false, "unexpected message kind " << message.kind());
+}
+
+std::size_t SinghalNode::state_bytes() const {
+  std::size_t bytes =
+      static_cast<std::size_t>(n_) * (sizeof(char) + sizeof(int)) +
+      sizeof(bool);
+  if (has_token_) {
+    bytes += static_cast<std::size_t>(n_) * (sizeof(char) + sizeof(int));
+  }
+  return bytes;
+}
+
+std::string SinghalNode::debug_state() const {
+  std::ostringstream oss;
+  oss << "SV[self]=" << static_cast<char>(sv_[static_cast<std::size_t>(self_)])
+      << " token=" << (has_token_ ? 't' : 'f') << " SN[self]="
+      << sn_[static_cast<std::size_t>(self_)];
+  return oss.str();
+}
+
+proto::Algorithm make_singhal_algorithm() {
+  proto::Algorithm algo;
+  algo.name = "Singhal";
+  algo.token_based = true;
+  algo.token_message_kinds = {"TOKEN"};
+  algo.needs_tree = false;
+  algo.factory = [](const proto::ClusterSpec& spec) {
+    // The staircase initialization fixes node 1 as the initial holder.
+    std::vector<std::unique_ptr<proto::MutexNode>> nodes(
+        static_cast<std::size_t>(spec.n) + 1);
+    for (NodeId v = 1; v <= spec.n; ++v) {
+      nodes[static_cast<std::size_t>(v)] =
+          std::make_unique<SinghalNode>(v, spec.n);
+    }
+    return nodes;
+  };
+  return algo;
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,98 @@
+// Singhal's heuristically-aided token algorithm (§2.5).
+//
+// Each node maintains state vectors SV[1..N] (last known state of every
+// node: R requesting, E executing, H holding idle, N neither) and SN[1..N]
+// (highest known request sequence numbers). The token carries mirror
+// arrays TSV/TSN. The heuristic: send REQUEST only to nodes believed to be
+// in state R (likely token holders or on the token's path). Initialization
+// uses the "staircase" pattern (node i assumes all lower-numbered nodes
+// are requesting) which guarantees requests intersect the token's
+// location knowledge.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+
+namespace dmx::baselines {
+
+enum class SinghalState : char {
+  kRequesting = 'R',
+  kExecuting = 'E',
+  kHolding = 'H',
+  kNone = 'N',
+};
+
+class SinghalRequestMessage final : public net::Message {
+ public:
+  explicit SinghalRequestMessage(int sequence) : sequence_(sequence) {}
+  int sequence() const { return sequence_; }
+  std::string_view kind() const override { return "REQUEST"; }
+  std::size_t payload_bytes() const override { return sizeof(int); }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "REQUEST(sn=" << sequence_ << ")";
+    return oss.str();
+  }
+
+ private:
+  int sequence_;
+};
+
+/// The token's state knowledge (TSV/TSN), merged with the receiver's
+/// local knowledge on every hand-off.
+struct SinghalToken {
+  std::vector<SinghalState> tsv;  // index 1..n
+  std::vector<int> tsn;           // index 1..n
+};
+
+class SinghalTokenMessage final : public net::Message {
+ public:
+  explicit SinghalTokenMessage(SinghalToken token)
+      : token_(std::move(token)) {}
+  const SinghalToken& token() const { return token_; }
+  std::string_view kind() const override { return "TOKEN"; }
+  std::size_t payload_bytes() const override {
+    return (token_.tsv.size() - 1) * (sizeof(char) + sizeof(int));
+  }
+
+ private:
+  SinghalToken token_;
+};
+
+class SinghalNode final : public proto::MutexNode {
+ public:
+  SinghalNode(NodeId self, int n);
+
+  void request_cs(proto::Context& ctx) override;
+  void release_cs(proto::Context& ctx) override;
+  void on_message(proto::Context& ctx, NodeId from,
+                  const net::Message& message) override;
+  bool has_token() const override { return has_token_; }
+  std::size_t state_bytes() const override;
+  std::string debug_state() const override;
+
+  SinghalState known_state(NodeId j) const {
+    return sv_[static_cast<std::size_t>(j)];
+  }
+
+ private:
+  SinghalState& sv(NodeId j) { return sv_[static_cast<std::size_t>(j)]; }
+  int& sn(NodeId j) { return sn_[static_cast<std::size_t>(j)]; }
+
+  NodeId self_;
+  int n_;
+  std::vector<SinghalState> sv_;
+  std::vector<int> sn_;
+  bool has_token_ = false;
+  SinghalToken token_;  // valid only while has_token_
+  bool waiting_ = false;
+  bool in_cs_ = false;
+};
+
+proto::Algorithm make_singhal_algorithm();
+
+}  // namespace dmx::baselines

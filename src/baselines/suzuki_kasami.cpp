@@ -1,0 +1,122 @@
+#include "baselines/suzuki_kasami.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace dmx::baselines {
+
+SkNode::SkNode(NodeId self, int n, bool is_initial_holder)
+    : self_(self), n_(n), rn_(static_cast<std::size_t>(n) + 1, 0),
+      has_token_(is_initial_holder) {
+  if (is_initial_holder) {
+    token_.last_granted.assign(static_cast<std::size_t>(n) + 1, 0);
+  }
+}
+
+void SkNode::request_cs(proto::Context& ctx) {
+  DMX_CHECK(!waiting_ && !in_cs_);
+  if (has_token_) {
+    in_cs_ = true;
+    ctx.grant();
+    return;
+  }
+  waiting_ = true;
+  rn_[static_cast<std::size_t>(self_)] += 1;
+  const int sn = rn_[static_cast<std::size_t>(self_)];
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (j != self_) {
+      ctx.send(j, std::make_unique<SkRequestMessage>(sn));
+    }
+  }
+}
+
+void SkNode::release_cs(proto::Context& ctx) {
+  DMX_CHECK(in_cs_ && has_token_);
+  in_cs_ = false;
+  // LN[i] := RN[i]: this request is now satisfied.
+  token_.last_granted[static_cast<std::size_t>(self_)] =
+      rn_[static_cast<std::size_t>(self_)];
+  // Append every node with an unsatisfied request that is not yet queued.
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (j == self_) continue;
+    const bool outstanding = rn_[static_cast<std::size_t>(j)] ==
+                             token_.last_granted[static_cast<std::size_t>(j)] + 1;
+    if (outstanding && std::find(token_.queue.begin(), token_.queue.end(),
+                                 j) == token_.queue.end()) {
+      token_.queue.push_back(j);
+    }
+  }
+  if (!token_.queue.empty()) {
+    const NodeId next = token_.queue.front();
+    token_.queue.pop_front();
+    has_token_ = false;
+    ctx.send(next, std::make_unique<SkTokenMessage>(std::move(token_)));
+    token_ = SkToken{};
+  }
+}
+
+void SkNode::on_message(proto::Context& ctx, NodeId from,
+                        const net::Message& message) {
+  if (const auto* req = dynamic_cast<const SkRequestMessage*>(&message)) {
+    auto& rn = rn_[static_cast<std::size_t>(from)];
+    rn = std::max(rn, req->sequence());
+    // Idle token holder passes the token iff the request is current.
+    if (has_token_ && !in_cs_ && !waiting_ &&
+        rn == token_.last_granted[static_cast<std::size_t>(from)] + 1) {
+      has_token_ = false;
+      ctx.send(from, std::make_unique<SkTokenMessage>(std::move(token_)));
+      token_ = SkToken{};
+    }
+    return;
+  }
+  if (auto* tok = dynamic_cast<const SkTokenMessage*>(&message)) {
+    DMX_CHECK_MSG(waiting_, "TOKEN at node " << self_ << " not waiting");
+    token_ = tok->token();
+    has_token_ = true;
+    waiting_ = false;
+    in_cs_ = true;
+    ctx.grant();
+    return;
+  }
+  DMX_CHECK_MSG(false, "unexpected message kind " << message.kind());
+}
+
+std::size_t SkNode::state_bytes() const {
+  std::size_t bytes = static_cast<std::size_t>(n_) * sizeof(int)  // RN
+                      + sizeof(bool);
+  if (has_token_) {
+    bytes += static_cast<std::size_t>(n_) * sizeof(int) +
+             token_.queue.size() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+std::string SkNode::debug_state() const {
+  std::ostringstream oss;
+  oss << "token=" << (has_token_ ? 't' : 'f')
+      << " waiting=" << (waiting_ ? 't' : 'f') << " RN[self]="
+      << rn_[static_cast<std::size_t>(self_)];
+  return oss.str();
+}
+
+proto::Algorithm make_suzuki_kasami_algorithm() {
+  proto::Algorithm algo;
+  algo.name = "Suzuki-Kasami";
+  algo.token_based = true;
+  algo.token_message_kinds = {"TOKEN"};
+  algo.needs_tree = false;
+  algo.factory = [](const proto::ClusterSpec& spec) {
+    std::vector<std::unique_ptr<proto::MutexNode>> nodes(
+        static_cast<std::size_t>(spec.n) + 1);
+    for (NodeId v = 1; v <= spec.n; ++v) {
+      nodes[static_cast<std::size_t>(v)] = std::make_unique<SkNode>(
+          v, spec.n, v == spec.initial_token_holder);
+    }
+    return nodes;
+  };
+  return algo;
+}
+
+}  // namespace dmx::baselines

@@ -1,0 +1,86 @@
+// Suzuki–Kasami broadcast token algorithm (§2.4).
+//
+// A requester broadcasts REQUEST(sn) to all other nodes; the token is an
+// explicit object carrying LN[1..N] (the sequence number of each node's
+// last satisfied request) and a FIFO queue of nodes with outstanding
+// requests. N-1 REQUEST messages plus one TOKEN transfer per entry (zero
+// when the requester already holds the token).
+#pragma once
+
+#include <deque>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+
+namespace dmx::baselines {
+
+class SkRequestMessage final : public net::Message {
+ public:
+  explicit SkRequestMessage(int sequence) : sequence_(sequence) {}
+  int sequence() const { return sequence_; }
+  std::string_view kind() const override { return "REQUEST"; }
+  std::size_t payload_bytes() const override { return sizeof(int); }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "REQUEST(sn=" << sequence_ << ")";
+    return oss.str();
+  }
+
+ private:
+  int sequence_;
+};
+
+/// The explicit token: LN array plus the token-resident queue — the data
+/// structure whose absence is Neilsen's storage-overhead claim (§6.4).
+struct SkToken {
+  std::vector<int> last_granted;  // LN[1..n]; index 0 unused
+  std::deque<NodeId> queue;
+};
+
+class SkTokenMessage final : public net::Message {
+ public:
+  explicit SkTokenMessage(SkToken token) : token_(std::move(token)) {}
+  const SkToken& token() const { return token_; }
+  SkToken take() && { return std::move(token_); }
+  std::string_view kind() const override { return "TOKEN"; }
+  std::size_t payload_bytes() const override {
+    return (token_.last_granted.size() - 1) * sizeof(int) +
+           token_.queue.size() * sizeof(NodeId);
+  }
+
+ private:
+  SkToken token_;
+};
+
+class SkNode final : public proto::MutexNode {
+ public:
+  SkNode(NodeId self, int n, bool is_initial_holder);
+
+  void request_cs(proto::Context& ctx) override;
+  void release_cs(proto::Context& ctx) override;
+  void on_message(proto::Context& ctx, NodeId from,
+                  const net::Message& message) override;
+  bool has_token() const override { return has_token_; }
+  std::size_t state_bytes() const override;
+  std::string debug_state() const override;
+
+  int request_number(NodeId j) const {
+    return rn_[static_cast<std::size_t>(j)];
+  }
+
+ private:
+  NodeId self_;
+  int n_;
+  std::vector<int> rn_;  // RN[1..n], highest request number seen per node
+  bool has_token_ = false;
+  SkToken token_;        // valid only while has_token_
+  bool waiting_ = false;
+  bool in_cs_ = false;
+};
+
+proto::Algorithm make_suzuki_kasami_algorithm();
+
+}  // namespace dmx::baselines

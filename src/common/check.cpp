@@ -1,0 +1,15 @@
+#include "common/check.hpp"
+
+namespace dmx::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream oss;
+  oss << "DMX_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " — " << message;
+  }
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace dmx::detail

@@ -1,0 +1,37 @@
+// Always-on invariant checks.
+//
+// Protocol code asserts its preconditions and internal invariants with
+// DMX_CHECK; violations indicate a bug in the algorithm implementation (or
+// a caller breaking the paper's assumptions, e.g. issuing two outstanding
+// requests from one node) and abort with a diagnostic. These stay enabled
+// in release builds: correctness of a mutual-exclusion protocol is the
+// product, not a debugging aid.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dmx::detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace dmx::detail
+
+#define DMX_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::dmx::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                \
+  } while (false)
+
+#define DMX_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream dmx_check_oss;                              \
+      dmx_check_oss << msg;                                          \
+      ::dmx::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                  dmx_check_oss.str());              \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace dmx {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  DMX_CHECK(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>(next());
+  }
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~range + 1) % range;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) {
+      return lo + static_cast<std::int64_t>(r % range);
+    }
+  }
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  DMX_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::exponential(double mean) {
+  DMX_CHECK(mean > 0.0);
+  // Inverse CDF; guard against log(0).
+  double u = uniform01();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log1p(-u);
+}
+
+bool Rng::chance(double p) {
+  DMX_CHECK(p >= 0.0 && p <= 1.0);
+  return uniform01() < p;
+}
+
+Rng Rng::split() {
+  return Rng(next() ^ 0xa0761d6478bd642fULL);
+}
+
+}  // namespace dmx

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// We implement xoshiro256** seeded via SplitMix64 rather than relying on
+// std::mt19937 + std:: distributions, because the standard distributions
+// are not guaranteed to produce identical streams across standard-library
+// implementations. Experiment reproducibility (same seed -> same trace on
+// any platform) is a hard requirement for the benches in EXPERIMENTS.md.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace dmx {
+
+/// xoshiro256** PRNG with SplitMix64 seeding. Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises the state from a single 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniform_real(double lo, double hi);
+
+  /// Exponentially distributed real with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with probability p in [0, 1].
+  bool chance(double p);
+
+  /// Forks an independent generator; deterministic given this one's state.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dmx

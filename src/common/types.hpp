@@ -1,0 +1,21 @@
+// Fundamental vocabulary types shared by every dagmx subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace dmx {
+
+/// Identifier of a node in the system. The paper numbers nodes 1..N and
+/// uses 0 as the nil pointer value for NEXT/FOLLOW, so we keep that
+/// convention: valid ids are >= 1 and kNilNode (0) means "no node".
+using NodeId = std::int32_t;
+
+/// The nil node id (the paper's "0" value for NEXT and FOLLOW).
+inline constexpr NodeId kNilNode = 0;
+
+/// Virtual time in the discrete-event simulator, in abstract ticks.
+/// Benches use a fixed per-hop latency so tick deltas convert directly to
+/// message-hop counts (the unit Chapter 6 reports results in).
+using Tick = std::int64_t;
+
+}  // namespace dmx

@@ -1,0 +1,35 @@
+#include "core/algorithm.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "core/neilsen_node.hpp"
+
+namespace dmx::core {
+
+proto::Algorithm make_neilsen_algorithm() {
+  proto::Algorithm algo;
+  algo.name = "Neilsen";
+  algo.token_based = true;
+  algo.token_message_kinds = {"PRIVILEGE"};
+  algo.needs_tree = true;
+  algo.factory = [](const proto::ClusterSpec& spec) {
+    DMX_CHECK_MSG(spec.tree != nullptr, "Neilsen requires a logical tree");
+    DMX_CHECK(spec.tree->size() == spec.n);
+    DMX_CHECK(spec.initial_token_holder >= 1 &&
+              spec.initial_token_holder <= spec.n);
+    const std::vector<NodeId> next =
+        spec.tree->next_pointers_toward(spec.initial_token_holder);
+    std::vector<std::unique_ptr<proto::MutexNode>> nodes(
+        static_cast<std::size_t>(spec.n) + 1);
+    for (NodeId v = 1; v <= spec.n; ++v) {
+      const bool holder = v == spec.initial_token_holder;
+      nodes[static_cast<std::size_t>(v)] = std::make_unique<NeilsenNode>(
+          next[static_cast<std::size_t>(v)], holder);
+    }
+    return nodes;
+  };
+  return algo;
+}
+
+}  // namespace dmx::core

@@ -1,0 +1,13 @@
+// Registry descriptor for the Neilsen DAG algorithm.
+#pragma once
+
+#include "proto/algorithm.hpp"
+
+namespace dmx::core {
+
+/// Neilsen–Mizuno DAG algorithm, pre-initialized from the cluster spec's
+/// logical tree with NEXT pointers oriented toward the initial token
+/// holder (the state the Figure 5 INIT procedure establishes).
+proto::Algorithm make_neilsen_algorithm();
+
+}  // namespace dmx::core

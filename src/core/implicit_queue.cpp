@@ -1,0 +1,36 @@
+#include "core/implicit_queue.hpp"
+
+#include "common/check.hpp"
+
+namespace dmx::core {
+
+NodeId find_token_holder(const NodeView& nodes) {
+  NodeId holder = kNilNode;
+  for (NodeId v = 1; v < static_cast<NodeId>(nodes.size()); ++v) {
+    if (nodes[static_cast<std::size_t>(v)]->has_token()) {
+      DMX_CHECK_MSG(holder == kNilNode,
+                    "two token holders: " << holder << " and " << v);
+      holder = v;
+    }
+  }
+  return holder;
+}
+
+std::vector<NodeId> deduce_waiting_queue(const NodeView& nodes,
+                                         NodeId holder) {
+  DMX_CHECK(holder >= 1 && holder < static_cast<NodeId>(nodes.size()));
+  std::vector<NodeId> queue;
+  std::vector<bool> seen(nodes.size(), false);
+  seen[static_cast<std::size_t>(holder)] = true;
+  NodeId cur = nodes[static_cast<std::size_t>(holder)]->follow();
+  while (cur != kNilNode) {
+    DMX_CHECK_MSG(!seen[static_cast<std::size_t>(cur)],
+                  "FOLLOW chain cycles through node " << cur);
+    seen[static_cast<std::size_t>(cur)] = true;
+    queue.push_back(cur);
+    cur = nodes[static_cast<std::size_t>(cur)]->follow();
+  }
+  return queue;
+}
+
+}  // namespace dmx::core

@@ -1,0 +1,32 @@
+// Deduction of the implicit distributed waiting queue.
+//
+// The paper's headline structural property (Abstract, Chapter 3): "no node
+// or message explicitly holds a waiting queue of pending requests. The
+// queue is maintained implicitly ... at any given time, the queue may be
+// constructed by observing the states of the nodes." This module performs
+// that observation: starting from the token holder, follow FOLLOW
+// pointers to enumerate the nodes that will receive the token, in order.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/neilsen_node.hpp"
+
+namespace dmx::core {
+
+/// View over all protocol nodes; index 0 unused, 1..n populated.
+using NodeView = std::vector<const NeilsenNode*>;
+
+/// Returns the id of the node currently possessing the token, or kNilNode
+/// if the token is in flight (inside a PRIVILEGE message).
+NodeId find_token_holder(const NodeView& nodes);
+
+/// Reconstructs the waiting queue by walking FOLLOW pointers starting at
+/// `holder` (typically find_token_holder()). The returned sequence lists
+/// the nodes that will be granted the token after the holder, in grant
+/// order. Checks against cycles (which would indicate a protocol bug).
+std::vector<NodeId> deduce_waiting_queue(const NodeView& nodes,
+                                         NodeId holder);
+
+}  // namespace dmx::core

@@ -1,0 +1,120 @@
+#include "core/invariants.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+namespace dmx::core {
+namespace {
+
+/// Union-find over node ids 1..n.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n + 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  /// Returns false if a and b were already connected (a cycle).
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+InvariantReport fail(const std::string& what) { return {false, what}; }
+
+}  // namespace
+
+InvariantReport check_next_forest(const NodeView& nodes) {
+  const std::size_t n = nodes.size() - 1;
+  DisjointSets sets(n);
+  for (NodeId v = 1; v <= static_cast<NodeId>(n); ++v) {
+    const NodeId next = nodes[static_cast<std::size_t>(v)]->next();
+    if (next == kNilNode) continue;
+    if (!sets.unite(static_cast<std::size_t>(v),
+                    static_cast<std::size_t>(next))) {
+      std::ostringstream oss;
+      oss << "NEXT edge " << v << " -> " << next
+          << " closes a cycle in the undirected NEXT graph";
+      return fail(oss.str());
+    }
+  }
+  return {};
+}
+
+InvariantReport check_paths_reach_sink(const NodeView& nodes) {
+  const auto n = static_cast<NodeId>(nodes.size() - 1);
+  for (NodeId v = 1; v <= n; ++v) {
+    NodeId cur = v;
+    int steps = 0;
+    while (nodes[static_cast<std::size_t>(cur)]->next() != kNilNode) {
+      cur = nodes[static_cast<std::size_t>(cur)]->next();
+      if (++steps >= n) {
+        std::ostringstream oss;
+        oss << "NEXT path from node " << v << " does not reach a sink within "
+            << n << " steps (Lemma 2 violated)";
+        return fail(oss.str());
+      }
+    }
+  }
+  return {};
+}
+
+InvariantReport check_sink_count(const NodeView& nodes,
+                                 std::size_t in_flight_requests) {
+  std::size_t sinks = 0;
+  for (std::size_t v = 1; v < nodes.size(); ++v) {
+    if (nodes[v]->is_sink()) ++sinks;
+  }
+  if (sinks < 1) {
+    return fail("no sink node in the system");
+  }
+  if (sinks > in_flight_requests + 1) {
+    std::ostringstream oss;
+    oss << sinks << " sinks with only " << in_flight_requests
+        << " REQUEST messages in transit";
+    return fail(oss.str());
+  }
+  return {};
+}
+
+InvariantReport check_sink_states(const NodeView& nodes) {
+  for (std::size_t v = 1; v < nodes.size(); ++v) {
+    const NeilsenNode& node = *nodes[v];
+    if (!node.is_sink()) continue;
+    // Lemma 1: a sink holds the token (states H, E, EF) or has its own
+    // request outstanding (states R, RF). A sink in state N would strand
+    // requests forwarded to it.
+    if (node.state_label() == "N") {
+      std::ostringstream oss;
+      oss << "node " << v << " is a sink but idle without the token";
+      return fail(oss.str());
+    }
+  }
+  return {};
+}
+
+InvariantReport check_all(const NodeView& nodes,
+                          std::size_t in_flight_requests) {
+  using CheckFn = InvariantReport (*)(const NodeView&);
+  for (CheckFn check_fn :
+       {&check_next_forest, &check_paths_reach_sink, &check_sink_states}) {
+    InvariantReport report = check_fn(nodes);
+    if (!report.ok) return report;
+  }
+  return check_sink_count(nodes, in_flight_requests);
+}
+
+}  // namespace dmx::core

@@ -1,0 +1,41 @@
+// Structural invariants of the Neilsen algorithm, checked continuously in
+// tests. These encode Lemma 1, Lemma 2 and the sink-count discussion of
+// Chapter 3 as executable predicates over a snapshot of node states plus
+// the number of in-flight REQUEST messages.
+#pragma once
+
+#include <string>
+
+#include "core/implicit_queue.hpp"
+
+namespace dmx::core {
+
+struct InvariantReport {
+  bool ok = true;
+  std::string violation;  // empty when ok
+};
+
+/// The undirected graph induced by NEXT pointers (edge v — NEXT_v for
+/// every non-sink v) is a forest. Chapter 5, assumption 2: "the acyclic
+/// structure is always preserved."
+InvariantReport check_next_forest(const NodeView& nodes);
+
+/// Lemma 2: from every node, following NEXT pointers terminates at a sink
+/// in fewer than N steps.
+InvariantReport check_paths_reach_sink(const NodeView& nodes);
+
+/// Chapter 3: with r REQUEST messages in transit there can be at most
+/// r + 1 sinks; in a quiescent system exactly one.
+InvariantReport check_sink_count(const NodeView& nodes,
+                                 std::size_t in_flight_requests);
+
+/// Lemma 1: a sink either holds the token (and FOLLOW may be set only if
+/// it is executing/waiting semantics permit) or has an outstanding own
+/// request. Concretely: a sink in state N (idle, not holding) is illegal.
+InvariantReport check_sink_states(const NodeView& nodes);
+
+/// Runs all of the above, returning the first violation found.
+InvariantReport check_all(const NodeView& nodes,
+                          std::size_t in_flight_requests);
+
+}  // namespace dmx::core

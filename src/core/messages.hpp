@@ -1,0 +1,55 @@
+// The three message types of the Neilsen DAG algorithm.
+//
+// Chapter 3: "Two types of messages, REQUEST and PRIVILEGE, are passed
+// between nodes." REQUEST(X, Y) carries the adjacent hop X and the
+// originating node Y (two integers — §6.4). PRIVILEGE is the token and
+// "needs no data structure". INITIALIZE(I) appears only during the
+// distributed initialization procedure of Figure 5.
+#pragma once
+
+#include <sstream>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace dmx::core {
+
+class RequestMessage final : public net::Message {
+ public:
+  /// REQUEST(X, Y): `hop` is the adjacent node the message came from (the
+  /// paper's X, rewritten at each forwarding step); `origin` is the node
+  /// whose critical-section request this is (the paper's Y, invariant
+  /// along the path).
+  RequestMessage(NodeId hop, NodeId origin) : hop_(hop), origin_(origin) {}
+
+  NodeId hop() const { return hop_; }
+  NodeId origin() const { return origin_; }
+
+  std::string_view kind() const override { return "REQUEST"; }
+  std::size_t payload_bytes() const override { return 2 * sizeof(NodeId); }
+  std::string describe() const override {
+    std::ostringstream oss;
+    oss << "REQUEST(" << hop_ << "," << origin_ << ")";
+    return oss.str();
+  }
+
+ private:
+  NodeId hop_;
+  NodeId origin_;
+};
+
+class PrivilegeMessage final : public net::Message {
+ public:
+  std::string_view kind() const override { return "PRIVILEGE"; }
+  std::size_t payload_bytes() const override { return 0; }
+};
+
+class InitializeMessage final : public net::Message {
+ public:
+  std::string_view kind() const override { return "INITIALIZE"; }
+  /// Carries the sender's id (delivered out of band as the envelope
+  /// sender); no additional payload.
+  std::size_t payload_bytes() const override { return 0; }
+};
+
+}  // namespace dmx::core

@@ -1,0 +1,181 @@
+#include "core/neilsen_node.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "core/messages.hpp"
+
+namespace dmx::core {
+
+NeilsenNode::NeilsenNode(NodeId initial_next, bool holding)
+    : initialized_(true), holding_(holding), next_(initial_next) {
+  // Exactly the holder is the sink initially (Chapter 3: "its NEXT
+  // variable points to 0").
+  DMX_CHECK_MSG(holding == (initial_next == kNilNode),
+                "initial sink and token holder must coincide");
+}
+
+NeilsenNode::NeilsenNode(std::vector<NodeId> neighbors,
+                         bool is_initial_holder)
+    : is_initial_holder_(is_initial_holder), neighbors_(std::move(neighbors)) {}
+
+NeilsenNode NeilsenNode::restore(bool holding, NodeId next, NodeId follow,
+                                 CsStatus cs) {
+  NeilsenNode node(std::vector<NodeId>{}, false);
+  node.initialized_ = true;
+  node.holding_ = holding;
+  node.next_ = next;
+  node.follow_ = follow;
+  node.cs_ = cs;
+  return node;
+}
+
+void NeilsenNode::start_init(proto::Context& ctx) {
+  DMX_CHECK_MSG(is_initial_holder_, "start_init on a non-holder node");
+  DMX_CHECK(!initialized_);
+  // Figure 5, holder branch.
+  initialized_ = true;
+  holding_ = true;
+  next_ = kNilNode;
+  follow_ = kNilNode;
+  for (NodeId neighbor : neighbors_) {
+    ctx.send(neighbor, std::make_unique<InitializeMessage>());
+  }
+}
+
+void NeilsenNode::handle_initialize(proto::Context& ctx, NodeId from) {
+  // Figure 5, non-holder branch. In a tree the INITIALIZE flood reaches
+  // each node exactly once.
+  DMX_CHECK_MSG(!initialized_, "duplicate INITIALIZE at node " << ctx.self());
+  initialized_ = true;
+  holding_ = false;
+  next_ = from;
+  follow_ = kNilNode;
+  for (NodeId neighbor : neighbors_) {
+    if (neighbor != from) {
+      ctx.send(neighbor, std::make_unique<InitializeMessage>());
+    }
+  }
+}
+
+void NeilsenNode::request_cs(proto::Context& ctx) {
+  DMX_CHECK_MSG(initialized_, "request before initialization");
+  DMX_CHECK_MSG(cs_ == CsStatus::kIdle,
+                "node " << ctx.self() << " already has an outstanding request");
+  // Procedure P1.
+  if (!holding_) {
+    // send REQUEST(I, I) to NEXT; NEXT := 0 — this node becomes the new
+    // sink (tail of the implicit queue) until a later request re-points it.
+    DMX_CHECK(next_ != kNilNode);
+    cs_ = CsStatus::kWaiting;
+    const NodeId to = next_;
+    next_ = kNilNode;
+    ctx.send(to, std::make_unique<RequestMessage>(ctx.self(), ctx.self()));
+    // "wait until PRIVILEGE message is received" — resumed in
+    // handle_privilege().
+    return;
+  }
+  // Already holding: HOLDING := false and enter immediately.
+  holding_ = false;
+  cs_ = CsStatus::kInCs;
+  ctx.grant();
+}
+
+void NeilsenNode::release_cs(proto::Context& ctx) {
+  DMX_CHECK_MSG(cs_ == CsStatus::kInCs,
+                "release without being in the critical section");
+  cs_ = CsStatus::kIdle;
+  // Tail of procedure P1: pass the token along the implicit queue, or
+  // retain it if nobody follows.
+  if (follow_ != kNilNode) {
+    const NodeId to = follow_;
+    follow_ = kNilNode;
+    ctx.send(to, std::make_unique<PrivilegeMessage>());
+  } else {
+    holding_ = true;
+  }
+}
+
+void NeilsenNode::handle_request(proto::Context& ctx, NodeId hop,
+                                 NodeId origin) {
+  // Procedure P2, on REQUEST(X, Y) from X.
+  if (next_ == kNilNode) {
+    // This node is a sink: the request reached the end of the path.
+    if (holding_) {
+      // Transition 8 (state H): hand the token straight to the origin.
+      holding_ = false;
+      ctx.send(origin, std::make_unique<PrivilegeMessage>());
+    } else {
+      // States R or E/EF-with-free-FOLLOW: enqueue the origin behind us.
+      // A sink saves at most one request (Theorem 1); a second request
+      // cannot arrive while FOLLOW is occupied because setting FOLLOW
+      // also makes this node a non-sink (NEXT := X below).
+      DMX_CHECK_MSG(follow_ == kNilNode,
+                    "sink " << ctx.self() << " already has FOLLOW set");
+      follow_ = origin;
+    }
+  } else {
+    // Intermediate node: forward on behalf of the origin, rewriting the
+    // hop field to ourselves.
+    ctx.send(next_, std::make_unique<RequestMessage>(ctx.self(), origin));
+  }
+  // In every case the edge to the requester flips toward the new sink.
+  next_ = hop;
+}
+
+void NeilsenNode::handle_privilege(proto::Context& ctx) {
+  DMX_CHECK_MSG(cs_ == CsStatus::kWaiting,
+                "PRIVILEGE at node " << ctx.self() << " which is not waiting");
+  DMX_CHECK(!holding_);
+  cs_ = CsStatus::kInCs;
+  ctx.grant();
+}
+
+void NeilsenNode::on_message(proto::Context& ctx, NodeId from,
+                             const net::Message& message) {
+  if (const auto* init = dynamic_cast<const InitializeMessage*>(&message)) {
+    (void)init;
+    handle_initialize(ctx, from);
+    return;
+  }
+  DMX_CHECK_MSG(initialized_, "protocol message before initialization");
+  if (const auto* req = dynamic_cast<const RequestMessage*>(&message)) {
+    DMX_CHECK_MSG(req->hop() == from,
+                  "REQUEST hop field " << req->hop()
+                                       << " does not match sender " << from);
+    handle_request(ctx, req->hop(), req->origin());
+    return;
+  }
+  if (dynamic_cast<const PrivilegeMessage*>(&message) != nullptr) {
+    handle_privilege(ctx);
+    return;
+  }
+  DMX_CHECK_MSG(false, "unexpected message kind " << message.kind());
+}
+
+bool NeilsenNode::has_token() const {
+  // Possession = HOLDING, or executing the critical section (P1 clears
+  // HOLDING before entering; the token stays here until release).
+  return holding_ || cs_ == CsStatus::kInCs;
+}
+
+std::size_t NeilsenNode::state_bytes() const {
+  // §6.4: "Each node maintains three simple variables."
+  return sizeof(bool) + 2 * sizeof(NodeId);
+}
+
+std::string NeilsenNode::state_label() const {
+  if (cs_ == CsStatus::kInCs) return follow_ == kNilNode ? "E" : "EF";
+  if (cs_ == CsStatus::kWaiting) return follow_ == kNilNode ? "R" : "RF";
+  return holding_ ? "H" : "N";
+}
+
+std::string NeilsenNode::debug_state() const {
+  std::ostringstream oss;
+  oss << "HOLDING=" << (holding_ ? 't' : 'f') << " NEXT=" << next_
+      << " FOLLOW=" << follow_ << " [" << state_label() << "]";
+  return oss.str();
+}
+
+}  // namespace dmx::core

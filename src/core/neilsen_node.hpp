@@ -1,0 +1,92 @@
+// The Neilsen–Mizuno DAG-based distributed mutual exclusion algorithm.
+//
+// Faithful implementation of Figure 3 of the paper, restructured from the
+// blocking pseudo-code (procedures P1/P2) into the event-driven MutexNode
+// interface. Each node keeps exactly the paper's three variables:
+//
+//   HOLDING — this node holds the token and no request is pending for it;
+//   NEXT    — the neighbour on the path along which requests are forwarded
+//             (0 = this node is a sink);
+//   FOLLOW  — the node to pass the token to after this node's own use
+//             (0 = nobody queued behind this node).
+//
+// The six states of Figure 4 (N, R, RF, E, EF, H) correspond to:
+//   N  : !holding, idle,    follow==0        (next != 0)
+//   R  : !holding, waiting, follow==0, sink
+//   RF : !holding, waiting, follow!=0        (non-sink; NEXT was rewritten)
+//   E  : in CS,             follow==0
+//   EF : in CS,             follow!=0
+//   H  : holding, idle,     sink
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/mutex_node.hpp"
+
+namespace dmx::core {
+
+class NeilsenNode final : public proto::MutexNode {
+ public:
+  /// Application-visible critical-section status.
+  enum class CsStatus { kIdle, kWaiting, kInCs };
+
+  /// Pre-initialized construction (the state Figure 5 would establish):
+  /// `initial_next` is the neighbour toward the token holder, or kNilNode
+  /// if this node is the holder, in which case `holding` must be true.
+  NeilsenNode(NodeId initial_next, bool holding);
+
+  /// Uninitialized construction for the distributed INIT procedure
+  /// (Figure 5). `neighbors` are this node's logical-tree neighbours.
+  /// The designated holder must be driven with start_init(); all others
+  /// initialize upon their first INITIALIZE message.
+  NeilsenNode(std::vector<NodeId> neighbors, bool is_initial_holder);
+
+  /// Figure 5, holder branch: set variables and flood INITIALIZE to all
+  /// neighbours. Only valid on the node constructed as initial holder.
+  void start_init(proto::Context& ctx);
+
+  /// Reconstructs a node in an arbitrary mid-protocol state. Exists for
+  /// the exhaustive model checker (src/modelcheck), which snapshots and
+  /// restores node states while exploring every interleaving; the
+  /// restored node runs the exact same handler code as live nodes.
+  static NeilsenNode restore(bool holding, NodeId next, NodeId follow,
+                             CsStatus cs);
+
+  // MutexNode interface ----------------------------------------------------
+  void request_cs(proto::Context& ctx) override;
+  void release_cs(proto::Context& ctx) override;
+  void on_message(proto::Context& ctx, NodeId from,
+                  const net::Message& message) override;
+  bool has_token() const override;
+  std::size_t state_bytes() const override;
+  std::string debug_state() const override;
+
+  // Introspection used by invariant checks, traces and the paper-example
+  // tests ------------------------------------------------------------------
+  bool holding() const { return holding_; }
+  NodeId next() const { return next_; }
+  NodeId follow() const { return follow_; }
+  bool is_sink() const { return next_ == kNilNode; }
+  bool initialized() const { return initialized_; }
+  CsStatus cs_status() const { return cs_; }
+
+  /// Figure 4 state label ("N", "R", "RF", "E", "EF" or "H").
+  std::string state_label() const;
+
+ private:
+  void handle_request(proto::Context& ctx, NodeId hop, NodeId origin);
+  void handle_privilege(proto::Context& ctx);
+  void handle_initialize(proto::Context& ctx, NodeId from);
+
+  bool initialized_ = false;
+  bool holding_ = false;
+  NodeId next_ = kNilNode;
+  NodeId follow_ = kNilNode;
+  CsStatus cs_ = CsStatus::kIdle;
+  bool is_initial_holder_ = false;          // INIT protocol only
+  std::vector<NodeId> neighbors_;           // INIT protocol only
+};
+
+}  // namespace dmx::core

@@ -1,0 +1,176 @@
+#include "harness/cluster.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dmx::harness {
+
+/// Per-node adapter implementing the protocol's view of the world.
+class Cluster::NodeContext final : public proto::Context {
+ public:
+  NodeContext(Cluster& cluster, NodeId self)
+      : cluster_(cluster), self_(self) {}
+
+  NodeId self() const override { return self_; }
+  int cluster_size() const override { return cluster_.size(); }
+  void send(NodeId to, net::MessagePtr message) override {
+    cluster_.network_->send(self_, to, std::move(message));
+  }
+  void grant() override { cluster_.on_grant(self_); }
+
+ private:
+  Cluster& cluster_;
+  NodeId self_;
+};
+
+Cluster::Cluster(const proto::Algorithm& algorithm, ClusterConfig config)
+    : algorithm_(algorithm), config_(std::move(config)) {
+  DMX_CHECK(config_.n >= 1);
+  if (algorithm_.needs_tree) {
+    DMX_CHECK_MSG(config_.tree.has_value(),
+                  algorithm_.name << " requires a logical tree");
+    DMX_CHECK(config_.tree->size() == config_.n);
+  }
+
+  std::unique_ptr<net::LatencyModel> latency =
+      config_.latency_model
+          ? std::move(config_.latency_model)
+          : std::make_unique<net::FixedLatency>(config_.fixed_latency);
+  network_ = std::make_unique<net::Network>(sim_, config_.n,
+                                            std::move(latency), config_.seed);
+  network_->set_delivery_handler(
+      [this](const net::Envelope& env) { deliver(env); });
+
+  proto::ClusterSpec spec;
+  spec.n = config_.n;
+  spec.initial_token_holder = config_.initial_token_holder;
+  spec.tree = config_.tree.has_value() ? &*config_.tree : nullptr;
+  spec.seed = config_.seed;
+  nodes_ = algorithm_.factory(spec);
+  DMX_CHECK_MSG(nodes_.size() == static_cast<std::size_t>(config_.n) + 1,
+                "factory must return n+1 slots (index 0 unused)");
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    DMX_CHECK(nodes_[static_cast<std::size_t>(v)] != nullptr);
+    contexts_.push_back(std::make_unique<NodeContext>(*this, v));
+  }
+  app_state_.assign(static_cast<std::size_t>(config_.n) + 1, AppState::kIdle);
+  grant_callbacks_.assign(static_cast<std::size_t>(config_.n) + 1, nullptr);
+  check_invariants();
+}
+
+Cluster::~Cluster() = default;
+
+proto::MutexNode& Cluster::node(NodeId v) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  return *nodes_[static_cast<std::size_t>(v)];
+}
+
+const proto::MutexNode& Cluster::node(NodeId v) const {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  return *nodes_[static_cast<std::size_t>(v)];
+}
+
+proto::Context& Cluster::context(NodeId v) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  return *contexts_[static_cast<std::size_t>(v) - 1];
+}
+
+void Cluster::request_cs(NodeId v, std::function<void(NodeId)> on_grant) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  DMX_CHECK_MSG(app_state_[static_cast<std::size_t>(v)] == AppState::kIdle,
+                "node " << v << " already requesting or in CS");
+  app_state_[static_cast<std::size_t>(v)] = AppState::kWaiting;
+  grant_callbacks_[static_cast<std::size_t>(v)] = std::move(on_grant);
+  if (log_events_) {
+    events_.push_back({sim_.now(), v, CsEvent::Kind::kRequest});
+  }
+  node(v).request_cs(*contexts_[static_cast<std::size_t>(v) - 1]);
+  check_invariants();
+}
+
+void Cluster::on_grant(NodeId v) {
+  DMX_CHECK_MSG(app_state_[static_cast<std::size_t>(v)] == AppState::kWaiting,
+                "grant for node " << v << " which is not waiting");
+  DMX_CHECK_MSG(occupant_ == kNilNode,
+                "mutual exclusion violated: node "
+                    << v << " granted while node " << occupant_
+                    << " is inside its critical section");
+  app_state_[static_cast<std::size_t>(v)] = AppState::kInCs;
+  occupant_ = v;
+  ++entries_;
+  if (log_events_) {
+    events_.push_back({sim_.now(), v, CsEvent::Kind::kEnter});
+  }
+  // Take the callback by move so a new request from within it is safe.
+  auto callback = std::move(grant_callbacks_[static_cast<std::size_t>(v)]);
+  grant_callbacks_[static_cast<std::size_t>(v)] = nullptr;
+  if (callback) callback(v);
+}
+
+void Cluster::release_cs(NodeId v) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  DMX_CHECK_MSG(occupant_ == v, "release by node " << v
+                                                   << " but occupant is "
+                                                   << occupant_);
+  app_state_[static_cast<std::size_t>(v)] = AppState::kIdle;
+  occupant_ = kNilNode;
+  if (log_events_) {
+    events_.push_back({sim_.now(), v, CsEvent::Kind::kExit});
+  }
+  node(v).release_cs(*contexts_[static_cast<std::size_t>(v) - 1]);
+  check_invariants();
+}
+
+void Cluster::hold_and_release(NodeId v, Tick hold_ticks,
+                               std::function<void(NodeId)> after_release) {
+  DMX_CHECK(hold_ticks >= 0);
+  request_cs(v, [this, hold_ticks,
+                 after_release = std::move(after_release)](NodeId entered) {
+    sim_.schedule_after(hold_ticks,
+                        [this, entered, after_release]() {
+                          release_cs(entered);
+                          if (after_release) after_release(entered);
+                        });
+  });
+}
+
+bool Cluster::is_waiting(NodeId v) const {
+  return app_state_[static_cast<std::size_t>(v)] == AppState::kWaiting;
+}
+
+bool Cluster::is_in_cs(NodeId v) const {
+  return app_state_[static_cast<std::size_t>(v)] == AppState::kInCs;
+}
+
+void Cluster::set_post_event_hook(std::function<void(Cluster&)> hook) {
+  post_event_hook_ = std::move(hook);
+}
+
+void Cluster::check_invariants() {
+  // Safety: at most one CS occupant is structural (on_grant checks);
+  // verify token uniqueness for token-based algorithms.
+  if (algorithm_.token_based) {
+    std::size_t tokens = 0;
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      if (node(v).has_token()) ++tokens;
+    }
+    for (const std::string& kind : algorithm_.token_message_kinds) {
+      tokens += network_->in_flight_count(kind);
+    }
+    DMX_CHECK_MSG(tokens == 1, "token count is " << tokens
+                                                 << " (must be exactly 1)");
+  }
+  if (post_event_hook_) post_event_hook_(*this);
+}
+
+void Cluster::deliver(const net::Envelope& env) {
+  DMX_CHECK(env.to >= 1 && env.to <= config_.n);
+  node(env.to).on_message(*contexts_[static_cast<std::size_t>(env.to) - 1],
+                          env.from, *env.message);
+  check_invariants();
+}
+
+void Cluster::run_to_quiescence() { sim_.run(); }
+
+}  // namespace dmx::harness

@@ -1,0 +1,136 @@
+// Simulation harness: instantiates an algorithm's nodes over the
+// deterministic simulator + network, drives application-level
+// request/release, and checks safety invariants after every event.
+//
+// Invariants enforced continuously (violations throw):
+//  * at most one node inside its critical section;
+//  * for token-based algorithms, exactly one token in the system, counting
+//    both resident tokens (MutexNode::has_token) and in-flight token
+//    messages (Algorithm::token_message_kinds).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+#include "sim/simulator.hpp"
+#include "topology/tree.hpp"
+
+namespace dmx::harness {
+
+struct ClusterConfig {
+  int n = 0;
+  NodeId initial_token_holder = 1;
+  /// Logical tree for path-forwarding algorithms; required when the
+  /// algorithm declares needs_tree.
+  std::optional<topology::Tree> tree;
+  /// Per-hop latency in ticks when no custom model is given. With the
+  /// default of 1 tick, elapsed virtual time equals sequential message
+  /// hops — the unit Chapter 6 uses.
+  Tick fixed_latency = 1;
+  /// Optional custom latency model (overrides fixed_latency).
+  std::unique_ptr<net::LatencyModel> latency_model;
+  std::uint64_t seed = 1;
+};
+
+/// Application-level critical-section events, for delay analyses.
+struct CsEvent {
+  enum class Kind { kRequest, kEnter, kExit };
+  Tick at = 0;
+  NodeId node = kNilNode;
+  Kind kind = Kind::kRequest;
+};
+
+class Cluster {
+ public:
+  Cluster(const proto::Algorithm& algorithm, ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int size() const { return config_.n; }
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *network_; }
+  const proto::Algorithm& algorithm() const { return algorithm_; }
+
+  proto::MutexNode& node(NodeId v);
+  const proto::MutexNode& node(NodeId v) const;
+
+  /// The protocol-facing context of node `v` (for driving algorithm-
+  /// specific entry points such as NeilsenNode::start_init).
+  proto::Context& context(NodeId v);
+
+  /// Typed access to a node for algorithm-specific introspection.
+  template <typename T>
+  T& node_as(NodeId v) {
+    auto* typed = dynamic_cast<T*>(&node(v));
+    DMX_CHECK_MSG(typed != nullptr, "node has unexpected concrete type");
+    return *typed;
+  }
+
+  /// Issues a critical-section request for node `v`. `on_grant` (optional)
+  /// fires when the node enters its CS — possibly synchronously. The
+  /// caller must eventually release_cs(v) (or use hold_and_release).
+  void request_cs(NodeId v, std::function<void(NodeId)> on_grant = nullptr);
+
+  /// Node `v` leaves its critical section.
+  void release_cs(NodeId v);
+
+  /// Convenience: request, then hold the CS for `hold_ticks` once entered,
+  /// then release; `after_release` (optional) fires after the release.
+  void hold_and_release(NodeId v, Tick hold_ticks,
+                        std::function<void(NodeId)> after_release = nullptr);
+
+  bool is_waiting(NodeId v) const;
+  bool is_in_cs(NodeId v) const;
+  /// Node currently inside the critical section, or kNilNode.
+  NodeId cs_occupant() const { return occupant_; }
+
+  std::uint64_t total_entries() const { return entries_; }
+
+  /// CS event log (request/enter/exit), in virtual-time order. Enabled by
+  /// default; disable for very long runs.
+  const std::vector<CsEvent>& events() const { return events_; }
+  void set_event_logging(bool enabled) { log_events_ = enabled; }
+
+  /// Extra per-event invariant hook (e.g. core::check_all); runs after the
+  /// built-in checks. Receives this cluster.
+  void set_post_event_hook(std::function<void(Cluster&)> hook);
+
+  /// Runs the built-in invariant checks once, immediately.
+  void check_invariants();
+
+  /// Drains all pending simulator events (the system quiesces when no
+  /// requests are outstanding).
+  void run_to_quiescence();
+
+ private:
+  class NodeContext;
+
+  void on_grant(NodeId v);
+  void deliver(const net::Envelope& env);
+
+  proto::Algorithm algorithm_;
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<proto::MutexNode>> nodes_;  // 1..n
+  std::vector<std::unique_ptr<NodeContext>> contexts_;    // 1..n
+
+  enum class AppState { kIdle, kWaiting, kInCs };
+  std::vector<AppState> app_state_;                       // 1..n
+  std::vector<std::function<void(NodeId)>> grant_callbacks_;  // 1..n
+  NodeId occupant_ = kNilNode;
+  std::uint64_t entries_ = 0;
+  bool log_events_ = true;
+  std::vector<CsEvent> events_;
+  std::function<void(Cluster&)> post_event_hook_;
+};
+
+}  // namespace dmx::harness

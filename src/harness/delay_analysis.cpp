@@ -1,0 +1,102 @@
+#include "harness/delay_analysis.hpp"
+
+#include <map>
+#include <optional>
+
+namespace dmx::harness {
+
+metrics::Summary waiting_times(const std::vector<CsEvent>& events) {
+  metrics::Summary summary;
+  std::map<NodeId, Tick> requested_at;
+  for (const CsEvent& event : events) {
+    switch (event.kind) {
+      case CsEvent::Kind::kRequest:
+        requested_at[event.node] = event.at;
+        break;
+      case CsEvent::Kind::kEnter: {
+        auto it = requested_at.find(event.node);
+        if (it != requested_at.end()) {
+          summary.add(static_cast<double>(event.at - it->second));
+          requested_at.erase(it);
+        }
+        break;
+      }
+      case CsEvent::Kind::kExit:
+        break;
+    }
+  }
+  return summary;
+}
+
+metrics::Summary synchronization_delays(const std::vector<CsEvent>& events) {
+  metrics::Summary summary;
+  std::map<NodeId, Tick> requested_at;
+  std::optional<Tick> pending_exit;
+  for (const CsEvent& event : events) {
+    switch (event.kind) {
+      case CsEvent::Kind::kRequest:
+        requested_at[event.node] = event.at;
+        break;
+      case CsEvent::Kind::kExit:
+        pending_exit = event.at;
+        break;
+      case CsEvent::Kind::kEnter: {
+        auto it = requested_at.find(event.node);
+        if (pending_exit.has_value() && it != requested_at.end() &&
+            it->second <= *pending_exit) {
+          summary.add(static_cast<double>(event.at - *pending_exit));
+        }
+        pending_exit.reset();
+        if (it != requested_at.end()) requested_at.erase(it);
+        break;
+      }
+    }
+  }
+  return summary;
+}
+
+metrics::Summary bypass_counts(const std::vector<CsEvent>& events) {
+  struct Entry {
+    Tick requested_at = 0;
+    Tick entered_at = 0;
+  };
+  std::vector<Entry> entries;
+  std::map<NodeId, Tick> requested_at;
+  for (const CsEvent& event : events) {
+    if (event.kind == CsEvent::Kind::kRequest) {
+      requested_at[event.node] = event.at;
+    } else if (event.kind == CsEvent::Kind::kEnter) {
+      auto it = requested_at.find(event.node);
+      if (it != requested_at.end()) {
+        entries.push_back({it->second, event.at});
+        requested_at.erase(it);
+      }
+    }
+  }
+  metrics::Summary summary;
+  for (const Entry& mine : entries) {
+    int bypasses = 0;
+    for (const Entry& other : entries) {
+      if (other.requested_at > mine.requested_at &&
+          other.entered_at < mine.entered_at) {
+        ++bypasses;
+      }
+    }
+    summary.add(static_cast<double>(bypasses));
+  }
+  return summary;
+}
+
+std::vector<double> entries_per_node(const std::vector<CsEvent>& events,
+                                     int n) {
+  std::vector<double> counts(static_cast<std::size_t>(n) + 1, 0.0);
+  for (const CsEvent& event : events) {
+    if (event.kind == CsEvent::Kind::kEnter && event.node >= 1 &&
+        event.node <= n) {
+      counts[static_cast<std::size_t>(event.node)] += 1.0;
+    }
+  }
+  return counts;
+}
+
+}  // namespace dmx::harness

@@ -1,0 +1,38 @@
+#include "harness/probe.hpp"
+
+#include "common/check.hpp"
+
+namespace dmx::harness {
+
+void park_token_at(Cluster& cluster, NodeId target) {
+  cluster.run_to_quiescence();
+  cluster.hold_and_release(target, 0);
+  cluster.run_to_quiescence();
+  if (cluster.algorithm().token_based) {
+    DMX_CHECK_MSG(cluster.node(target).has_token(),
+                  "token did not come to rest at node " << target);
+  }
+}
+
+ProbeResult single_entry_probe(Cluster& cluster, NodeId requester,
+                               Tick hold_ticks) {
+  cluster.run_to_quiescence();
+  cluster.network().reset_stats();
+
+  ProbeResult result;
+  const Tick started_at = cluster.simulator().now();
+  bool entered = false;
+  cluster.request_cs(requester, [&](NodeId v) {
+    entered = true;
+    result.messages_to_enter = cluster.network().stats().total_sent;
+    result.ticks_to_enter = cluster.simulator().now() - started_at;
+    cluster.simulator().schedule_after(hold_ticks,
+                                       [&cluster, v] { cluster.release_cs(v); });
+  });
+  cluster.run_to_quiescence();
+  DMX_CHECK_MSG(entered, "probe request was never granted");
+  result.messages_total = cluster.network().stats().total_sent;
+  return result;
+}
+
+}  // namespace dmx::harness

@@ -1,0 +1,39 @@
+// Single-entry measurement probes.
+//
+// Chapter 6 states per-entry message counts for specific placements of the
+// requester and the token (e.g. "requesting node and sink node at opposite
+// ends of the longest path"). A probe quiesces the system, optionally
+// parks the token at a chosen node, zeroes the network counters, performs
+// exactly one request/enter/release cycle and reports what it cost.
+#pragma once
+
+#include "common/types.hpp"
+#include "harness/cluster.hpp"
+
+namespace dmx::harness {
+
+struct ProbeResult {
+  /// Messages sent from the request until the node entered its CS.
+  std::uint64_t messages_to_enter = 0;
+  /// Messages sent from the request until the system quiesced after the
+  /// release (includes release-time traffic such as RELEASE broadcasts —
+  /// the paper accounts these to the entry too).
+  std::uint64_t messages_total = 0;
+  /// Virtual ticks from request to entry (with unit latency: sequential
+  /// message hops on the critical path).
+  Tick ticks_to_enter = 0;
+};
+
+/// Parks the token at `target` by running one uncounted entry/release
+/// cycle there and draining the system. For assertion-based algorithms
+/// this simply makes `target` the most recent entrant (which is the
+/// analogous "favourable placement" notion, e.g. for Carvalho–Roucairol's
+/// retained permissions).
+void park_token_at(Cluster& cluster, NodeId target);
+
+/// Runs one complete measured entry from `requester`, holding the CS for
+/// `hold_ticks`. The system must be quiescent (no outstanding requests).
+ProbeResult single_entry_probe(Cluster& cluster, NodeId requester,
+                               Tick hold_ticks = 0);
+
+}  // namespace dmx::harness

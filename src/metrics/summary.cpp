@@ -1,0 +1,77 @@
+#include "metrics/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dmx::metrics {
+
+void Summary::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+std::string Summary::to_string() const {
+  std::ostringstream oss;
+  oss << "mean=" << mean() << " min=" << min() << " max=" << max()
+      << " n=" << count();
+  return oss.str();
+}
+
+double jain_fairness_index(const std::vector<double>& allocations) {
+  if (allocations.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) /
+         (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  DMX_CHECK(hi > lo);
+  DMX_CHECK(buckets >= 1);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += 1;
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  DMX_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      return lo_ + width_ * static_cast<double>(i + 1);
+    }
+  }
+  return lo_ + width_ * static_cast<double>(counts_.size());
+}
+
+}  // namespace dmx::metrics

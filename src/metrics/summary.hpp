@@ -1,0 +1,61 @@
+// Streaming summary statistics (Welford) and fixed-bucket histograms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dmx::metrics {
+
+/// Numerically stable streaming mean/variance/min/max.
+class Summary {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double variance() const;
+  double stddev() const;
+
+  /// "mean=1.23 min=1 max=2 n=42"
+  std::string to_string() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Jain's fairness index over per-participant allocation counts:
+/// (sum x)^2 / (n * sum x^2). 1.0 = perfectly even, 1/n = one participant
+/// got everything. Returns 1.0 for empty input.
+double jain_fairness_index(const std::vector<double>& allocations);
+
+/// Histogram with equal-width buckets over [lo, hi); out-of-range samples
+/// clamp into the edge buckets. Supports quantile queries.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+
+  /// Quantile q in [0,1]; returns the upper edge of the bucket containing
+  /// the q-th sample. Exact for integer-valued samples with unit buckets.
+  double quantile(double q) const;
+
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dmx::metrics

@@ -1,0 +1,392 @@
+#include "modelcheck/explorer.hpp"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "core/messages.hpp"
+#include "core/neilsen_node.hpp"
+#include "proto/mutex_node.hpp"
+
+namespace dmx::modelcheck {
+namespace {
+
+using core::NeilsenNode;
+
+/// In-flight message, compactly.
+struct Msg {
+  bool is_privilege = false;
+  NodeId origin = kNilNode;  // REQUEST only
+  bool operator==(const Msg&) const = default;
+};
+
+/// Compact per-node protocol state + remaining request budget.
+struct NodeS {
+  bool holding = false;
+  NodeId next = kNilNode;
+  NodeId follow = kNilNode;
+  NeilsenNode::CsStatus cs = NeilsenNode::CsStatus::kIdle;
+  int budget = 0;
+  bool operator==(const NodeS&) const = default;
+};
+
+/// Full system state. Channels are FIFO per ordered pair; the std::map
+/// keeps a canonical iteration order for encoding.
+struct SysState {
+  std::vector<NodeS> nodes;  // index 1..n
+  std::map<std::pair<NodeId, NodeId>, std::vector<Msg>> channels;
+
+  std::string encode() const {
+    std::string out;
+    out.reserve(nodes.size() * 5 + channels.size() * 8);
+    for (std::size_t v = 1; v < nodes.size(); ++v) {
+      const NodeS& node = nodes[v];
+      out.push_back(node.holding ? 'H' : 'h');
+      out.push_back(static_cast<char>('0' + node.next));
+      out.push_back(static_cast<char>('0' + node.follow));
+      out.push_back(static_cast<char>('0' + static_cast<int>(node.cs)));
+      out.push_back(static_cast<char>('0' + node.budget));
+    }
+    for (const auto& [key, fifo] : channels) {
+      if (fifo.empty()) continue;
+      out.push_back('|');
+      out.push_back(static_cast<char>('0' + key.first));
+      out.push_back(static_cast<char>('0' + key.second));
+      for (const Msg& msg : fifo) {
+        out.push_back(msg.is_privilege
+                          ? 'P'
+                          : static_cast<char>('A' + msg.origin));
+      }
+    }
+    return out;
+  }
+};
+
+/// Context adapter capturing handler outputs into the successor state.
+class CaptureContext final : public proto::Context {
+ public:
+  CaptureContext(NodeId self, int n, SysState& state)
+      : self_(self), n_(n), state_(state) {}
+
+  NodeId self() const override { return self_; }
+  int cluster_size() const override { return n_; }
+  void send(NodeId to, net::MessagePtr message) override {
+    Msg msg;
+    if (const auto* req =
+            dynamic_cast<const core::RequestMessage*>(message.get())) {
+      DMX_CHECK(req->hop() == self_);
+      msg.origin = req->origin();
+    } else {
+      DMX_CHECK(dynamic_cast<const core::PrivilegeMessage*>(message.get()) !=
+                nullptr);
+      msg.is_privilege = true;
+    }
+    state_.channels[{self_, to}].push_back(msg);
+  }
+  void grant() override {}  // entry is visible via the node's CsStatus
+
+ private:
+  NodeId self_;
+  int n_;
+  SysState& state_;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(const ExplorerConfig& config) : config_(config) {
+    DMX_CHECK(config.tree != nullptr);
+    DMX_CHECK(config.tree->size() == config.n);
+    DMX_CHECK(config.requests_per_node >= 1);
+    DMX_CHECK_MSG(config.n <= 8 && config.requests_per_node <= 9,
+                  "state encoding supports n <= 8, budgets <= 9");
+  }
+
+  ExplorerResult run() {
+    SysState initial = initial_state();
+    result_.states = 0;
+
+    std::deque<std::string> frontier;
+    const std::string initial_key = initial.encode();
+    states_by_key_.emplace(initial_key, initial);
+    predecessor_.emplace(initial_key,
+                         std::pair<std::string, Action>{"", Action{}});
+    frontier.push_back(initial_key);
+
+    if (!check_state(initial, initial_key)) {
+      return finish();
+    }
+
+    while (!frontier.empty()) {
+      if (states_by_key_.size() > config_.max_states) {
+        result_.truncated = true;
+        result_.violation = "state budget exhausted (inconclusive)";
+        return finish();
+      }
+      const std::string key = std::move(frontier.front());
+      frontier.pop_front();
+      const SysState& state = states_by_key_.at(key);
+
+      const std::vector<Action> actions = enabled_actions(state);
+      if (actions.empty()) {
+        ++result_.terminal_states;
+        // Terminal: channels drained, nobody in CS. A waiter here would
+        // wait forever — deadlock/starvation (Theorems 1 and 2).
+        for (std::size_t v = 1; v < state.nodes.size(); ++v) {
+          if (state.nodes[v].cs == NeilsenNode::CsStatus::kWaiting) {
+            std::ostringstream oss;
+            oss << "terminal state leaves node " << v << " waiting forever";
+            record_violation(oss.str(), key);
+            return finish();
+          }
+        }
+        continue;
+      }
+      for (const Action& action : actions) {
+        SysState next = apply(state, action);
+        ++result_.transitions;
+        std::string next_key = next.encode();
+        if (states_by_key_.find(next_key) != states_by_key_.end()) {
+          continue;
+        }
+        predecessor_.emplace(next_key, std::pair<std::string, Action>{
+                                           key, action});
+        const bool ok = check_state(next, next_key);
+        states_by_key_.emplace(next_key, std::move(next));
+        if (!ok) {
+          return finish();
+        }
+        frontier.push_back(std::move(next_key));
+      }
+    }
+    result_.ok = result_.violation.empty();
+    return finish();
+  }
+
+ private:
+  SysState initial_state() const {
+    SysState state;
+    state.nodes.resize(static_cast<std::size_t>(config_.n) + 1);
+    const std::vector<NodeId> next =
+        config_.tree->next_pointers_toward(config_.initial_token_holder);
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      NodeS& node = state.nodes[static_cast<std::size_t>(v)];
+      node.holding = v == config_.initial_token_holder;
+      node.next = next[static_cast<std::size_t>(v)];
+      node.budget = config_.requests_per_node;
+    }
+    return state;
+  }
+
+  std::vector<Action> enabled_actions(const SysState& state) const {
+    std::vector<Action> actions;
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      const NodeS& node = state.nodes[static_cast<std::size_t>(v)];
+      if (node.cs == NeilsenNode::CsStatus::kIdle && node.budget > 0) {
+        actions.push_back({Action::Type::kRequest, v, kNilNode});
+      }
+      if (node.cs == NeilsenNode::CsStatus::kInCs) {
+        actions.push_back({Action::Type::kRelease, v, kNilNode});
+      }
+    }
+    for (const auto& [key, fifo] : state.channels) {
+      if (!fifo.empty()) {
+        actions.push_back({Action::Type::kDeliver, key.second, key.first});
+      }
+    }
+    return actions;
+  }
+
+  SysState apply(const SysState& state, const Action& action) const {
+    SysState next = state;
+    NodeS& slot = next.nodes[static_cast<std::size_t>(action.node)];
+    NeilsenNode node =
+        NeilsenNode::restore(slot.holding, slot.next, slot.follow, slot.cs);
+    CaptureContext ctx(action.node, config_.n, next);
+    switch (action.type) {
+      case Action::Type::kRequest:
+        DMX_CHECK(slot.budget > 0);
+        slot.budget -= 1;
+        node.request_cs(ctx);
+        break;
+      case Action::Type::kRelease:
+        node.release_cs(ctx);
+        break;
+      case Action::Type::kDeliver: {
+        auto it = next.channels.find({action.from, action.node});
+        DMX_CHECK(it != next.channels.end() && !it->second.empty());
+        const Msg msg = it->second.front();
+        it->second.erase(it->second.begin());
+        if (it->second.empty()) next.channels.erase(it);
+        if (msg.is_privilege) {
+          node.on_message(ctx, action.from, core::PrivilegeMessage());
+        } else {
+          node.on_message(ctx, action.from,
+                          core::RequestMessage(action.from, msg.origin));
+        }
+        break;
+      }
+    }
+    slot.holding = node.holding();
+    slot.next = node.next();
+    slot.follow = node.follow();
+    slot.cs = node.cs_status();
+    return next;
+  }
+
+  /// All safety checks; returns false (and records) on violation.
+  bool check_state(const SysState& state, const std::string& key) {
+    // Token uniqueness, counting in-flight PRIVILEGEs.
+    int tokens = 0;
+    int occupants = 0;
+    for (std::size_t v = 1; v < state.nodes.size(); ++v) {
+      const NodeS& node = state.nodes[v];
+      if (node.holding || node.cs == NeilsenNode::CsStatus::kInCs) ++tokens;
+      if (node.cs == NeilsenNode::CsStatus::kInCs) ++occupants;
+    }
+    std::size_t in_flight_requests = 0;
+    for (const auto& [channel, fifo] : state.channels) {
+      for (const Msg& msg : fifo) {
+        if (msg.is_privilege) {
+          ++tokens;
+        } else {
+          ++in_flight_requests;
+        }
+      }
+    }
+    if (occupants > 1) {
+      record_violation("two nodes inside the critical section", key);
+      return false;
+    }
+    if (tokens != 1) {
+      std::ostringstream oss;
+      oss << "token count " << tokens << " (must be 1)";
+      record_violation(oss.str(), key);
+      return false;
+    }
+    // NEXT structure: out-degree <= 1 by construction; forest + paths.
+    const int n = config_.n;
+    for (NodeId v = 1; v <= n; ++v) {
+      NodeId cur = v;
+      int steps = 0;
+      while (state.nodes[static_cast<std::size_t>(cur)].next != kNilNode) {
+        cur = state.nodes[static_cast<std::size_t>(cur)].next;
+        if (++steps >= n) {
+          record_violation("NEXT path does not reach a sink (Lemma 2)", key);
+          return false;
+        }
+      }
+    }
+    // Sink census (Chapter 3): at most in-flight requests + 1 sinks, and
+    // no idle token-less sink.
+    std::size_t sinks = 0;
+    for (NodeId v = 1; v <= n; ++v) {
+      const NodeS& node = state.nodes[static_cast<std::size_t>(v)];
+      if (node.next != kNilNode) continue;
+      ++sinks;
+      if (!node.holding && node.cs == NeilsenNode::CsStatus::kIdle) {
+        record_violation("idle sink without the token", key);
+        return false;
+      }
+    }
+    if (sinks < 1 || sinks > in_flight_requests + 1) {
+      std::ostringstream oss;
+      oss << sinks << " sinks with " << in_flight_requests
+          << " requests in flight";
+      record_violation(oss.str(), key);
+      return false;
+    }
+    // Implicit-queue completeness (the Abstract's claim, quiescent form):
+    // with no message in flight, the FOLLOW chain from the token holder
+    // must enumerate exactly the waiting nodes, each exactly once.
+    if (state.channels.empty()) {
+      NodeId holder = kNilNode;
+      std::size_t waiting = 0;
+      for (NodeId v = 1; v <= n; ++v) {
+        const NodeS& node = state.nodes[static_cast<std::size_t>(v)];
+        if (node.holding || node.cs == NeilsenNode::CsStatus::kInCs) {
+          holder = v;
+        }
+        if (node.cs == NeilsenNode::CsStatus::kWaiting) ++waiting;
+      }
+      DMX_CHECK(holder != kNilNode);  // token not in flight here
+      std::vector<bool> seen(static_cast<std::size_t>(n) + 1, false);
+      std::size_t chain_length = 0;
+      NodeId cur = state.nodes[static_cast<std::size_t>(holder)].follow;
+      while (cur != kNilNode) {
+        if (seen[static_cast<std::size_t>(cur)] ||
+            state.nodes[static_cast<std::size_t>(cur)].cs !=
+                NeilsenNode::CsStatus::kWaiting) {
+          record_violation("FOLLOW chain corrupt (cycle or non-waiter)",
+                           key);
+          return false;
+        }
+        seen[static_cast<std::size_t>(cur)] = true;
+        ++chain_length;
+        cur = state.nodes[static_cast<std::size_t>(cur)].follow;
+      }
+      if (chain_length != waiting) {
+        std::ostringstream oss;
+        oss << "FOLLOW chain covers " << chain_length << " of " << waiting
+            << " waiting nodes";
+        record_violation(oss.str(), key);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void record_violation(const std::string& what, const std::string& key) {
+    result_.violation = what;
+    // Walk the predecessor chain for the counterexample.
+    std::vector<Action> trace;
+    std::string cur = key;
+    while (true) {
+      const auto& [pred, action] = predecessor_.at(cur);
+      if (pred.empty()) break;
+      trace.push_back(action);
+      cur = pred;
+    }
+    result_.counterexample.assign(trace.rbegin(), trace.rend());
+  }
+
+  ExplorerResult finish() {
+    result_.states = states_by_key_.size();
+    result_.ok = result_.violation.empty() && !result_.truncated;
+    return result_;
+  }
+
+  ExplorerConfig config_;
+  ExplorerResult result_;
+  std::unordered_map<std::string, SysState> states_by_key_;
+  std::unordered_map<std::string, std::pair<std::string, Action>>
+      predecessor_;
+};
+
+}  // namespace
+
+std::string Action::to_string() const {
+  std::ostringstream oss;
+  switch (type) {
+    case Type::kRequest:
+      oss << "request(" << node << ")";
+      break;
+    case Type::kRelease:
+      oss << "release(" << node << ")";
+      break;
+    case Type::kDeliver:
+      oss << "deliver(" << from << " -> " << node << ")";
+      break;
+  }
+  return oss.str();
+}
+
+ExplorerResult explore(const ExplorerConfig& config) {
+  return Explorer(config).run();
+}
+
+}  // namespace dmx::modelcheck

@@ -1,0 +1,292 @@
+#include "modelcheck/raymond_explorer.hpp"
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "baselines/raymond.hpp"
+#include "common/check.hpp"
+
+namespace dmx::modelcheck {
+namespace {
+
+using baselines::RaymondMessage;
+using baselines::RaymondNode;
+
+/// Raymond messages carry no payload; only the kind matters.
+enum class RMsg : char { kRequest = 'Q', kPrivilege = 'P' };
+
+struct NodeS {
+  NodeId holder = kNilNode;
+  bool using_cs = false;
+  bool asked = false;
+  bool waiting = false;
+  std::deque<NodeId> queue;
+  int budget = 0;
+  bool operator==(const NodeS&) const = default;
+};
+
+struct SysState {
+  std::vector<NodeS> nodes;  // index 1..n
+  std::map<std::pair<NodeId, NodeId>, std::vector<RMsg>> channels;
+
+  std::string encode() const {
+    std::string out;
+    for (std::size_t v = 1; v < nodes.size(); ++v) {
+      const NodeS& node = nodes[v];
+      out.push_back(static_cast<char>('0' + node.holder));
+      out.push_back(node.using_cs ? 'U' : 'u');
+      out.push_back(node.asked ? 'A' : 'a');
+      out.push_back(node.waiting ? 'W' : 'w');
+      out.push_back(static_cast<char>('0' + node.budget));
+      out.push_back('[');
+      for (NodeId q : node.queue) {
+        out.push_back(static_cast<char>('0' + q));
+      }
+      out.push_back(']');
+    }
+    for (const auto& [key, fifo] : channels) {
+      if (fifo.empty()) continue;
+      out.push_back('|');
+      out.push_back(static_cast<char>('0' + key.first));
+      out.push_back(static_cast<char>('0' + key.second));
+      for (RMsg msg : fifo) {
+        out.push_back(static_cast<char>(msg));
+      }
+    }
+    return out;
+  }
+};
+
+class CaptureContext final : public proto::Context {
+ public:
+  CaptureContext(NodeId self, int n, SysState& state)
+      : self_(self), n_(n), state_(state) {}
+
+  NodeId self() const override { return self_; }
+  int cluster_size() const override { return n_; }
+  void send(NodeId to, net::MessagePtr message) override {
+    const auto* msg = dynamic_cast<const RaymondMessage*>(message.get());
+    DMX_CHECK(msg != nullptr);
+    state_.channels[{self_, to}].push_back(
+        msg->type() == RaymondMessage::Type::kRequest ? RMsg::kRequest
+                                                      : RMsg::kPrivilege);
+  }
+  void grant() override {}  // visible via using_cs()
+
+ private:
+  NodeId self_;
+  int n_;
+  SysState& state_;
+};
+
+class RaymondExplorer {
+ public:
+  explicit RaymondExplorer(const ExplorerConfig& config) : config_(config) {
+    DMX_CHECK(config.tree != nullptr);
+    DMX_CHECK(config.tree->size() == config.n);
+    DMX_CHECK_MSG(config.n <= 8 && config.requests_per_node <= 9,
+                  "state encoding supports n <= 8, budgets <= 9");
+  }
+
+  ExplorerResult run() {
+    SysState initial = initial_state();
+    std::deque<std::string> frontier;
+    const std::string initial_key = initial.encode();
+    states_.emplace(initial_key, initial);
+    predecessor_.emplace(initial_key,
+                         std::pair<std::string, Action>{"", Action{}});
+    frontier.push_back(initial_key);
+    if (!check_state(initial, initial_key)) return finish();
+
+    while (!frontier.empty()) {
+      if (states_.size() > config_.max_states) {
+        result_.truncated = true;
+        result_.violation = "state budget exhausted (inconclusive)";
+        return finish();
+      }
+      const std::string key = std::move(frontier.front());
+      frontier.pop_front();
+      const SysState& state = states_.at(key);
+
+      const std::vector<Action> actions = enabled_actions(state);
+      if (actions.empty()) {
+        ++result_.terminal_states;
+        for (std::size_t v = 1; v < state.nodes.size(); ++v) {
+          if (state.nodes[v].waiting) {
+            std::ostringstream oss;
+            oss << "terminal state leaves node " << v << " waiting forever";
+            record_violation(oss.str(), key);
+            return finish();
+          }
+        }
+        continue;
+      }
+      for (const Action& action : actions) {
+        SysState next = apply(state, action);
+        ++result_.transitions;
+        std::string next_key = next.encode();
+        if (states_.find(next_key) != states_.end()) continue;
+        predecessor_.emplace(next_key,
+                             std::pair<std::string, Action>{key, action});
+        const bool ok = check_state(next, next_key);
+        states_.emplace(next_key, std::move(next));
+        if (!ok) return finish();
+        frontier.push_back(std::move(next_key));
+      }
+    }
+    return finish();
+  }
+
+ private:
+  SysState initial_state() const {
+    SysState state;
+    state.nodes.resize(static_cast<std::size_t>(config_.n) + 1);
+    const std::vector<NodeId> toward =
+        config_.tree->next_pointers_toward(config_.initial_token_holder);
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      NodeS& node = state.nodes[static_cast<std::size_t>(v)];
+      node.holder = v == config_.initial_token_holder
+                        ? v
+                        : toward[static_cast<std::size_t>(v)];
+      node.budget = config_.requests_per_node;
+    }
+    return state;
+  }
+
+  std::vector<Action> enabled_actions(const SysState& state) const {
+    std::vector<Action> actions;
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      const NodeS& node = state.nodes[static_cast<std::size_t>(v)];
+      if (!node.waiting && !node.using_cs && node.budget > 0) {
+        actions.push_back({Action::Type::kRequest, v, kNilNode});
+      }
+      if (node.using_cs) {
+        actions.push_back({Action::Type::kRelease, v, kNilNode});
+      }
+    }
+    for (const auto& [key, fifo] : state.channels) {
+      if (!fifo.empty()) {
+        actions.push_back({Action::Type::kDeliver, key.second, key.first});
+      }
+    }
+    return actions;
+  }
+
+  SysState apply(const SysState& state, const Action& action) const {
+    SysState next = state;
+    NodeS& slot = next.nodes[static_cast<std::size_t>(action.node)];
+    RaymondNode node =
+        RaymondNode::restore(action.node, slot.holder, slot.using_cs,
+                             slot.asked, slot.waiting, slot.queue);
+    CaptureContext ctx(action.node, config_.n, next);
+    switch (action.type) {
+      case Action::Type::kRequest:
+        DMX_CHECK(slot.budget > 0);
+        slot.budget -= 1;
+        node.request_cs(ctx);
+        break;
+      case Action::Type::kRelease:
+        node.release_cs(ctx);
+        break;
+      case Action::Type::kDeliver: {
+        auto it = next.channels.find({action.from, action.node});
+        DMX_CHECK(it != next.channels.end() && !it->second.empty());
+        const RMsg msg = it->second.front();
+        it->second.erase(it->second.begin());
+        if (it->second.empty()) next.channels.erase(it);
+        node.on_message(ctx, action.from,
+                        RaymondMessage(msg == RMsg::kRequest
+                                           ? RaymondMessage::Type::kRequest
+                                           : RaymondMessage::Type::kPrivilege));
+        break;
+      }
+    }
+    slot.holder = node.holder();
+    slot.using_cs = node.using_cs();
+    slot.asked = node.asked();
+    slot.waiting = node.waiting();
+    slot.queue = node.queue();
+    return next;
+  }
+
+  bool check_state(const SysState& state, const std::string& key) {
+    int tokens = 0;
+    int occupants = 0;
+    for (std::size_t v = 1; v < state.nodes.size(); ++v) {
+      const NodeS& node = state.nodes[v];
+      if (node.holder == static_cast<NodeId>(v)) ++tokens;
+      if (node.using_cs) ++occupants;
+    }
+    NodeId privilege_target = kNilNode;
+    for (const auto& [channel, fifo] : state.channels) {
+      for (RMsg msg : fifo) {
+        if (msg == RMsg::kPrivilege) {
+          ++tokens;
+          privilege_target = channel.second;
+        }
+      }
+    }
+    if (occupants > 1) {
+      record_violation("two nodes inside the critical section", key);
+      return false;
+    }
+    if (tokens != 1) {
+      std::ostringstream oss;
+      oss << "token count " << tokens << " (must be 1)";
+      record_violation(oss.str(), key);
+      return false;
+    }
+    // HOLDER pointers must lead every node to the token within n hops.
+    // While a PRIVILEGE is in flight from u to w, u.holder==w and
+    // w.holder==u form an expected transient 2-cycle; the walk then
+    // terminates at the in-flight recipient instead.
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      NodeId cur = v;
+      int steps = 0;
+      while (state.nodes[static_cast<std::size_t>(cur)].holder != cur &&
+             cur != privilege_target) {
+        cur = state.nodes[static_cast<std::size_t>(cur)].holder;
+        if (++steps > config_.n) {
+          record_violation("HOLDER pointers cycle", key);
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  void record_violation(const std::string& what, const std::string& key) {
+    result_.violation = what;
+    std::vector<Action> trace;
+    std::string cur = key;
+    while (true) {
+      const auto& [pred, action] = predecessor_.at(cur);
+      if (pred.empty()) break;
+      trace.push_back(action);
+      cur = pred;
+    }
+    result_.counterexample.assign(trace.rbegin(), trace.rend());
+  }
+
+  ExplorerResult finish() {
+    result_.states = states_.size();
+    result_.ok = result_.violation.empty() && !result_.truncated;
+    return result_;
+  }
+
+  ExplorerConfig config_;
+  ExplorerResult result_;
+  std::unordered_map<std::string, SysState> states_;
+  std::unordered_map<std::string, std::pair<std::string, Action>>
+      predecessor_;
+};
+
+}  // namespace
+
+ExplorerResult explore_raymond(const ExplorerConfig& config) {
+  return RaymondExplorer(config).run();
+}
+
+}  // namespace dmx::modelcheck

@@ -1,0 +1,20 @@
+// Exhaustive explicit-state model checker for Raymond's tree algorithm —
+// the baseline Neilsen is compared against head-to-head. Same design as
+// the Neilsen explorer (src/modelcheck/explorer.hpp): bounded request
+// budgets make the space finite; transitions run the production
+// RaymondNode handlers; every reachable state is checked for
+//   * token uniqueness (exactly one HOLDER==self or in-flight PRIVILEGE),
+//   * at most one node in its critical section,
+//   * HOLDER pointers acyclic and leading to the token,
+//   * no terminal state leaving a waiter stuck.
+#pragma once
+
+#include "modelcheck/explorer.hpp"
+
+namespace dmx::modelcheck {
+
+/// Runs the exhaustive search for Raymond's algorithm. Reuses
+/// ExplorerConfig/ExplorerResult from the Neilsen explorer.
+ExplorerResult explore_raymond(const ExplorerConfig& config);
+
+}  // namespace dmx::modelcheck

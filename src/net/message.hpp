@@ -1,0 +1,36 @@
+// Polymorphic protocol messages.
+//
+// Every algorithm defines its own message structs deriving from Message.
+// The base class deliberately carries nothing: the paper's PRIVILEGE
+// message "needs no data structure", and the storage-overhead experiment
+// (E5) measures payload_bytes() per message kind to reproduce §6.4.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace dmx::net {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Stable message-kind label used for per-kind counters and traces,
+  /// e.g. "REQUEST", "PRIVILEGE", "REPLY".
+  virtual std::string_view kind() const = 0;
+
+  /// Size of the semantic payload in bytes (excluding addressing), as the
+  /// paper accounts it: a Neilsen REQUEST carries two integers (8 bytes),
+  /// a PRIVILEGE carries nothing (0 bytes), a Suzuki–Kasami token carries
+  /// LN[1..N] plus a queue, etc.
+  virtual std::size_t payload_bytes() const = 0;
+
+  /// Human-readable rendering for traces; defaults to kind().
+  virtual std::string describe() const { return std::string(kind()); }
+};
+
+using MessagePtr = std::unique_ptr<Message>;
+
+}  // namespace dmx::net

@@ -1,0 +1,113 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dmx::net {
+namespace {
+
+/// Packs an ordered (from, to) pair into one map key.
+std::uint64_t channel_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+          << 32) |
+         static_cast<std::uint32_t>(to);
+}
+
+}  // namespace
+
+std::uint64_t MessageStats::sent(std::string_view kind) const {
+  auto it = sent_by_kind.find(std::string(kind));
+  return it == sent_by_kind.end() ? 0 : it->second;
+}
+
+Network::Network(sim::Simulator& sim, int n,
+                 std::unique_ptr<LatencyModel> latency, std::uint64_t seed)
+    : sim_(sim), n_(n), latency_(std::move(latency)), rng_(seed) {
+  DMX_CHECK(n_ >= 1);
+  DMX_CHECK(latency_ != nullptr);
+}
+
+void Network::set_delivery_handler(DeliveryHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr message) {
+  DMX_CHECK_MSG(from >= 1 && from <= n_, "bad sender " << from);
+  DMX_CHECK_MSG(to >= 1 && to <= n_, "bad recipient " << to);
+  DMX_CHECK_MSG(from != to, "node " << from << " sending to itself");
+  DMX_CHECK(message != nullptr);
+
+  stats_.total_sent += 1;
+  stats_.total_payload_bytes += message->payload_bytes();
+  stats_.sent_by_kind[std::string(message->kind())] += 1;
+
+  // Failure injection: the message is counted as sent but vanishes.
+  if (drop_next_kind_.has_value() && message->kind() == *drop_next_kind_) {
+    drop_next_kind_.reset();
+    stats_.total_dropped += 1;
+    return;
+  }
+  if (drop_probability_ > 0.0 && rng_.chance(drop_probability_)) {
+    stats_.total_dropped += 1;
+    return;
+  }
+
+  const Tick now = sim_.now();
+  const Tick latency = latency_->sample(from, to, rng_);
+  DMX_CHECK(latency >= 1);
+
+  // FIFO per channel: a message may not arrive before the previously sent
+  // message on the same ordered channel.
+  Tick deliver_at = now + latency;
+  auto& last = channel_last_delivery_[channel_key(from, to)];
+  deliver_at = std::max(deliver_at, last);
+  last = deliver_at;
+
+  const std::uint64_t id = next_envelope_id_++;
+  Envelope env{id, from, to, now, deliver_at, std::move(message)};
+  if (observer_ != nullptr) {
+    observer_->on_send(env);
+  }
+  in_flight_.emplace(id, std::move(env));
+  sim_.schedule_at(deliver_at, [this, id] { deliver(id); });
+}
+
+void Network::deliver(std::uint64_t envelope_id) {
+  auto it = in_flight_.find(envelope_id);
+  DMX_CHECK(it != in_flight_.end());
+  Envelope env = std::move(it->second);
+  in_flight_.erase(it);
+  if (observer_ != nullptr) {
+    observer_->on_deliver(env);
+  }
+  DMX_CHECK_MSG(handler_ != nullptr, "no delivery handler installed");
+  handler_(env);
+}
+
+void Network::reset_stats() { stats_ = MessageStats{}; }
+
+void Network::set_drop_probability(double p) {
+  DMX_CHECK(p >= 0.0 && p <= 1.0);
+  drop_probability_ = p;
+}
+
+void Network::drop_next(std::string_view kind) {
+  drop_next_kind_ = std::string(kind);
+}
+
+std::size_t Network::in_flight_count(std::string_view kind) const {
+  std::size_t count = 0;
+  for (const auto& [id, env] : in_flight_) {
+    if (env.message->kind() == kind) ++count;
+  }
+  return count;
+}
+
+void Network::for_each_in_flight(
+    const std::function<void(const Envelope&)>& fn) const {
+  for (const auto& [id, env] : in_flight_) {
+    fn(env);
+  }
+}
+
+}  // namespace dmx::net

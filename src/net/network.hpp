@@ -1,0 +1,136 @@
+// Simulated fully connected reliable network with per-channel FIFO.
+//
+// Reproduces the paper's network assumptions (Chapter 2): nodes are fully
+// connected by a reliable network, and "messages sent by the same node are
+// not allowed to overtake each other while in transit". We enforce FIFO
+// per ordered (from, to) channel by never scheduling a delivery earlier
+// than the previous delivery on the same channel.
+//
+// The network is also the measurement point for every message-complexity
+// experiment: it counts sends per message kind, accounts payload bytes,
+// and exposes the set of in-flight messages so invariant checkers can
+// verify token uniqueness including PRIVILEGE messages in transit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace dmx::net {
+
+/// A message in flight or being delivered.
+struct Envelope {
+  std::uint64_t id = 0;
+  NodeId from = kNilNode;
+  NodeId to = kNilNode;
+  Tick sent_at = 0;
+  Tick deliver_at = 0;
+  MessagePtr message;
+};
+
+/// Aggregate send counters, keyed by Message::kind().
+struct MessageStats {
+  std::uint64_t total_sent = 0;
+  std::uint64_t total_dropped = 0;
+  std::uint64_t total_payload_bytes = 0;
+  std::map<std::string, std::uint64_t> sent_by_kind;
+
+  /// Count for one kind (0 if never sent).
+  std::uint64_t sent(std::string_view kind) const;
+};
+
+/// Observer hooks for tracing; both calls happen after counters update.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void on_send(const Envelope& env) = 0;
+  virtual void on_deliver(const Envelope& env) = 0;
+};
+
+class Network {
+ public:
+  /// Delivery callback: invoked in virtual time when a message arrives.
+  using DeliveryHandler = std::function<void(const Envelope&)>;
+
+  /// `n` nodes are numbered 1..n. The latency model must outlive sampling
+  /// (owned here). `seed` drives latency sampling only.
+  Network(sim::Simulator& sim, int n, std::unique_ptr<LatencyModel> latency,
+          std::uint64_t seed = 1);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  int size() const { return n_; }
+
+  /// Sends `message` from `from` to `to` (both in 1..n, from != to).
+  /// Delivery is scheduled on the simulator; the handler fires at the
+  /// delivery tick.
+  void send(NodeId from, NodeId to, MessagePtr message);
+
+  /// Installs the delivery handler (the harness). Must be set before the
+  /// first delivery fires.
+  void set_delivery_handler(DeliveryHandler handler);
+
+  /// Optional tracing observer (not owned). Pass nullptr to clear.
+  void set_observer(NetworkObserver* observer) { observer_ = observer; }
+
+  const MessageStats& stats() const { return stats_; }
+
+  /// Resets counters (not in-flight messages); used between measurement
+  /// epochs so each probe counts only its own traffic.
+  void reset_stats();
+
+  // --- Failure injection ---------------------------------------------------
+  // The paper assumes a reliable network (Chapter 2). These knobs break
+  // that assumption on purpose: failure-injection tests demonstrate that
+  // the assumption is load-bearing (a lost PRIVILEGE is a lost token; a
+  // lost REQUEST is a starved node) and that the invariant checkers
+  // actually detect the damage.
+
+  /// Every subsequent message is dropped with probability `p` (sampled
+  /// from this network's deterministic RNG).
+  void set_drop_probability(double p);
+
+  /// Drops the next sent message whose kind() equals `kind` (one-shot).
+  void drop_next(std::string_view kind);
+
+  /// Number of messages currently in flight.
+  std::size_t in_flight_count() const { return in_flight_.size(); }
+
+  /// Number of in-flight messages of one kind (e.g. "PRIVILEGE").
+  std::size_t in_flight_count(std::string_view kind) const;
+
+  /// Visits every in-flight envelope (order unspecified).
+  void for_each_in_flight(
+      const std::function<void(const Envelope&)>& fn) const;
+
+ private:
+  void deliver(std::uint64_t envelope_id);
+
+  sim::Simulator& sim_;
+  int n_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  double drop_probability_ = 0.0;
+  std::optional<std::string> drop_next_kind_;
+  DeliveryHandler handler_;
+  NetworkObserver* observer_ = nullptr;
+  std::uint64_t next_envelope_id_ = 1;
+  MessageStats stats_;
+  // Last scheduled delivery tick per ordered channel, for FIFO.
+  std::unordered_map<std::uint64_t, Tick> channel_last_delivery_;
+  // In-flight envelopes by id.
+  std::unordered_map<std::uint64_t, Envelope> in_flight_;
+};
+
+}  // namespace dmx::net

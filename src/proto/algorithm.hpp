@@ -1,0 +1,48 @@
+// Algorithm descriptors and the registry used by benches and tests to
+// iterate over every implemented protocol uniformly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/mutex_node.hpp"
+#include "topology/tree.hpp"
+
+namespace dmx::proto {
+
+/// Everything an algorithm may need to instantiate its nodes.
+struct ClusterSpec {
+  int n = 0;
+  /// Initial token holder for token-based algorithms; also the coordinator
+  /// for the centralized scheme and the reference node for initial
+  /// Lamport-style clocks.
+  NodeId initial_token_holder = 1;
+  /// Logical structure for path-forwarding algorithms (Neilsen, Raymond).
+  /// Ignored by broadcast/quorum algorithms. May be null for those.
+  const topology::Tree* tree = nullptr;
+  /// Seed for any algorithm-internal randomness (none of the implemented
+  /// protocols randomize, but the spec carries it for extensions).
+  std::uint64_t seed = 1;
+};
+
+/// Builds the N protocol nodes (index 0 unused, 1..n populated) in their
+/// initial post-INIT state.
+using NodeFactory =
+    std::function<std::vector<std::unique_ptr<MutexNode>>(const ClusterSpec&)>;
+
+/// Static metadata + factory for one algorithm.
+struct Algorithm {
+  std::string name;
+  bool token_based = false;
+  /// Message kinds whose in-flight presence represents the token (for the
+  /// token-uniqueness invariant): e.g. {"PRIVILEGE"} for Neilsen/Raymond.
+  std::vector<std::string> token_message_kinds;
+  /// True if the algorithm needs `ClusterSpec::tree`.
+  bool needs_tree = false;
+  NodeFactory factory;
+};
+
+}  // namespace dmx::proto

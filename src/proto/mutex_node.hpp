@@ -1,0 +1,81 @@
+// Substrate-independent protocol interface.
+//
+// Every mutual-exclusion algorithm in this repository is written as a pure
+// event-driven state machine (a MutexNode per participant) that talks to
+// the outside world only through a Context. The same protocol code then
+// runs unchanged on the deterministic simulator (src/harness) and on the
+// multi-threaded in-memory runtime (src/runtime) — the substitution
+// argument in DESIGN.md depends on this.
+//
+// Protocol contract (mirrors the paper's Chapter 2 assumptions):
+//  * request_cs() may only be called when the node is neither waiting for
+//    nor inside its critical section (at most one outstanding request).
+//  * The protocol calls Context::grant() exactly once per request_cs(),
+//    possibly synchronously from within request_cs() or from on_message().
+//  * release_cs() may only be called after the grant, when the application
+//    leaves its critical section.
+//  * Handlers run under per-node local mutual exclusion (the substrate
+//    guarantees no two handlers of one node run concurrently).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace dmx::proto {
+
+/// The protocol's window to the world, implemented by each substrate.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  /// This node's identifier (1..N).
+  virtual NodeId self() const = 0;
+
+  /// Number of nodes in the system.
+  virtual int cluster_size() const = 0;
+
+  /// Sends a protocol message to another node (reliable, per-channel FIFO).
+  virtual void send(NodeId to, net::MessagePtr message) = 0;
+
+  /// Reports that the pending critical-section request is granted. The
+  /// application is considered inside its critical section from this call
+  /// until it invokes release_cs().
+  virtual void grant() = 0;
+};
+
+/// One participant in a mutual-exclusion protocol.
+class MutexNode {
+ public:
+  virtual ~MutexNode() = default;
+
+  /// The application wants to enter its critical section.
+  virtual void request_cs(Context& ctx) = 0;
+
+  /// The application leaves its critical section.
+  virtual void release_cs(Context& ctx) = 0;
+
+  /// A protocol message arrived from `from`.
+  virtual void on_message(Context& ctx, NodeId from,
+                          const net::Message& message) = 0;
+
+  /// True iff this node currently possesses the system-wide token,
+  /// including while executing its critical section. Assertion-based
+  /// algorithms (which have no token) always return false.
+  virtual bool has_token() const = 0;
+
+  /// Resident protocol state in bytes, accounted the way §6.4 does:
+  /// semantic variable sizes (bool=1, int=4) plus current dynamic
+  /// structures (queues, arrays). Used by the storage-overhead bench.
+  virtual std::size_t state_bytes() const = 0;
+
+  /// One-line rendering of the protocol variables, for traces and the
+  /// paper-example tests (e.g. "HOLDING=f NEXT=2 FOLLOW=0").
+  virtual std::string debug_state() const = 0;
+};
+
+}  // namespace dmx::proto

@@ -1,0 +1,133 @@
+#include "quorum/quorum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dmx::quorum {
+
+QuorumSet grid_quorums(int n) {
+  DMX_CHECK(n >= 1);
+  const int width = static_cast<int>(std::ceil(std::sqrt(n)));
+  QuorumSet quorums(static_cast<std::size_t>(n) + 1);
+  for (NodeId v = 1; v <= n; ++v) {
+    const int idx = v - 1;
+    const int row = idx / width;
+    const int col = idx % width;
+    std::vector<NodeId>& q = quorums[static_cast<std::size_t>(v)];
+    // Full row.
+    for (int c = 0; c < width; ++c) {
+      const int cell = row * width + c;
+      if (cell < n) q.push_back(static_cast<NodeId>(cell + 1));
+    }
+    // Full column (skipping the row cell already added).
+    for (int r = 0; r * width + col < n; ++r) {
+      if (r == row) continue;
+      q.push_back(static_cast<NodeId>(r * width + col + 1));
+    }
+    std::sort(q.begin(), q.end());
+  }
+  return quorums;
+}
+
+namespace {
+
+/// Backtracking search for a perfect difference set of size k mod n:
+/// all pairwise differences d_i - d_j (i != j) distinct mod n.
+bool search_difference_set(int n, int k, std::vector<int>& chosen,
+                           std::vector<bool>& used_diff, long& budget) {
+  if (static_cast<int>(chosen.size()) == k) return true;
+  const int last = chosen.back();
+  for (int candidate = last + 1; candidate < n; ++candidate) {
+    if (--budget <= 0) return false;
+    // Check all differences against chosen elements — including
+    // collisions *among* the candidate's own differences (e.g.
+    // candidate - c1 == c2 - candidate mod n), which the global bitmap
+    // alone would miss.
+    bool ok = true;
+    std::vector<int> new_diffs;
+    new_diffs.reserve(2 * chosen.size());
+    for (int c : chosen) {
+      const int d1 = (candidate - c + n) % n;
+      const int d2 = (c - candidate + n) % n;
+      if (used_diff[static_cast<std::size_t>(d1)] ||
+          used_diff[static_cast<std::size_t>(d2)] || d1 == d2 ||
+          std::find(new_diffs.begin(), new_diffs.end(), d1) !=
+              new_diffs.end() ||
+          std::find(new_diffs.begin(), new_diffs.end(), d2) !=
+              new_diffs.end()) {
+        ok = false;
+        break;
+      }
+      new_diffs.push_back(d1);
+      new_diffs.push_back(d2);
+    }
+    if (!ok) continue;
+    for (int c : chosen) {
+      used_diff[static_cast<std::size_t>((candidate - c + n) % n)] = true;
+      used_diff[static_cast<std::size_t>((c - candidate + n) % n)] = true;
+    }
+    chosen.push_back(candidate);
+    if (search_difference_set(n, k, chosen, used_diff, budget)) return true;
+    chosen.pop_back();
+    for (int c : chosen) {
+      used_diff[static_cast<std::size_t>((candidate - c + n) % n)] = false;
+      used_diff[static_cast<std::size_t>((c - candidate + n) % n)] = false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<QuorumSet> projective_plane_quorums(int n) {
+  if (n < 3) return std::nullopt;
+  // n must be k(k-1)+1 for integer k.
+  const int k = static_cast<int>((1.0 + std::sqrt(4.0 * n - 3.0)) / 2.0);
+  if (k * (k - 1) + 1 != n) return std::nullopt;
+
+  std::vector<int> chosen{0};
+  std::vector<bool> used_diff(static_cast<std::size_t>(n), false);
+  long budget = 5'000'000;  // bounded search; plenty for n <= 57
+  if (!search_difference_set(n, k, chosen, used_diff, budget)) {
+    return std::nullopt;
+  }
+  QuorumSet quorums(static_cast<std::size_t>(n) + 1);
+  for (NodeId v = 1; v <= n; ++v) {
+    std::vector<NodeId>& q = quorums[static_cast<std::size_t>(v)];
+    for (int d : chosen) {
+      q.push_back(static_cast<NodeId>((v - 1 + d) % n + 1));
+    }
+    std::sort(q.begin(), q.end());
+  }
+  return quorums;
+}
+
+QuorumSet maekawa_quorums(int n) {
+  if (auto fpp = projective_plane_quorums(n)) {
+    return *std::move(fpp);
+  }
+  return grid_quorums(n);
+}
+
+bool quorums_valid(const QuorumSet& quorums) {
+  const int n = static_cast<int>(quorums.size()) - 1;
+  for (NodeId v = 1; v <= n; ++v) {
+    const auto& q = quorums[static_cast<std::size_t>(v)];
+    if (!std::binary_search(q.begin(), q.end(), v)) return false;
+  }
+  for (NodeId a = 1; a <= n; ++a) {
+    for (NodeId b = a + 1; b <= n; ++b) {
+      const auto& qa = quorums[static_cast<std::size_t>(a)];
+      const auto& qb = quorums[static_cast<std::size_t>(b)];
+      std::vector<NodeId> common;
+      std::set_intersection(qa.begin(), qa.end(), qb.begin(), qb.end(),
+                            std::back_inserter(common));
+      if (common.empty()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dmx::quorum

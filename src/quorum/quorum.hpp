@@ -1,0 +1,39 @@
+// Quorum (committee) construction for Maekawa's algorithm.
+//
+// Maekawa predefines for each node I a committee S_I containing I such
+// that any two committees intersect; the optimum corresponds to a finite
+// projective plane with |S_I| = K where N = K(K-1)+1. We provide:
+//  * projective-plane quorums via perfect difference sets (exact sqrt-N
+//    committees when N = q^2+q+1 and a difference set is found);
+//  * grid quorums (row + column of a ceil(sqrt N) grid) for arbitrary N.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dmx::quorum {
+
+using QuorumSet = std::vector<std::vector<NodeId>>;  // index 1..n used
+
+/// Grid quorums for any n >= 1: node v's committee is its full row plus
+/// its column in a ceil(sqrt n)-wide grid (including v itself). Committees
+/// pairwise intersect; size is O(sqrt n).
+QuorumSet grid_quorums(int n);
+
+/// Searches for a perfect difference set {d_0=0, d_1, ..., d_{k-1}} mod n
+/// with k(k-1)+1 == n; committee of node v is {(v-1+d) mod n + 1}. Returns
+/// nullopt if n has the wrong form or the bounded backtracking search
+/// fails (practical for n <= ~60: 7, 13, 21, 31, 57).
+std::optional<QuorumSet> projective_plane_quorums(int n);
+
+/// Best available construction: projective plane when possible, grid
+/// otherwise.
+QuorumSet maekawa_quorums(int n);
+
+/// Validation: every committee contains its owner, and all pairs
+/// intersect.
+bool quorums_valid(const QuorumSet& quorums);
+
+}  // namespace dmx::quorum

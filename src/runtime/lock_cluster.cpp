@@ -1,0 +1,258 @@
+#include "runtime/lock_cluster.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dmx::runtime {
+
+/// One node: a mailbox, an event-loop thread, and the protocol state
+/// machine. The loop is the paper's "local mutual exclusion": every
+/// handler of this node runs on this thread, one at a time.
+class LockCluster::NodeActor final : public proto::Context {
+ public:
+  NodeActor(LockCluster& cluster, NodeId self, int n,
+            std::unique_ptr<proto::MutexNode> node, unsigned jitter_us,
+            std::uint64_t seed)
+      : cluster_(cluster), self_(self), n_(n), node_(std::move(node)),
+        jitter_us_(jitter_us), rng_(seed) {}
+
+  ~NodeActor() { stop_and_join(); }
+
+  void start() {
+    thread_ = std::thread([this] { run_loop(); });
+  }
+
+  void stop_and_join() {
+    {
+      std::lock_guard<std::mutex> guard(mailbox_mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    mailbox_cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // --- proto::Context (called only from this actor's loop thread) -------
+  NodeId self() const override { return self_; }
+  int cluster_size() const override { return n_; }
+  void send(NodeId to, net::MessagePtr message) override {
+    cluster_.route(self_, to, std::move(message));
+  }
+  void grant() override {
+    {
+      std::lock_guard<std::mutex> guard(grant_mutex_);
+      granted_ = true;
+    }
+    grant_cv_.notify_all();
+  }
+
+  // --- Mailbox items -----------------------------------------------------
+  void post_message(NodeId from, net::MessagePtr message) {
+    post(Item{ItemKind::kDeliver, from, std::move(message)});
+  }
+  /// Posts a protocol request unless one is already outstanding (a lock()
+  /// retry after a timed-out try_lock_for must not double-request: the
+  /// paper allows one outstanding request per node and the protocol
+  /// asserts it).
+  void post_request() {
+    {
+      std::lock_guard<std::mutex> guard(grant_mutex_);
+      if (request_outstanding_) return;
+      request_outstanding_ = true;
+    }
+    post(Item{ItemKind::kRequest, kNilNode, nullptr});
+  }
+  void post_release() { post(Item{ItemKind::kRelease, kNilNode, nullptr}); }
+
+  /// Blocks the calling (application) thread until the protocol grants.
+  void await_grant() {
+    std::unique_lock<std::mutex> guard(grant_mutex_);
+    grant_cv_.wait(guard, [this] { return granted_; });
+    granted_ = false;
+    request_outstanding_ = false;
+  }
+
+  bool await_grant_for(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> guard(grant_mutex_);
+    if (!grant_cv_.wait_for(guard, timeout, [this] { return granted_; })) {
+      return false;  // request stays outstanding
+    }
+    granted_ = false;
+    request_outstanding_ = false;
+    return true;
+  }
+
+  std::uint64_t entries() const { return entries_.load(); }
+  void count_entry() { entries_.fetch_add(1); }
+
+ private:
+  enum class ItemKind { kDeliver, kRequest, kRelease };
+  struct Item {
+    ItemKind kind;
+    NodeId from;
+    net::MessagePtr message;
+  };
+
+  void post(Item item) {
+    {
+      std::lock_guard<std::mutex> guard(mailbox_mutex_);
+      mailbox_.push_back(std::move(item));
+    }
+    mailbox_cv_.notify_all();
+  }
+
+  void run_loop() {
+    for (;;) {
+      Item item{ItemKind::kDeliver, kNilNode, nullptr};
+      {
+        std::unique_lock<std::mutex> guard(mailbox_mutex_);
+        mailbox_cv_.wait(guard,
+                         [this] { return stopping_ || !mailbox_.empty(); });
+        if (stopping_ && mailbox_.empty()) return;
+        item = std::move(mailbox_.front());
+        mailbox_.pop_front();
+      }
+      try {
+        switch (item.kind) {
+          case ItemKind::kDeliver:
+            maybe_jitter();
+            node_->on_message(*this, item.from, *item.message);
+            break;
+          case ItemKind::kRequest:
+            node_->request_cs(*this);
+            break;
+          case ItemKind::kRelease:
+            node_->release_cs(*this);
+            break;
+        }
+      } catch (const std::exception& e) {
+        cluster_.record_error(e.what());
+        return;
+      }
+    }
+  }
+
+  void maybe_jitter() {
+    if (jitter_us_ == 0) return;
+    const auto us = static_cast<unsigned>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(jitter_us_)));
+    if (us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+
+  LockCluster& cluster_;
+  NodeId self_;
+  int n_;
+  std::unique_ptr<proto::MutexNode> node_;
+  unsigned jitter_us_;
+  Rng rng_;  // only touched from the loop thread
+
+  std::thread thread_;
+  std::mutex mailbox_mutex_;
+  std::condition_variable mailbox_cv_;
+  std::deque<Item> mailbox_;
+  bool stopping_ = false;
+
+  std::mutex grant_mutex_;
+  std::condition_variable grant_cv_;
+  bool granted_ = false;
+  bool request_outstanding_ = false;
+
+  std::atomic<std::uint64_t> entries_{0};
+};
+
+LockCluster::LockCluster(const proto::Algorithm& algorithm,
+                         LockClusterConfig config)
+    : algorithm_(algorithm), config_(std::move(config)) {
+  DMX_CHECK(config_.n >= 1);
+  if (algorithm_.needs_tree) {
+    DMX_CHECK_MSG(config_.tree.has_value(),
+                  algorithm_.name << " requires a logical tree");
+  }
+  proto::ClusterSpec spec;
+  spec.n = config_.n;
+  spec.initial_token_holder = config_.initial_token_holder;
+  spec.tree = config_.tree.has_value() ? &*config_.tree : nullptr;
+  spec.seed = config_.seed;
+  auto nodes = algorithm_.factory(spec);
+  DMX_CHECK(nodes.size() == static_cast<std::size_t>(config_.n) + 1);
+
+  actors_.resize(static_cast<std::size_t>(config_.n) + 1);
+  Rng seeder(config_.seed);
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    actors_[static_cast<std::size_t>(v)] = std::make_unique<NodeActor>(
+        *this, v, config_.n, std::move(nodes[static_cast<std::size_t>(v)]),
+        config_.jitter_us, seeder.next());
+  }
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    actors_[static_cast<std::size_t>(v)]->start();
+  }
+}
+
+LockCluster::~LockCluster() {
+  for (auto& actor : actors_) {
+    if (actor) actor->stop_and_join();
+  }
+}
+
+DistributedMutex LockCluster::mutex(NodeId v) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  return DistributedMutex(*this, v);
+}
+
+std::uint64_t LockCluster::total_entries() const {
+  std::uint64_t sum = 0;
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    sum += actors_[static_cast<std::size_t>(v)]->entries();
+  }
+  return sum;
+}
+
+std::optional<std::string> LockCluster::first_error() const {
+  std::lock_guard<std::mutex> guard(error_mutex_);
+  return first_error_;
+}
+
+void LockCluster::lock(NodeId v) {
+  auto& actor = *actors_[static_cast<std::size_t>(v)];
+  actor.post_request();
+  actor.await_grant();
+  actor.count_entry();
+}
+
+bool LockCluster::lock_with_timeout(NodeId v,
+                                    std::chrono::milliseconds timeout) {
+  auto& actor = *actors_[static_cast<std::size_t>(v)];
+  actor.post_request();
+  if (!actor.await_grant_for(timeout)) return false;
+  actor.count_entry();
+  return true;
+}
+
+void LockCluster::unlock(NodeId v) {
+  actors_[static_cast<std::size_t>(v)]->post_release();
+}
+
+void LockCluster::route(NodeId from, NodeId to, net::MessagePtr message) {
+  DMX_CHECK(to >= 1 && to <= config_.n && to != from);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  actors_[static_cast<std::size_t>(to)]->post_message(from,
+                                                      std::move(message));
+}
+
+void LockCluster::record_error(const std::string& what) {
+  std::lock_guard<std::mutex> guard(error_mutex_);
+  if (!first_error_.has_value()) first_error_ = what;
+}
+
+void DistributedMutex::lock() { cluster_->lock(node_); }
+void DistributedMutex::unlock() { cluster_->unlock(node_); }
+bool DistributedMutex::try_lock_for(std::chrono::milliseconds timeout) {
+  return cluster_->lock_with_timeout(node_, timeout);
+}
+
+}  // namespace dmx::runtime

@@ -1,0 +1,111 @@
+// Multi-threaded in-process runtime.
+//
+// This is the library a downstream user adopts: a LockCluster spawns one
+// mailbox-driven event-loop thread per node (giving each protocol node the
+// paper's "local mutual exclusion" execution model) and exposes a blocking
+// DistributedMutex per node. Any algorithm from the registry runs here
+// unchanged — the protocol code is identical to what the deterministic
+// simulator executes; only the substrate differs.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+#include "topology/tree.hpp"
+
+namespace dmx::runtime {
+
+struct LockClusterConfig {
+  int n = 0;
+  NodeId initial_token_holder = 1;
+  std::optional<topology::Tree> tree;
+  /// Artificial per-message delivery delay bound in microseconds (0 = no
+  /// delay). A uniformly random delay in [0, jitter_us] is injected per
+  /// message to shake out schedule-dependent bugs in stress tests.
+  unsigned jitter_us = 0;
+  std::uint64_t seed = 1;
+};
+
+class LockCluster;
+
+/// Blocking mutual-exclusion handle for one node. Satisfies BasicLockable,
+/// so std::lock_guard/std::unique_lock work directly.
+class DistributedMutex {
+ public:
+  /// Blocks until this node holds the (distributed) critical section.
+  void lock();
+  /// Leaves the critical section. Must be called by the lock holder.
+  void unlock();
+  /// lock() with a deadline; returns false on timeout (the request is
+  /// still outstanding — the caller must eventually complete the lock with
+  /// lock() since protocol requests cannot be cancelled).
+  bool try_lock_for(std::chrono::milliseconds timeout);
+
+  NodeId node() const { return node_; }
+
+ private:
+  friend class LockCluster;
+  DistributedMutex(LockCluster& cluster, NodeId node)
+      : cluster_(&cluster), node_(node) {}
+  LockCluster* cluster_;
+  NodeId node_;
+};
+
+class LockCluster {
+ public:
+  explicit LockCluster(const proto::Algorithm& algorithm,
+                       LockClusterConfig config);
+  ~LockCluster();
+
+  LockCluster(const LockCluster&) = delete;
+  LockCluster& operator=(const LockCluster&) = delete;
+
+  int size() const { return config_.n; }
+
+  /// Handle for node `v`. Handles are value types; any number may exist.
+  DistributedMutex mutex(NodeId v);
+
+  /// Total completed critical sections across the cluster.
+  std::uint64_t total_entries() const;
+
+  /// Total protocol messages routed between nodes (cross-node only; the
+  /// counterpart of the simulator's network counters).
+  std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+  /// First protocol error (DMX_CHECK failure on a worker thread), if any.
+  std::optional<std::string> first_error() const;
+
+ private:
+  friend class DistributedMutex;
+  class NodeActor;
+
+  void lock(NodeId v);
+  bool lock_with_timeout(NodeId v, std::chrono::milliseconds timeout);
+  void unlock(NodeId v);
+  void route(NodeId from, NodeId to, net::MessagePtr message);
+  void record_error(const std::string& what);
+
+  proto::Algorithm algorithm_;
+  LockClusterConfig config_;
+  std::vector<std::unique_ptr<NodeActor>> actors_;  // index 0 unused
+  std::atomic<std::uint64_t> messages_sent_{0};
+
+  mutable std::mutex error_mutex_;
+  std::optional<std::string> first_error_;
+};
+
+}  // namespace dmx::runtime

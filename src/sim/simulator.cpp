@@ -1,0 +1,85 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace dmx::sim {
+
+EventId Simulator::schedule_at(Tick at, Callback cb) {
+  DMX_CHECK_MSG(at >= now_, "cannot schedule into the past: at=" << at
+                                                                 << " now="
+                                                                 << now_);
+  DMX_CHECK(cb != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{at, id, std::move(cb)});
+  return id;
+}
+
+EventId Simulator::schedule_after(Tick delay, Callback cb) {
+  DMX_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // We cannot remove from the middle of a priority queue; mark instead and
+  // skip on pop. The set is purged as entries surface.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const ref; move via const_cast is the
+    // standard idiom but we copy the small fields and move the callback
+    // by re-pushing nothing.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.at;
+  ++executed_;
+  e.cb();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) {
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Simulator::run_until(Tick until) {
+  DMX_CHECK(until >= now_);
+  std::size_t n = 0;
+  Entry e;
+  while (!queue_.empty()) {
+    // Peek at the next live event time without executing.
+    if (!pop_next(e)) break;
+    if (e.at > until) {
+      // Too late: put it back and stop.
+      queue_.push(std::move(e));
+      break;
+    }
+    now_ = e.at;
+    ++executed_;
+    ++n;
+    e.cb();
+  }
+  now_ = until;
+  return n;
+}
+
+}  // namespace dmx::sim

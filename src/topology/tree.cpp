@@ -1,0 +1,232 @@
+#include "topology/tree.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dmx::topology {
+
+Tree Tree::from_edges(int n,
+                      const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  DMX_CHECK_MSG(n >= 1, "tree needs at least one node");
+  DMX_CHECK_MSG(static_cast<int>(edges.size()) == n - 1,
+                "a tree on " << n << " nodes needs " << n - 1 << " edges, got "
+                             << edges.size());
+  std::vector<std::vector<NodeId>> adjacency(static_cast<std::size_t>(n) + 1);
+  std::vector<std::pair<NodeId, NodeId>> normalized;
+  normalized.reserve(edges.size());
+  for (auto [a, b] : edges) {
+    DMX_CHECK_MSG(a >= 1 && a <= n && b >= 1 && b <= n && a != b,
+                  "bad edge (" << a << ", " << b << ")");
+    adjacency[static_cast<std::size_t>(a)].push_back(b);
+    adjacency[static_cast<std::size_t>(b)].push_back(a);
+    normalized.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  for (auto& list : adjacency) {
+    std::sort(list.begin(), list.end());
+    DMX_CHECK_MSG(std::adjacent_find(list.begin(), list.end()) == list.end(),
+                  "duplicate edge");
+  }
+  std::sort(normalized.begin(), normalized.end());
+
+  // n-1 distinct edges + connected => tree (acyclic follows).
+  std::vector<bool> seen(static_cast<std::size_t>(n) + 1, false);
+  std::deque<NodeId> frontier{1};
+  seen[1] = true;
+  int reached = 1;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (NodeId w : adjacency[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        ++reached;
+        frontier.push_back(w);
+      }
+    }
+  }
+  DMX_CHECK_MSG(reached == n, "edge list is not connected: reached "
+                                  << reached << " of " << n);
+  return Tree(n, std::move(normalized), std::move(adjacency));
+}
+
+Tree Tree::line(int n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (NodeId i = 1; i < n; ++i) {
+    edges.emplace_back(i, i + 1);
+  }
+  return from_edges(n, edges);
+}
+
+Tree Tree::star(int n, NodeId center) {
+  DMX_CHECK(center >= 1 && center <= n);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (NodeId i = 1; i <= n; ++i) {
+    if (i != center) edges.emplace_back(center, i);
+  }
+  return from_edges(n, edges);
+}
+
+Tree Tree::radiating_star(int n, int arms) {
+  DMX_CHECK(n >= 1);
+  DMX_CHECK(arms >= 1);
+  // Node 1 is the hub; remaining nodes are dealt round-robin onto arms,
+  // each arm growing as a chain.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<NodeId> arm_tip(static_cast<std::size_t>(arms), 1);
+  int arm = 0;
+  for (NodeId v = 2; v <= n; ++v) {
+    edges.emplace_back(arm_tip[static_cast<std::size_t>(arm)], v);
+    arm_tip[static_cast<std::size_t>(arm)] = v;
+    arm = (arm + 1) % arms;
+  }
+  return from_edges(n, edges);
+}
+
+Tree Tree::kary(int n, int k) {
+  DMX_CHECK(k >= 1);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 2; v <= n; ++v) {
+    const NodeId parent = static_cast<NodeId>((v - 2) / k + 1);
+    edges.emplace_back(parent, v);
+  }
+  return from_edges(n, edges);
+}
+
+Tree Tree::random_tree(int n, std::uint64_t seed) {
+  DMX_CHECK(n >= 1);
+  if (n == 1) return from_edges(1, {});
+  if (n == 2) return from_edges(2, {{1, 2}});
+  // Decode a random Prüfer sequence of length n-2.
+  Rng rng(seed);
+  std::vector<NodeId> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& p : prufer) {
+    p = static_cast<NodeId>(rng.uniform_int(1, n));
+  }
+  std::vector<int> remaining_degree(static_cast<std::size_t>(n) + 1, 1);
+  for (NodeId p : prufer) {
+    remaining_degree[static_cast<std::size_t>(p)] += 1;
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<std::size_t>(n - 1));
+  // Min-leaf decoding with an explicit sorted scan; n is small in tests.
+  std::vector<bool> used(static_cast<std::size_t>(n) + 1, false);
+  for (NodeId p : prufer) {
+    for (NodeId leaf = 1; leaf <= n; ++leaf) {
+      if (!used[static_cast<std::size_t>(leaf)] &&
+          remaining_degree[static_cast<std::size_t>(leaf)] == 1) {
+        edges.emplace_back(leaf, p);
+        used[static_cast<std::size_t>(leaf)] = true;
+        remaining_degree[static_cast<std::size_t>(p)] -= 1;
+        break;
+      }
+    }
+  }
+  std::vector<NodeId> last;
+  for (NodeId v = 1; v <= n; ++v) {
+    if (!used[static_cast<std::size_t>(v)] &&
+        remaining_degree[static_cast<std::size_t>(v)] >= 1) {
+      last.push_back(v);
+    }
+  }
+  DMX_CHECK(last.size() == 2);
+  edges.emplace_back(last[0], last[1]);
+  return from_edges(n, edges);
+}
+
+const std::vector<NodeId>& Tree::neighbors(NodeId v) const {
+  DMX_CHECK(v >= 1 && v <= n_);
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+std::vector<NodeId> Tree::bfs_parents(NodeId root) const {
+  DMX_CHECK(root >= 1 && root <= n_);
+  std::vector<NodeId> parent(static_cast<std::size_t>(n_) + 1, kNilNode);
+  std::vector<bool> seen(static_cast<std::size_t>(n_) + 1, false);
+  std::deque<NodeId> frontier{root};
+  seen[static_cast<std::size_t>(root)] = true;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (NodeId w : adjacency_[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        parent[static_cast<std::size_t>(w)] = v;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return parent;
+}
+
+int Tree::distance(NodeId from, NodeId to) const {
+  return static_cast<int>(path(from, to).size()) - 1;
+}
+
+std::vector<NodeId> Tree::path(NodeId from, NodeId to) const {
+  DMX_CHECK(from >= 1 && from <= n_);
+  DMX_CHECK(to >= 1 && to <= n_);
+  const std::vector<NodeId> parent = bfs_parents(from);
+  std::vector<NodeId> rev;
+  for (NodeId v = to; v != kNilNode; v = parent[static_cast<std::size_t>(v)]) {
+    rev.push_back(v);
+    if (v == from) break;
+  }
+  DMX_CHECK(rev.back() == from);
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+int Tree::eccentricity(NodeId v) const {
+  const std::vector<NodeId> parent = bfs_parents(v);
+  std::vector<int> depth(static_cast<std::size_t>(n_) + 1, 0);
+  int worst = 0;
+  // Parents are BFS order-safe: compute depth by walking up (n is small).
+  for (NodeId u = 1; u <= n_; ++u) {
+    int d = 0;
+    for (NodeId w = u; w != v; w = parent[static_cast<std::size_t>(w)]) {
+      ++d;
+    }
+    depth[static_cast<std::size_t>(u)] = d;
+    worst = std::max(worst, d);
+  }
+  return worst;
+}
+
+int Tree::diameter() const {
+  // Double BFS: farthest node from 1, then farthest from that.
+  int best = 0;
+  NodeId far1 = 1;
+  for (NodeId v = 1; v <= n_; ++v) {
+    const int d = distance(1, v);
+    if (d > best) {
+      best = d;
+      far1 = v;
+    }
+  }
+  return eccentricity(far1);
+}
+
+NodeId Tree::center() const {
+  NodeId best = 1;
+  int best_ecc = eccentricity(1);
+  for (NodeId v = 2; v <= n_; ++v) {
+    const int ecc = eccentricity(v);
+    if (ecc < best_ecc) {
+      best_ecc = ecc;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::vector<NodeId> Tree::next_pointers_toward(NodeId root) const {
+  return bfs_parents(root);
+}
+
+}  // namespace dmx::topology

@@ -1,0 +1,89 @@
+// Logical topologies for path-forwarding algorithms (Neilsen, Raymond).
+//
+// The paper requires the logical structure to be acyclic even ignoring
+// edge directions and to keep every node on a path to the single sink —
+// i.e. the undirected skeleton is a tree. This module owns that skeleton:
+// generators for the topologies Chapter 6 analyses (straight line = worst
+// case, centralized star = best case, plus k-ary/radiating-star/random for
+// sweeps), graph metrics (diameter, eccentricity, paths) and the initial
+// NEXT-pointer orientation toward the token holder (Figure 5's result).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dmx::topology {
+
+class Tree {
+ public:
+  /// Builds a tree on nodes 1..n from an explicit edge list. Validates
+  /// connectivity and acyclicity (throws via DMX_CHECK otherwise).
+  static Tree from_edges(int n,
+                         const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  /// Straight line 1-2-3-...-n (the paper's worst topology, diameter n-1).
+  static Tree line(int n);
+
+  /// Centralized topology: `center` connected to every other node (the
+  /// paper's best topology, Figure 8; diameter 2).
+  static Tree star(int n, NodeId center = 1);
+
+  /// Raymond's "radiating star": `arms` chains of (near-)equal length
+  /// radiating from node 1.
+  static Tree radiating_star(int n, int arms);
+
+  /// Balanced k-ary tree rooted at node 1 (children of i are k(i-1)+2 ...).
+  static Tree kary(int n, int k);
+
+  /// Uniform random labelled tree via a random Prüfer sequence.
+  static Tree random_tree(int n, std::uint64_t seed);
+
+  int size() const { return n_; }
+
+  /// Neighbours of `v` in ascending id order.
+  const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  int degree(NodeId v) const { return static_cast<int>(neighbors(v).size()); }
+
+  /// Undirected edge list (each edge once, smaller id first).
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const {
+    return edges_;
+  }
+
+  /// Hop distance between two nodes.
+  int distance(NodeId from, NodeId to) const;
+
+  /// Unique path from `from` to `to`, inclusive of both endpoints.
+  std::vector<NodeId> path(NodeId from, NodeId to) const;
+
+  /// Longest distance from `v` to any node.
+  int eccentricity(NodeId v) const;
+
+  /// Length of the longest path in the tree (the paper's D).
+  int diameter() const;
+
+  /// A node with minimum eccentricity (ties broken toward smaller id).
+  NodeId center() const;
+
+  /// Initial NEXT orientation: for every node the neighbour on the path
+  /// toward `root`; root itself maps to kNilNode. Index 0 is unused.
+  /// This is exactly the state the INIT procedure (Figure 5) establishes.
+  std::vector<NodeId> next_pointers_toward(NodeId root) const;
+
+ private:
+  Tree(int n, std::vector<std::pair<NodeId, NodeId>> edges,
+       std::vector<std::vector<NodeId>> adjacency)
+      : n_(n), edges_(std::move(edges)), adjacency_(std::move(adjacency)) {}
+
+  /// BFS parent array rooted at `root` (parent[root] = kNilNode).
+  std::vector<NodeId> bfs_parents(NodeId root) const;
+
+  int n_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::vector<std::vector<NodeId>> adjacency_;  // index 1..n
+};
+
+}  // namespace dmx::topology

@@ -1,0 +1,69 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace dmx::trace {
+
+void MessageTrace::on_send(const net::Envelope& env) {
+  TraceRecord record;
+  record.envelope_id = env.id;
+  record.from = env.from;
+  record.to = env.to;
+  record.sent_at = env.sent_at;
+  record.description = env.message->describe();
+  records_.push_back(std::move(record));
+}
+
+void MessageTrace::on_deliver(const net::Envelope& env) {
+  // Deliveries arrive in nondecreasing time but ids are unordered across
+  // channels; search from the back where the envelope usually is.
+  auto it = std::find_if(
+      records_.rbegin(), records_.rend(),
+      [&](const TraceRecord& r) { return r.envelope_id == env.id; });
+  if (it != records_.rend()) {
+    it->delivered_at = env.deliver_at;
+  }
+}
+
+std::size_t MessageTrace::count_matching(std::string_view needle) const {
+  return static_cast<std::size_t>(std::count_if(
+      records_.begin(), records_.end(), [&](const TraceRecord& r) {
+        return r.description.find(needle) != std::string::npos;
+      }));
+}
+
+std::string MessageTrace::dump() const {
+  std::ostringstream oss;
+  for (const TraceRecord& record : records_) {
+    oss << std::setw(6) << record.sent_at << " ";
+    if (record.delivered()) {
+      oss << std::setw(6) << record.delivered_at;
+    } else {
+      oss << std::setw(6) << "lost?";
+    }
+    oss << "  " << record.from << " -> " << record.to << "  "
+        << record.description << "\n";
+  }
+  return oss.str();
+}
+
+std::string render_dag(const std::vector<const core::NeilsenNode*>& nodes) {
+  std::ostringstream oss;
+  for (std::size_t v = 1; v < nodes.size(); ++v) {
+    if (v > 1) oss << "  ";
+    const core::NeilsenNode& node = *nodes[v];
+    if (node.is_sink()) {
+      oss << v << ":sink[" << node.state_label() << "]";
+    } else {
+      oss << v << "->" << node.next();
+    }
+    if (node.follow() != kNilNode) {
+      oss << "(follow " << node.follow() << ")";
+    }
+  }
+  return oss.str();
+}
+
+}  // namespace dmx::trace

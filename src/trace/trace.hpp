@@ -1,0 +1,53 @@
+// Protocol tracing: a network observer recording every send/delivery with
+// virtual timestamps, and a renderer for the Neilsen NEXT-graph (the
+// paper's Figure 1/2 diagrams as text). Used by examples and debugging;
+// cheap enough to leave attached during tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/neilsen_node.hpp"
+#include "net/network.hpp"
+
+namespace dmx::trace {
+
+/// One traced message.
+struct TraceRecord {
+  std::uint64_t envelope_id = 0;
+  NodeId from = kNilNode;
+  NodeId to = kNilNode;
+  Tick sent_at = 0;
+  Tick delivered_at = -1;  // -1 while in flight (or dropped)
+  std::string description;
+
+  bool delivered() const { return delivered_at >= 0; }
+};
+
+class MessageTrace final : public net::NetworkObserver {
+ public:
+  void on_send(const net::Envelope& env) override;
+  void on_deliver(const net::Envelope& env) override;
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Number of traced messages matching a substring of the description
+  /// (e.g. "REQUEST" or "PRIVILEGE").
+  std::size_t count_matching(std::string_view needle) const;
+
+  /// Aligned text dump: one line per message, send/delivery times, route,
+  /// payload description.
+  std::string dump() const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Renders the current NEXT structure of a Neilsen cluster as text, e.g.
+/// "1->2  2->3  3:sink[H]  4->3" — the arrows of the paper's figures.
+/// `nodes` is indexed 1..n with index 0 unused (core::NodeView shape).
+std::string render_dag(const std::vector<const core::NeilsenNode*>& nodes);
+
+}  // namespace dmx::trace

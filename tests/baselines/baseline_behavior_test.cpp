@@ -1,0 +1,309 @@
+// Behavioral unit tests for the baseline algorithms: the protocol paths
+// that only fire under contention (deferred replies, token queues,
+// quorum inquiries) and the variant knobs.
+#include <gtest/gtest.h>
+
+#include "baselines/carvalho_roucairol.hpp"
+#include "baselines/lamport.hpp"
+#include "baselines/maekawa.hpp"
+#include "baselines/raymond.hpp"
+#include "baselines/registry.hpp"
+#include "baselines/singhal.hpp"
+#include "baselines/suzuki_kasami.hpp"
+#include "harness/cluster.hpp"
+#include "harness/probe.hpp"
+#include "topology/tree.hpp"
+#include "workload/workload.hpp"
+
+namespace dmx::baselines {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+
+ClusterConfig config_for(int n, NodeId holder = 1) {
+  ClusterConfig config;
+  config.n = n;
+  config.initial_token_holder = holder;
+  config.tree = topology::Tree::star(n, 1);
+  return config;
+}
+
+// --- Raymond -----------------------------------------------------------
+
+TEST(RaymondBehavior, AskedFlagDedupesForwardedRequests) {
+  // Two leaves request through the hub; the hub must forward only ONE
+  // REQUEST toward the token holder (the ASKED flag).
+  ClusterConfig config;
+  config.n = 4;
+  config.initial_token_holder = 4;  // a leaf holds the token
+  config.tree = topology::Tree::star(4, 1);
+  Cluster cluster(make_raymond_algorithm(), std::move(config));
+
+  cluster.request_cs(2);
+  cluster.request_cs(3);
+  // Deliver exactly the two leaf REQUESTs at the hub and the hub's single
+  // forward at node 4 (stopping before the PRIVILEGE hand-back, which
+  // would clear ASKED and trigger a follow-up request for node 3).
+  cluster.simulator().run(3);
+  EXPECT_EQ(cluster.network().stats().sent("REQUEST"), 3u);  // 2 + 1 fwd
+  EXPECT_TRUE(cluster.node_as<RaymondNode>(1).asked());
+  EXPECT_EQ(cluster.node_as<RaymondNode>(1).queue().size(), 2u);
+
+  // Drain: both leaves get served in request order.
+  cluster.run_to_quiescence();
+  EXPECT_TRUE(cluster.is_in_cs(2));
+  cluster.release_cs(2);
+  cluster.run_to_quiescence();
+  EXPECT_TRUE(cluster.is_in_cs(3));
+  cluster.release_cs(3);
+}
+
+TEST(RaymondBehavior, TokenFollowsHolderPointers) {
+  ClusterConfig config;
+  config.n = 5;
+  config.initial_token_holder = 1;
+  config.tree = topology::Tree::line(5);
+  Cluster cluster(make_raymond_algorithm(), std::move(config));
+  harness::park_token_at(cluster, 5);
+  // Every HOLDER pointer now leads toward node 5.
+  for (NodeId v = 1; v <= 4; ++v) {
+    EXPECT_EQ(cluster.node_as<RaymondNode>(v).holder(), v + 1);
+  }
+  EXPECT_TRUE(cluster.node(5).has_token());
+}
+
+// --- Suzuki–Kasami -------------------------------------------------------
+
+TEST(SuzukiKasamiBehavior, TokenQueueBatchesWaiters) {
+  Cluster cluster(make_suzuki_kasami_algorithm(), config_for(5, 1));
+  // Node 1 holds the token inside its CS while 2, 3, 4 request.
+  cluster.request_cs(1);
+  cluster.request_cs(2);
+  cluster.request_cs(3);
+  cluster.request_cs(4);
+  cluster.run_to_quiescence();
+  // Release: LN updated, all three go onto the token queue, token moves.
+  cluster.release_cs(1);
+  cluster.run_to_quiescence();
+  EXPECT_TRUE(cluster.is_in_cs(2) || cluster.is_in_cs(3) ||
+              cluster.is_in_cs(4));
+  // Exactly one token transfer so far; the queue rides inside the token.
+  EXPECT_EQ(cluster.network().stats().sent("TOKEN"), 1u);
+}
+
+TEST(SuzukiKasamiBehavior, RequestNumbersAdvancePerBroadcast) {
+  Cluster cluster(make_suzuki_kasami_algorithm(), config_for(3, 1));
+  // First entry by node 2 broadcasts sn=1; the second entry happens while
+  // node 2 already holds the token, so no broadcast and no RN change.
+  harness::single_entry_probe(cluster, 2);
+  harness::single_entry_probe(cluster, 2);
+  EXPECT_EQ(cluster.node_as<SkNode>(3).request_number(2), 1);
+  // Move the token away, then a fresh request from node 2 bumps its RN.
+  harness::single_entry_probe(cluster, 3);
+  harness::single_entry_probe(cluster, 2);
+  EXPECT_EQ(cluster.node_as<SkNode>(3).request_number(2), 2);
+  EXPECT_EQ(cluster.node_as<SkNode>(1).request_number(3), 1);
+}
+
+// --- Lamport -------------------------------------------------------------
+
+TEST(LamportBehavior, NoOptVariantAcksEverything) {
+  Cluster cluster(make_lamport_algorithm(false), config_for(6));
+  // Two concurrent requesters: with the optimization disabled, each of
+  // the other nodes ACKs every REQUEST — including the two requesters
+  // ACKing each other.
+  cluster.request_cs(2);
+  cluster.request_cs(3);
+  cluster.run_to_quiescence();
+  EXPECT_EQ(cluster.network().stats().sent("ACKNOWLEDGE"), 10u);
+  while (cluster.cs_occupant() != kNilNode ||
+         cluster.is_waiting(2) || cluster.is_waiting(3)) {
+    if (cluster.cs_occupant() != kNilNode) {
+      cluster.release_cs(cluster.cs_occupant());
+    }
+    cluster.run_to_quiescence();
+  }
+}
+
+TEST(LamportBehavior, OptimizedVariantSuppressesRequesterAcks) {
+  Cluster cluster(make_lamport_algorithm(true), config_for(6));
+  cluster.request_cs(2);
+  cluster.request_cs(3);
+  cluster.run_to_quiescence();
+  // The two concurrent requesters suppress their mutual ACKs: 4 idle
+  // nodes ACK each requester, requesters ACK nothing.
+  EXPECT_EQ(cluster.network().stats().sent("ACKNOWLEDGE"), 8u);
+  // Drain so the fixture tears down cleanly.
+  while (cluster.cs_occupant() != kNilNode ||
+         cluster.is_waiting(2) || cluster.is_waiting(3)) {
+    if (cluster.cs_occupant() != kNilNode) {
+      cluster.release_cs(cluster.cs_occupant());
+    }
+    cluster.run_to_quiescence();
+  }
+}
+
+TEST(LamportBehavior, TimestampTieBrokenByNodeId) {
+  // Simultaneous requests with equal clocks: the smaller id wins.
+  Cluster cluster(make_lamport_algorithm(true), config_for(4));
+  std::vector<NodeId> order;
+  cluster.request_cs(3, [&](NodeId v) { order.push_back(v); });
+  cluster.request_cs(2, [&](NodeId v) { order.push_back(v); });
+  cluster.run_to_quiescence();
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 2);
+  cluster.release_cs(2);
+  cluster.run_to_quiescence();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[1], 3);
+  cluster.release_cs(3);
+}
+
+// --- Carvalho–Roucairol ---------------------------------------------------
+
+TEST(CarvalhoRoucairolBehavior, AuthorizationsPersistAcrossEntries) {
+  Cluster cluster(make_carvalho_roucairol_algorithm(), config_for(5));
+  harness::single_entry_probe(cluster, 3);
+  for (NodeId j = 1; j <= 5; ++j) {
+    EXPECT_TRUE(cluster.node_as<CrNode>(3).authorized_by(j));
+  }
+  // A request by node 4 strips node 3 of exactly one authorization.
+  harness::single_entry_probe(cluster, 4);
+  EXPECT_FALSE(cluster.node_as<CrNode>(3).authorized_by(4));
+  EXPECT_TRUE(cluster.node_as<CrNode>(3).authorized_by(2));
+}
+
+TEST(CarvalhoRoucairolBehavior, ConcurrentRequestersStaySafe) {
+  Cluster cluster(make_carvalho_roucairol_algorithm(), config_for(4));
+  // Repeated simultaneous request pairs; the harness asserts mutual
+  // exclusion continuously.
+  for (int round = 0; round < 20; ++round) {
+    std::vector<NodeId> entered;
+    cluster.hold_and_release(2, 3);
+    cluster.hold_and_release(3, 3);
+    cluster.run_to_quiescence();
+  }
+  EXPECT_EQ(cluster.total_entries(), 40u);
+}
+
+// --- Singhal ----------------------------------------------------------------
+
+TEST(SinghalBehavior, HeuristicSendsToRequestingSubsetOnly) {
+  Cluster cluster(make_singhal_algorithm(), config_for(8));
+  cluster.network().reset_stats();
+  // Node 3's staircase knows only {1, 2} as possible holders.
+  cluster.request_cs(3);
+  EXPECT_EQ(cluster.network().stats().sent("REQUEST"), 2u);
+  cluster.run_to_quiescence();
+  EXPECT_TRUE(cluster.is_in_cs(3));
+  cluster.release_cs(3);
+}
+
+TEST(SinghalBehavior, KnowledgeSpreadsWithTheToken) {
+  Cluster cluster(make_singhal_algorithm(), config_for(6));
+  harness::single_entry_probe(cluster, 4);
+  // Node 4 now knows node 1 gave the token away (merged arrays).
+  EXPECT_TRUE(cluster.node(4).has_token());
+  EXPECT_EQ(cluster.node_as<SinghalNode>(4).known_state(4),
+            SinghalState::kHolding);
+}
+
+// --- Maekawa ------------------------------------------------------------------
+
+TEST(MaekawaBehavior, InquireRelinquishPathFires) {
+  // Priority inversion: a high-id node locks part of its quorum, then a
+  // lower-priority... rather, a lower-(seq,id) request arrives at a
+  // locked arbiter and must INQUIRE the current holder. Drive many
+  // contended rounds and assert the rare-path message kinds all fired.
+  ClusterConfig config;
+  config.n = 13;  // projective-plane committees of 4
+  config.initial_token_holder = 1;
+  config.tree = topology::Tree::star(13, 1);
+  config.latency_model = std::make_unique<net::UniformLatency>(1, 9);
+  config.seed = 3;
+  Cluster cluster(make_maekawa_algorithm(), std::move(config));
+
+  workload::WorkloadConfig wl;
+  wl.target_entries = 600;
+  wl.mean_think_ticks = 2.0;
+  wl.hold_lo = 0;
+  wl.hold_hi = 3;
+  wl.seed = 41;
+  workload::run_workload(cluster, wl);
+
+  const auto& stats = cluster.network().stats();
+  EXPECT_GT(stats.sent("FAIL"), 0u);
+  EXPECT_GT(stats.sent("INQUIRE"), 0u);
+  EXPECT_GT(stats.sent("RELINQUISH"), 0u);
+  EXPECT_GT(stats.sent("LOCKED"), stats.sent("RELINQUISH"));
+}
+
+TEST(MaekawaBehavior, QuorumsComeFromRegistry) {
+  Cluster cluster(make_maekawa_algorithm(), config_for(13));
+  for (NodeId v = 1; v <= 13; ++v) {
+    EXPECT_EQ(cluster.node_as<MaekawaNode>(v).quorum().size(), 4u);
+  }
+}
+
+// --- Debug output -----------------------------------------------------------
+
+TEST(BaselineDebug, AllAlgorithmsRenderState) {
+  for (const auto& algo : all_algorithms()) {
+    Cluster cluster(algo, config_for(4));
+    for (NodeId v = 1; v <= 4; ++v) {
+      EXPECT_FALSE(cluster.node(v).debug_state().empty()) << algo.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmx::baselines
+
+// ---- heavy randomized stress for the intricate protocols -------------------
+// (regression net for round-boundary races like the stale-INQUIRE bug the
+// timestamped-message fix addresses)
+
+namespace dmx::baselines {
+namespace {
+
+class IntricateProtocolStress
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(IntricateProtocolStress, ManySeedsJitteredSaturation) {
+  const proto::Algorithm algo = algorithm_by_name(GetParam());
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    ClusterConfig config;
+    config.n = 13;
+    config.initial_token_holder = 1;
+    config.tree = topology::Tree::random_tree(13, seed);
+    config.latency_model = std::make_unique<net::ExponentialLatency>(4.0);
+    config.seed = seed;
+    Cluster cluster(algo, std::move(config));
+
+    workload::WorkloadConfig wl;
+    wl.target_entries = 250;
+    wl.mean_think_ticks = seed % 3 == 0 ? 0.0 : 2.0;
+    wl.hold_lo = 0;
+    wl.hold_hi = 3;
+    wl.seed = seed * 101 + 7;
+    const workload::WorkloadResult result =
+        workload::run_workload(cluster, wl);
+    ASSERT_GE(result.entries, wl.target_entries)
+        << algo.name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntricateProtocolStress,
+                         ::testing::Values("Maekawa", "Singhal",
+                                           "Carvalho-Roucairol"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace dmx::baselines

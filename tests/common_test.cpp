@@ -1,0 +1,125 @@
+// Tests for common utilities: deterministic RNG and check macros.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dmx {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_int(9, 9), 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(42);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.uniform_int(0, 7));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanIsApproximatelyRight) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) {
+    sum += rng.exponential(10.0);
+  }
+  EXPECT_NEAR(sum / samples, 10.0, 0.2);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.exponential(3.0), 0.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(DMX_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsLogicError) {
+  EXPECT_THROW(DMX_CHECK(false), std::logic_error);
+}
+
+TEST(Check, FailingCheckMsgIncludesMessage) {
+  try {
+    DMX_CHECK_MSG(false, "node " << 42 << " broke");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("node 42 broke"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dmx

@@ -1,0 +1,112 @@
+// Tests for the distributed initialization procedure (Figure 5): the
+// token holder floods INITIALIZE; every other node orients NEXT toward
+// the neighbour it first heard from. The resulting state must equal the
+// precomputed orientation used by the registry factory.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/messages.hpp"
+#include "core/neilsen_node.hpp"
+#include "harness/cluster.hpp"
+#include "topology/tree.hpp"
+
+namespace dmx::core {
+namespace {
+
+/// Algorithm descriptor whose nodes start *uninitialized*, with neighbour
+/// lists, as Figure 5 assumes. token_based is false so the harness skips
+/// the token-uniqueness check until initialization completes.
+proto::Algorithm make_uninitialized_neilsen() {
+  proto::Algorithm algo;
+  algo.name = "Neilsen-uninit";
+  algo.token_based = false;
+  algo.needs_tree = true;
+  algo.factory = [](const proto::ClusterSpec& spec) {
+    std::vector<std::unique_ptr<proto::MutexNode>> nodes(
+        static_cast<std::size_t>(spec.n) + 1);
+    for (NodeId v = 1; v <= spec.n; ++v) {
+      nodes[static_cast<std::size_t>(v)] = std::make_unique<NeilsenNode>(
+          spec.tree->neighbors(v), v == spec.initial_token_holder);
+    }
+    return nodes;
+  };
+  return algo;
+}
+
+class NeilsenInitTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NeilsenInitTest, FloodMatchesPrecomputedOrientation) {
+  const int n = 9;
+  const NodeId holder = static_cast<NodeId>(GetParam());
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const topology::Tree tree = topology::Tree::random_tree(n, seed);
+    harness::ClusterConfig config;
+    config.n = n;
+    config.initial_token_holder = holder;
+    config.tree = tree;
+    harness::Cluster cluster(make_uninitialized_neilsen(), std::move(config));
+
+    for (NodeId v = 1; v <= n; ++v) {
+      EXPECT_FALSE(cluster.node_as<NeilsenNode>(v).initialized());
+    }
+    cluster.node_as<NeilsenNode>(holder).start_init(cluster.context(holder));
+    cluster.run_to_quiescence();
+
+    const auto expected = tree.next_pointers_toward(holder);
+    for (NodeId v = 1; v <= n; ++v) {
+      const auto& node = cluster.node_as<NeilsenNode>(v);
+      EXPECT_TRUE(node.initialized());
+      EXPECT_EQ(node.next(), expected[static_cast<std::size_t>(v)])
+          << "node " << v << " holder " << holder << " seed " << seed;
+      EXPECT_EQ(node.follow(), kNilNode);
+      EXPECT_EQ(node.holding(), v == holder);
+    }
+    // The flood sends exactly one INITIALIZE per tree edge.
+    EXPECT_EQ(cluster.network().stats().sent("INITIALIZE"),
+              static_cast<std::uint64_t>(n - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Holders, NeilsenInitTest,
+                         ::testing::Values(1, 4, 9));
+
+TEST(NeilsenInit, StartInitOnNonHolderRejected) {
+  harness::ClusterConfig config;
+  config.n = 3;
+  config.initial_token_holder = 1;
+  config.tree = topology::Tree::line(3);
+  harness::Cluster cluster(make_uninitialized_neilsen(), std::move(config));
+  EXPECT_THROW(
+      cluster.node_as<NeilsenNode>(2).start_init(cluster.context(2)),
+      std::logic_error);
+}
+
+TEST(NeilsenInit, RequestBeforeInitializationRejected) {
+  harness::ClusterConfig config;
+  config.n = 3;
+  config.initial_token_holder = 1;
+  config.tree = topology::Tree::line(3);
+  harness::Cluster cluster(make_uninitialized_neilsen(), std::move(config));
+  EXPECT_THROW(cluster.request_cs(2), std::logic_error);
+}
+
+TEST(NeilsenInit, ProtocolUsableImmediatelyAfterInit) {
+  harness::ClusterConfig config;
+  config.n = 5;
+  config.initial_token_holder = 3;
+  config.tree = topology::Tree::star(5, 2);
+  harness::Cluster cluster(make_uninitialized_neilsen(), std::move(config));
+  cluster.node_as<NeilsenNode>(3).start_init(cluster.context(3));
+  cluster.run_to_quiescence();
+
+  std::vector<NodeId> entered;
+  for (NodeId v : {5, 1, 4}) {
+    cluster.hold_and_release(v, 2);
+  }
+  cluster.run_to_quiescence();
+  EXPECT_EQ(cluster.total_entries(), 3u);
+}
+
+}  // namespace
+}  // namespace dmx::core

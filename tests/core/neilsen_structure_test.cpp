@@ -1,0 +1,181 @@
+// Structural fidelity tests for Chapter 3's finer claims: the transient
+// multi-sink window, edge-inversion bookkeeping, and the implicit-queue
+// deduction utilities on their own.
+#include <gtest/gtest.h>
+
+#include "core/algorithm.hpp"
+#include "core/implicit_queue.hpp"
+#include "core/invariants.hpp"
+#include "core/neilsen_node.hpp"
+#include "harness/cluster.hpp"
+#include "topology/tree.hpp"
+
+namespace dmx::core {
+namespace {
+
+using harness::Cluster;
+using harness::ClusterConfig;
+
+NodeView view(Cluster& cluster) {
+  NodeView nodes;
+  nodes.push_back(nullptr);
+  for (NodeId v = 1; v <= cluster.size(); ++v) {
+    nodes.push_back(&cluster.node_as<NeilsenNode>(v));
+  }
+  return nodes;
+}
+
+std::size_t count_sinks(const NodeView& nodes) {
+  std::size_t sinks = 0;
+  for (std::size_t v = 1; v < nodes.size(); ++v) {
+    if (nodes[v]->is_sink()) ++sinks;
+  }
+  return sinks;
+}
+
+TEST(NeilsenSinks, ExactlyOneSinkAtRest) {
+  ClusterConfig config;
+  config.n = 6;
+  config.initial_token_holder = 3;
+  config.tree = topology::Tree::line(6);
+  Cluster cluster(make_neilsen_algorithm(), std::move(config));
+  EXPECT_EQ(count_sinks(view(cluster)), 1u);
+}
+
+TEST(NeilsenSinks, ThreeSinksWhileTwoRequestsAreInTransit) {
+  // Chapter 3: "Assume that node X and node Y initiate requests at about
+  // the same time. There may be at most three sink nodes while the
+  // requests are in transit: node X, node Y and the current sink."
+  ClusterConfig config;
+  config.n = 5;
+  config.initial_token_holder = 3;
+  config.tree = topology::Tree::line(5);
+  Cluster cluster(make_neilsen_algorithm(), std::move(config));
+
+  cluster.request_cs(1);
+  cluster.request_cs(5);
+  // Nothing delivered yet: 1 and 5 made themselves sinks; 3 still is one.
+  EXPECT_EQ(count_sinks(view(cluster)), 3u);
+  EXPECT_EQ(cluster.network().in_flight_count("REQUEST"), 2u);
+
+  // As requests land, the sink count collapses back toward one.
+  cluster.run_to_quiescence();
+  // Token holder 3 is in... nobody was in CS: node 3 idle-holding handed
+  // the token to whichever request arrived first.
+  EXPECT_EQ(count_sinks(view(cluster)),
+            1u + cluster.network().in_flight_count("REQUEST"));
+}
+
+TEST(NeilsenSinks, SinkCountNeverExceedsRequestsInFlightPlusOne) {
+  ClusterConfig config;
+  config.n = 7;
+  config.initial_token_holder = 4;
+  config.tree = topology::Tree::random_tree(7, 9);
+  Cluster cluster(make_neilsen_algorithm(), std::move(config));
+  cluster.set_post_event_hook([](Cluster& c) {
+    NodeView nodes;
+    nodes.push_back(nullptr);
+    for (NodeId v = 1; v <= c.size(); ++v) {
+      nodes.push_back(&c.node_as<NeilsenNode>(v));
+    }
+    ASSERT_LE(count_sinks(nodes),
+              c.network().in_flight_count("REQUEST") + 1);
+  });
+  for (NodeId v = 1; v <= 7; ++v) {
+    cluster.hold_and_release(v, 1);
+  }
+  cluster.run_to_quiescence();
+}
+
+TEST(ImplicitQueue, HolderWithEmptyChain) {
+  ClusterConfig config;
+  config.n = 4;
+  config.initial_token_holder = 2;
+  config.tree = topology::Tree::star(4, 1);
+  Cluster cluster(make_neilsen_algorithm(), std::move(config));
+  const NodeView nodes = view(cluster);
+  EXPECT_EQ(find_token_holder(nodes), 2);
+  EXPECT_TRUE(deduce_waiting_queue(nodes, 2).empty());
+}
+
+TEST(ImplicitQueue, HolderInCsStillFound) {
+  ClusterConfig config;
+  config.n = 3;
+  config.initial_token_holder = 1;
+  config.tree = topology::Tree::line(3);
+  Cluster cluster(make_neilsen_algorithm(), std::move(config));
+  cluster.request_cs(1);
+  EXPECT_EQ(find_token_holder(view(cluster)), 1);
+  cluster.release_cs(1);
+}
+
+TEST(ImplicitQueue, NoHolderWhileTokenInFlight) {
+  ClusterConfig config;
+  config.n = 3;
+  config.initial_token_holder = 1;
+  config.tree = topology::Tree::line(3);
+  Cluster cluster(make_neilsen_algorithm(), std::move(config));
+  cluster.request_cs(3);
+  // Run until the idle holder has dispatched the PRIVILEGE but node 3
+  // has not received it yet.
+  while (cluster.network().in_flight_count("PRIVILEGE") == 0) {
+    cluster.simulator().step();
+  }
+  EXPECT_EQ(find_token_holder(view(cluster)), kNilNode);
+  cluster.run_to_quiescence();
+  EXPECT_EQ(find_token_holder(view(cluster)), 3);
+  cluster.release_cs(3);
+}
+
+TEST(ImplicitQueue, CorruptFollowCycleDetected) {
+  const NeilsenNode a = NeilsenNode::restore(
+      false, kNilNode, 2, NeilsenNode::CsStatus::kInCs);
+  const NeilsenNode b = NeilsenNode::restore(
+      false, 1, 1, NeilsenNode::CsStatus::kWaiting);  // FOLLOW back to 1!
+  // 1 -> 2 -> 1 cycles; deduce_waiting_queue must throw, not hang.
+  EXPECT_THROW(deduce_waiting_queue({nullptr, &a, &b}, 1),
+               std::logic_error);
+}
+
+TEST(ImplicitQueue, TwoHoldersDetected) {
+  const NeilsenNode a = NeilsenNode::restore(
+      true, kNilNode, kNilNode, NeilsenNode::CsStatus::kIdle);
+  const NeilsenNode b = NeilsenNode::restore(
+      true, kNilNode, kNilNode, NeilsenNode::CsStatus::kIdle);
+  EXPECT_THROW(find_token_holder({nullptr, &a, &b}), std::logic_error);
+}
+
+TEST(EdgeInversion, UndirectedTreeIsPreservedForever) {
+  // Chapter 5 assumption 2: forwarding a REQUEST "simply changes the
+  // direction of an edge", so the undirected edge multiset of the NEXT
+  // graph (plus each sink's missing edge) stays within the original tree.
+  ClusterConfig config;
+  config.n = 8;
+  config.initial_token_holder = 5;
+  const topology::Tree tree = topology::Tree::random_tree(8, 31);
+  config.tree = tree;
+  Cluster cluster(make_neilsen_algorithm(), std::move(config));
+
+  auto edges_are_tree_edges = [&](Cluster& c) {
+    for (NodeId v = 1; v <= c.size(); ++v) {
+      const NodeId next = c.node_as<NeilsenNode>(v).next();
+      if (next == kNilNode) continue;
+      const auto& nbrs = tree.neighbors(v);
+      ASSERT_TRUE(std::find(nbrs.begin(), nbrs.end(), next) != nbrs.end())
+          << "NEXT edge " << v << "->" << next
+          << " is not an edge of the logical tree";
+    }
+  };
+  cluster.set_post_event_hook(
+      [&](Cluster& c) { edges_are_tree_edges(c); });
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId v = 1; v <= 8; ++v) {
+      cluster.hold_and_release(v, 2);
+    }
+    cluster.run_to_quiescence();
+  }
+  EXPECT_EQ(cluster.total_entries(), 24u);
+}
+
+}  // namespace
+}  // namespace dmx::core

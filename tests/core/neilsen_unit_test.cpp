@@ -1,0 +1,203 @@
+// Unit tests for NeilsenNode: construction contracts, the Figure 4 state
+// transition graph, message handling preconditions, storage accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "core/neilsen_node.hpp"
+
+namespace dmx::core {
+namespace {
+
+/// Minimal test double capturing protocol outputs.
+class FakeContext final : public proto::Context {
+ public:
+  FakeContext(NodeId self, int n) : self_(self), n_(n) {}
+
+  NodeId self() const override { return self_; }
+  int cluster_size() const override { return n_; }
+  void send(NodeId to, net::MessagePtr message) override {
+    sent.emplace_back(to, std::move(message));
+  }
+  void grant() override { ++grants; }
+
+  std::vector<std::pair<NodeId, net::MessagePtr>> sent;
+  int grants = 0;
+
+ private:
+  NodeId self_;
+  int n_;
+};
+
+TEST(NeilsenNodeCtor, HolderMustBeSink) {
+  EXPECT_THROW(NeilsenNode(2, /*holding=*/true), std::logic_error);
+  EXPECT_THROW(NeilsenNode(kNilNode, /*holding=*/false), std::logic_error);
+  EXPECT_NO_THROW(NeilsenNode(kNilNode, /*holding=*/true));
+  EXPECT_NO_THROW(NeilsenNode(2, /*holding=*/false));
+}
+
+TEST(NeilsenNodeStates, HolderEntersImmediately) {
+  NeilsenNode node(kNilNode, true);
+  FakeContext ctx(1, 3);
+  EXPECT_EQ(node.state_label(), "H");
+  node.request_cs(ctx);
+  EXPECT_EQ(ctx.grants, 1);
+  EXPECT_TRUE(ctx.sent.empty());
+  EXPECT_EQ(node.state_label(), "E");
+  EXPECT_FALSE(node.holding());  // HOLDING := false before the CS
+  EXPECT_TRUE(node.has_token());
+}
+
+TEST(NeilsenNodeStates, NonHolderSendsRequestAndBecomesSink) {
+  NeilsenNode node(2, false);
+  FakeContext ctx(1, 3);
+  EXPECT_EQ(node.state_label(), "N");
+  node.request_cs(ctx);
+  EXPECT_EQ(node.state_label(), "R");
+  EXPECT_TRUE(node.is_sink());
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].first, 2);
+  const auto& req = dynamic_cast<const RequestMessage&>(*ctx.sent[0].second);
+  EXPECT_EQ(req.hop(), 1);
+  EXPECT_EQ(req.origin(), 1);
+}
+
+TEST(NeilsenNodeStates, Transition2_WaitingSinkSavesFollow) {
+  NeilsenNode node(2, false);
+  FakeContext ctx(1, 4);
+  node.request_cs(ctx);  // R, sink
+  node.on_message(ctx, 3, RequestMessage(3, 4));
+  EXPECT_EQ(node.state_label(), "RF");
+  EXPECT_EQ(node.follow(), 4);
+  EXPECT_EQ(node.next(), 3);
+  EXPECT_EQ(ctx.sent.size(), 1u);  // only the original request, no forward
+}
+
+TEST(NeilsenNodeStates, Transition3_NonSinkForwardsRewritingHop) {
+  NeilsenNode node(2, false);  // N state, NEXT=2
+  FakeContext ctx(1, 5);
+  node.on_message(ctx, 3, RequestMessage(3, 5));
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].first, 2);
+  const auto& fwd = dynamic_cast<const RequestMessage&>(*ctx.sent[0].second);
+  EXPECT_EQ(fwd.hop(), 1);     // rewritten to the forwarder
+  EXPECT_EQ(fwd.origin(), 5);  // origin preserved
+  EXPECT_EQ(node.next(), 3);   // edge inverted toward requester
+  EXPECT_EQ(node.state_label(), "N");
+}
+
+TEST(NeilsenNodeStates, Transition8_IdleHolderPassesTokenDirectly) {
+  NeilsenNode node(kNilNode, true);  // H
+  FakeContext ctx(1, 4);
+  node.on_message(ctx, 2, RequestMessage(2, 4));
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].first, 4);  // straight to the origin
+  EXPECT_EQ(ctx.sent[0].second->kind(), "PRIVILEGE");
+  EXPECT_FALSE(node.holding());
+  EXPECT_EQ(node.next(), 2);
+  EXPECT_EQ(node.state_label(), "N");
+  EXPECT_FALSE(node.has_token());
+}
+
+TEST(NeilsenNodeStates, Transition4_PrivilegeEntersCs) {
+  NeilsenNode node(2, false);
+  FakeContext ctx(1, 3);
+  node.request_cs(ctx);
+  node.on_message(ctx, 2, PrivilegeMessage());
+  EXPECT_EQ(ctx.grants, 1);
+  EXPECT_EQ(node.state_label(), "E");
+  EXPECT_TRUE(node.has_token());
+}
+
+TEST(NeilsenNodeStates, Transition5_ReleaseWithoutFollowerKeepsToken) {
+  NeilsenNode node(kNilNode, true);
+  FakeContext ctx(1, 3);
+  node.request_cs(ctx);
+  node.release_cs(ctx);
+  EXPECT_EQ(node.state_label(), "H");
+  EXPECT_TRUE(node.holding());
+  EXPECT_TRUE(ctx.sent.empty());
+}
+
+TEST(NeilsenNodeStates, Transition7_ReleaseWithFollowerPassesToken) {
+  NeilsenNode node(kNilNode, true);
+  FakeContext ctx(1, 3);
+  node.request_cs(ctx);            // E
+  node.on_message(ctx, 2, RequestMessage(2, 3));  // E -> EF
+  EXPECT_EQ(node.state_label(), "EF");
+  node.release_cs(ctx);            // EF -> N, token to FOLLOW
+  EXPECT_EQ(node.state_label(), "N");
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].first, 3);
+  EXPECT_EQ(ctx.sent[0].second->kind(), "PRIVILEGE");
+  EXPECT_EQ(node.follow(), kNilNode);
+}
+
+TEST(NeilsenNodeStates, WaitingNonSinkForwardsLaterRequests) {
+  NeilsenNode node(2, false);
+  FakeContext ctx(1, 5);
+  node.request_cs(ctx);                            // R (sink)
+  node.on_message(ctx, 3, RequestMessage(3, 4));   // RF, FOLLOW=4, NEXT=3
+  ctx.sent.clear();
+  node.on_message(ctx, 5, RequestMessage(5, 5));   // forwards to NEXT=3
+  ASSERT_EQ(ctx.sent.size(), 1u);
+  EXPECT_EQ(ctx.sent[0].first, 3);
+  const auto& fwd = dynamic_cast<const RequestMessage&>(*ctx.sent[0].second);
+  EXPECT_EQ(fwd.origin(), 5);
+  EXPECT_EQ(node.next(), 5);
+  EXPECT_EQ(node.follow(), 4);  // unchanged
+}
+
+TEST(NeilsenNodePreconditions, DoubleRequestRejected) {
+  NeilsenNode node(kNilNode, true);
+  FakeContext ctx(1, 2);
+  node.request_cs(ctx);
+  EXPECT_THROW(node.request_cs(ctx), std::logic_error);
+}
+
+TEST(NeilsenNodePreconditions, ReleaseOutsideCsRejected) {
+  NeilsenNode node(2, false);
+  FakeContext ctx(1, 2);
+  EXPECT_THROW(node.release_cs(ctx), std::logic_error);
+}
+
+TEST(NeilsenNodePreconditions, UnexpectedPrivilegeRejected) {
+  NeilsenNode node(2, false);  // idle, not waiting
+  FakeContext ctx(1, 2);
+  EXPECT_THROW(node.on_message(ctx, 2, PrivilegeMessage()),
+               std::logic_error);
+}
+
+TEST(NeilsenNodePreconditions, RequestHopMismatchRejected) {
+  NeilsenNode node(2, false);
+  FakeContext ctx(1, 4);
+  EXPECT_THROW(node.on_message(ctx, 3, RequestMessage(2, 4)),
+               std::logic_error);
+}
+
+TEST(NeilsenNodeStorage, ThreeSimpleVariables) {
+  // §6.4: each node maintains three simple variables, regardless of load.
+  NeilsenNode node(2, false);
+  EXPECT_EQ(node.state_bytes(), sizeof(bool) + 2 * sizeof(NodeId));
+}
+
+TEST(NeilsenNodeMessages, RequestCarriesTwoIntegers) {
+  const RequestMessage req(3, 7);
+  EXPECT_EQ(req.payload_bytes(), 2 * sizeof(NodeId));
+  EXPECT_EQ(req.describe(), "REQUEST(3,7)");
+}
+
+TEST(NeilsenNodeMessages, PrivilegeCarriesNothing) {
+  const PrivilegeMessage priv;
+  EXPECT_EQ(priv.payload_bytes(), 0u);
+}
+
+TEST(NeilsenNodeDebug, StateRendering) {
+  NeilsenNode node(2, false);
+  EXPECT_EQ(node.debug_state(), "HOLDING=f NEXT=2 FOLLOW=0 [N]");
+}
+
+}  // namespace
+}  // namespace dmx::core

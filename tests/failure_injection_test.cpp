@@ -1,0 +1,116 @@
+// Failure-injection tests.
+//
+// Chapter 2 assumes "the nodes are fully connected by a reliable
+// network". These tests break that assumption deliberately and verify
+// two things: (a) the assumption is load-bearing — a lost PRIVILEGE is a
+// lost token, a lost REQUEST is a starved requester — and (b) the
+// repository's invariant checking and stall detection actually catch the
+// resulting damage instead of silently mis-running.
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "harness/cluster.hpp"
+#include "topology/tree.hpp"
+#include "workload/workload.hpp"
+
+namespace dmx::harness {
+namespace {
+
+ClusterConfig line_config(int n, NodeId holder) {
+  ClusterConfig config;
+  config.n = n;
+  config.initial_token_holder = holder;
+  config.tree = topology::Tree::line(n);
+  return config;
+}
+
+TEST(FailureInjection, DropCountingWorks) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(4, 1));
+  cluster.network().drop_next("REQUEST");
+  cluster.request_cs(3);
+  cluster.run_to_quiescence();
+  EXPECT_EQ(cluster.network().stats().total_dropped, 1u);
+  EXPECT_EQ(cluster.network().stats().sent("REQUEST"), 1u);  // counted sent
+  EXPECT_TRUE(cluster.is_waiting(3));  // and the requester hangs
+}
+
+TEST(FailureInjection, LostPrivilegeIsDetectedAsTokenLoss) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(4, 1));
+  // Node 3 requests; node 1 holds the token and will answer with a
+  // PRIVILEGE, which we destroy in flight.
+  cluster.network().drop_next("PRIVILEGE");
+  cluster.request_cs(3);
+  // Deliveries run until the REQUEST reaches node 1, whose PRIVILEGE
+  // evaporates. The token-uniqueness invariant must now fail loudly.
+  try {
+    cluster.run_to_quiescence();
+    cluster.check_invariants();
+    FAIL() << "token loss went undetected";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("token count is 0"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FailureInjection, LostRequestStallsTheWorkload) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(5, 1));
+  cluster.network().drop_next("REQUEST");
+  workload::WorkloadConfig wl;
+  wl.target_entries = 50;
+  wl.participants = {5};  // its first REQUEST evaporates
+  EXPECT_THROW(workload::run_workload(cluster, wl), std::logic_error);
+}
+
+TEST(FailureInjection, LossyNetworkEventuallyViolatesOrStalls) {
+  // Under sustained loss, a token algorithm must end in one of the two
+  // detectable failure modes: token loss (invariant failure) or a stalled
+  // workload (liveness failure). Silent success would be a bug in the
+  // failure injection or the checkers.
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(5, 1));
+  cluster.network().set_drop_probability(0.3);
+  workload::WorkloadConfig wl;
+  wl.target_entries = 2000;
+  wl.seed = 3;
+  bool detected = false;
+  try {
+    workload::run_workload(cluster, wl);
+  } catch (const std::logic_error&) {
+    detected = true;
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(FailureInjection, AssertionAlgorithmsStallRatherThanDoubleGrant) {
+  // Ricart–Agrawala with a lost REPLY: the requester simply never
+  // assembles N-1 replies. Mutual exclusion is never violated; the
+  // workload stalls and the stall is detected.
+  Cluster cluster(baselines::algorithm_by_name("Ricart-Agrawala"),
+                  line_config(4, 1));
+  cluster.network().drop_next("REPLY");
+  workload::WorkloadConfig wl;
+  wl.target_entries = 10;
+  wl.participants = {2};
+  EXPECT_THROW(workload::run_workload(cluster, wl), std::logic_error);
+}
+
+TEST(FailureInjection, ZeroDropProbabilityIsHarmless) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(4, 1));
+  cluster.network().set_drop_probability(0.0);
+  workload::WorkloadConfig wl;
+  wl.target_entries = 50;
+  const workload::WorkloadResult result = workload::run_workload(cluster, wl);
+  EXPECT_GE(result.entries, 50u);
+  EXPECT_EQ(cluster.network().stats().total_dropped, 0u);
+}
+
+TEST(FailureInjection, InvalidDropProbabilityRejected) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(3, 1));
+  EXPECT_THROW(cluster.network().set_drop_probability(-0.1),
+               std::logic_error);
+  EXPECT_THROW(cluster.network().set_drop_probability(1.5),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace dmx::harness

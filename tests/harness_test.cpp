@@ -1,0 +1,146 @@
+// Tests for the simulation harness: cluster lifecycle, grant/release
+// bookkeeping, probes, and the delay analyses.
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "harness/cluster.hpp"
+#include "harness/delay_analysis.hpp"
+#include "harness/probe.hpp"
+#include "topology/tree.hpp"
+
+namespace dmx::harness {
+namespace {
+
+ClusterConfig line_config(int n, NodeId holder) {
+  ClusterConfig config;
+  config.n = n;
+  config.initial_token_holder = holder;
+  config.tree = topology::Tree::line(n);
+  return config;
+}
+
+TEST(Cluster, GrantCallbackFiresOnEntry) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(4, 1));
+  bool entered = false;
+  cluster.request_cs(1, [&](NodeId v) {
+    EXPECT_EQ(v, 1);
+    entered = true;
+  });
+  EXPECT_TRUE(entered);  // holder enters synchronously
+  EXPECT_TRUE(cluster.is_in_cs(1));
+  EXPECT_EQ(cluster.cs_occupant(), 1);
+  cluster.release_cs(1);
+  EXPECT_EQ(cluster.cs_occupant(), kNilNode);
+}
+
+TEST(Cluster, DoubleRequestRejected) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(4, 1));
+  cluster.request_cs(2);
+  EXPECT_THROW(cluster.request_cs(2), std::logic_error);
+}
+
+TEST(Cluster, ReleaseByNonOccupantRejected) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(4, 1));
+  cluster.request_cs(1);
+  EXPECT_THROW(cluster.release_cs(2), std::logic_error);
+}
+
+TEST(Cluster, WaitingStateVisible) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(4, 1));
+  cluster.request_cs(1);
+  cluster.request_cs(3);
+  EXPECT_TRUE(cluster.is_waiting(3));
+  EXPECT_FALSE(cluster.is_in_cs(3));
+  cluster.run_to_quiescence();
+  EXPECT_TRUE(cluster.is_waiting(3));  // token still held by node 1
+  cluster.release_cs(1);
+  cluster.run_to_quiescence();
+  EXPECT_TRUE(cluster.is_in_cs(3));
+}
+
+TEST(Cluster, HoldAndReleaseCompletesCycle) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(4, 1));
+  bool released = false;
+  cluster.hold_and_release(3, 5, [&](NodeId) { released = true; });
+  cluster.run_to_quiescence();
+  EXPECT_TRUE(released);
+  EXPECT_EQ(cluster.total_entries(), 1u);
+}
+
+TEST(Cluster, EventLogRecordsLifecycle) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(3, 1));
+  cluster.hold_and_release(2, 4);
+  cluster.run_to_quiescence();
+  const auto& events = cluster.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, CsEvent::Kind::kRequest);
+  EXPECT_EQ(events[1].kind, CsEvent::Kind::kEnter);
+  EXPECT_EQ(events[2].kind, CsEvent::Kind::kExit);
+  EXPECT_EQ(events[2].at - events[1].at, 4);  // the hold duration
+}
+
+TEST(Cluster, EventLoggingCanBeDisabled) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(3, 1));
+  cluster.set_event_logging(false);
+  cluster.hold_and_release(2, 1);
+  cluster.run_to_quiescence();
+  EXPECT_TRUE(cluster.events().empty());
+}
+
+TEST(Cluster, TreeRequiredForTreeAlgorithms) {
+  ClusterConfig config;
+  config.n = 3;
+  EXPECT_THROW(
+      Cluster(baselines::algorithm_by_name("Neilsen"), std::move(config)),
+      std::logic_error);
+}
+
+TEST(Probe, ParkTokenMovesToken) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(5, 1));
+  park_token_at(cluster, 4);
+  EXPECT_TRUE(cluster.node(4).has_token());
+  EXPECT_FALSE(cluster.node(1).has_token());
+}
+
+TEST(Probe, SingleEntryMeasuresTicksAndMessages) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(5, 1));
+  const ProbeResult probe = single_entry_probe(cluster, 5, /*hold=*/3);
+  // 4 REQUEST hops + 1 PRIVILEGE, all at unit latency.
+  EXPECT_EQ(probe.messages_total, 5u);
+  EXPECT_EQ(probe.messages_to_enter, 5u);
+  EXPECT_EQ(probe.ticks_to_enter, 5);
+}
+
+TEST(DelayAnalysis, WaitingTimes) {
+  std::vector<CsEvent> events{
+      {0, 1, CsEvent::Kind::kRequest},  {2, 1, CsEvent::Kind::kEnter},
+      {5, 1, CsEvent::Kind::kExit},     {4, 2, CsEvent::Kind::kRequest},
+      {10, 2, CsEvent::Kind::kEnter},   {11, 2, CsEvent::Kind::kExit},
+  };
+  const metrics::Summary waits = waiting_times(events);
+  EXPECT_EQ(waits.count(), 2u);
+  EXPECT_EQ(waits.min(), 2.0);
+  EXPECT_EQ(waits.max(), 6.0);
+}
+
+TEST(DelayAnalysis, SyncDelayOnlyCountsBlockedSuccessors) {
+  std::vector<CsEvent> events{
+      {0, 1, CsEvent::Kind::kRequest},  {0, 1, CsEvent::Kind::kEnter},
+      {1, 2, CsEvent::Kind::kRequest},  // blocked before exit below
+      {5, 1, CsEvent::Kind::kExit},     {6, 2, CsEvent::Kind::kEnter},
+      {7, 2, CsEvent::Kind::kExit},
+      // Node 3 requests only after node 2 exited: not a sync-delay sample.
+      {9, 3, CsEvent::Kind::kRequest},  {12, 3, CsEvent::Kind::kEnter},
+  };
+  const metrics::Summary delays = synchronization_delays(events);
+  EXPECT_EQ(delays.count(), 1u);
+  EXPECT_EQ(delays.mean(), 1.0);
+}
+
+TEST(DelayAnalysis, EmptyLogGivesEmptySummaries) {
+  EXPECT_EQ(waiting_times({}).count(), 0u);
+  EXPECT_EQ(synchronization_delays({}).count(), 0u);
+}
+
+}  // namespace
+}  // namespace dmx::harness

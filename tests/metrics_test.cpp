@@ -1,0 +1,95 @@
+// Tests for summary statistics, histograms and table rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/summary.hpp"
+#include "metrics/table.hpp"
+
+namespace dmx::metrics {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  Summary s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, KnownMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, NegativeValues) {
+  Summary s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i % 10) + 0.5);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LE(h.quantile(0.0), 1.0);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 10.0, 1.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.buckets().front(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Histogram, EmptyQuantileIsLowerBound) {
+  Histogram h(5.0, 10.0, 5);
+  EXPECT_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"algo", "messages"});
+  t.add_row({"Neilsen", "3"});
+  t.add_row({"Raymond", "4"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| algo    | messages |"), std::string::npos);
+  EXPECT_NE(out.find("| Neilsen | 3        |"), std::string::npos);
+  EXPECT_NE(out.find("|---------|----------|"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace dmx::metrics

@@ -1,0 +1,176 @@
+// Exhaustive model-checking tests: the Chapter 5 theorems verified over
+// every interleaving of small configurations.
+#include <gtest/gtest.h>
+
+#include "modelcheck/explorer.hpp"
+#include "topology/tree.hpp"
+
+namespace dmx::modelcheck {
+namespace {
+
+ExplorerResult check(const topology::Tree& tree, NodeId holder,
+                     int requests_per_node,
+                     std::size_t max_states = 5'000'000) {
+  ExplorerConfig config;
+  config.n = tree.size();
+  config.initial_token_holder = holder;
+  config.tree = &tree;
+  config.requests_per_node = requests_per_node;
+  config.max_states = max_states;
+  return explore(config);
+}
+
+TEST(ModelCheck, TwoNodesManyEntries) {
+  const topology::Tree tree = topology::Tree::line(2);
+  const ExplorerResult result = check(tree, 1, 4);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_GT(result.states, 10u);
+  EXPECT_GE(result.terminal_states, 1u);
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(ModelCheck, LineOfThreeTwoEntriesEach) {
+  const topology::Tree tree = topology::Tree::line(3);
+  for (NodeId holder : {1, 2, 3}) {
+    const ExplorerResult result = check(tree, holder, 2);
+    EXPECT_TRUE(result.ok) << "holder " << holder << ": " << result.violation;
+    EXPECT_GT(result.states, 100u);
+  }
+}
+
+TEST(ModelCheck, StarOfFourSingleEntries) {
+  const topology::Tree tree = topology::Tree::star(4, 1);
+  for (NodeId holder : {1, 2}) {
+    const ExplorerResult result = check(tree, holder, 1);
+    EXPECT_TRUE(result.ok) << result.violation;
+  }
+}
+
+TEST(ModelCheck, StarOfFourTwoEntriesEach) {
+  const topology::Tree tree = topology::Tree::star(4, 1);
+  const ExplorerResult result = check(tree, 2, 2);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_GT(result.states, 10'000u);
+}
+
+TEST(ModelCheck, LineOfFourSingleEntries) {
+  const topology::Tree tree = topology::Tree::line(4);
+  const ExplorerResult result = check(tree, 2, 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(ModelCheck, RandomTreesOfFive) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const topology::Tree tree = topology::Tree::random_tree(5, seed);
+    const ExplorerResult result = check(tree, 3, 1);
+    EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
+  }
+}
+
+TEST(ModelCheck, StateBudgetTruncationIsReported) {
+  const topology::Tree tree = topology::Tree::star(4, 1);
+  const ExplorerResult result = check(tree, 1, 2, /*max_states=*/50);
+  EXPECT_FALSE(result.ok);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_NE(result.violation.find("inconclusive"), std::string::npos);
+}
+
+TEST(ModelCheck, ActionRendering) {
+  Action request{Action::Type::kRequest, 3, kNilNode};
+  Action deliver{Action::Type::kDeliver, 2, 5};
+  EXPECT_EQ(request.to_string(), "request(3)");
+  EXPECT_EQ(deliver.to_string(), "deliver(5 -> 2)");
+}
+
+TEST(ModelCheck, RejectsOversizedConfigurations) {
+  const topology::Tree tree = topology::Tree::line(9);
+  ExplorerConfig config;
+  config.n = 9;
+  config.tree = &tree;
+  EXPECT_THROW(explore(config), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dmx::modelcheck
+
+// ---- Raymond explorer ------------------------------------------------------
+// (appended suite: the baseline verified with the same rigor as the core)
+
+#include "modelcheck/raymond_explorer.hpp"
+
+namespace dmx::modelcheck {
+namespace {
+
+ExplorerResult check_raymond(const topology::Tree& tree, NodeId holder,
+                             int requests_per_node) {
+  ExplorerConfig config;
+  config.n = tree.size();
+  config.initial_token_holder = holder;
+  config.tree = &tree;
+  config.requests_per_node = requests_per_node;
+  return explore_raymond(config);
+}
+
+TEST(RaymondModelCheck, TwoNodesManyEntries) {
+  const topology::Tree tree = topology::Tree::line(2);
+  const ExplorerResult result = check_raymond(tree, 1, 4);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_GT(result.states, 10u);
+}
+
+TEST(RaymondModelCheck, LineOfThreeTwoEntriesEach) {
+  const topology::Tree tree = topology::Tree::line(3);
+  for (NodeId holder : {1, 2}) {
+    const ExplorerResult result = check_raymond(tree, holder, 2);
+    EXPECT_TRUE(result.ok) << "holder " << holder << ": "
+                           << result.violation;
+    EXPECT_GT(result.states, 100u);
+  }
+}
+
+TEST(RaymondModelCheck, StarOfFour) {
+  const topology::Tree tree = topology::Tree::star(4, 1);
+  for (int requests : {1, 2}) {
+    const ExplorerResult result = check_raymond(tree, 2, requests);
+    EXPECT_TRUE(result.ok) << result.violation;
+  }
+}
+
+TEST(RaymondModelCheck, RandomTreesOfFive) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const topology::Tree tree = topology::Tree::random_tree(5, seed);
+    const ExplorerResult result = check_raymond(tree, 2, 1);
+    EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
+  }
+}
+
+}  // namespace
+}  // namespace dmx::modelcheck
+
+// ---- additional shapes -------------------------------------------------------
+
+namespace dmx::modelcheck {
+namespace {
+
+TEST(ModelCheck, BinaryTreeOfFive) {
+  const topology::Tree tree = topology::Tree::kary(5, 2);
+  const ExplorerResult result = check(tree, 1, 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(ModelCheck, StarOfFiveSingleEntries) {
+  const topology::Tree tree = topology::Tree::star(5, 1);
+  for (NodeId holder : {1, 3}) {
+    const ExplorerResult result = check(tree, holder, 1);
+    EXPECT_TRUE(result.ok) << result.violation;
+  }
+}
+
+TEST(RaymondModelCheck, BinaryTreeOfFive) {
+  const topology::Tree tree = topology::Tree::kary(5, 2);
+  const ExplorerResult result = check_raymond(tree, 1, 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+}  // namespace
+}  // namespace dmx::modelcheck

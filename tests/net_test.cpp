@@ -1,0 +1,208 @@
+// Tests for the simulated network: FIFO channels, latency models,
+// counters, in-flight introspection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dmx::net {
+namespace {
+
+class TestMessage final : public Message {
+ public:
+  explicit TestMessage(int value, std::string kind = "TEST")
+      : value_(value), kind_(std::move(kind)) {}
+  int value() const { return value_; }
+  std::string_view kind() const override { return kind_; }
+  std::size_t payload_bytes() const override { return sizeof(int); }
+
+ private:
+  int value_;
+  std::string kind_;
+};
+
+struct Delivery {
+  NodeId from;
+  NodeId to;
+  int value;
+  Tick at;
+};
+
+class NetTest : public ::testing::Test {
+ protected:
+  void install(int n, std::unique_ptr<LatencyModel> latency,
+               std::uint64_t seed = 1) {
+    network = std::make_unique<Network>(sim, n, std::move(latency), seed);
+    network->set_delivery_handler([this](const Envelope& env) {
+      const auto& msg = dynamic_cast<const TestMessage&>(*env.message);
+      deliveries.push_back({env.from, env.to, msg.value(), sim.now()});
+    });
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<Network> network;
+  std::vector<Delivery> deliveries;
+};
+
+TEST_F(NetTest, DeliversWithFixedLatency) {
+  install(2, std::make_unique<FixedLatency>(5));
+  network->send(1, 2, std::make_unique<TestMessage>(7));
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].value, 7);
+  EXPECT_EQ(deliveries[0].at, 5);
+}
+
+TEST_F(NetTest, PerChannelFifoWithFixedLatency) {
+  install(2, std::make_unique<FixedLatency>(3));
+  for (int i = 0; i < 10; ++i) {
+    network->send(1, 2, std::make_unique<TestMessage>(i));
+  }
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(deliveries[static_cast<std::size_t>(i)].value, i);
+  }
+}
+
+TEST_F(NetTest, PerChannelFifoSurvivesRandomLatency) {
+  // Exponential latency would reorder; the network must clamp deliveries
+  // to preserve per-channel order (the paper's no-overtaking assumption).
+  install(3, std::make_unique<ExponentialLatency>(20.0), 99);
+  for (int i = 0; i < 200; ++i) {
+    network->send(1, 2, std::make_unique<TestMessage>(i));
+  }
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(deliveries[static_cast<std::size_t>(i)].value, i);
+  }
+}
+
+TEST_F(NetTest, DifferentChannelsMayInterleave) {
+  install(3, std::make_unique<FixedLatency>(2));
+  network->send(1, 3, std::make_unique<TestMessage>(1));
+  sim.run_until(1);
+  network->send(2, 3, std::make_unique<TestMessage>(2));
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].value, 1);
+  EXPECT_EQ(deliveries[1].value, 2);
+}
+
+TEST_F(NetTest, CountsPerKindAndBytes) {
+  install(2, std::make_unique<FixedLatency>(1));
+  network->send(1, 2, std::make_unique<TestMessage>(1, "A"));
+  network->send(1, 2, std::make_unique<TestMessage>(2, "A"));
+  network->send(2, 1, std::make_unique<TestMessage>(3, "B"));
+  sim.run();
+  EXPECT_EQ(network->stats().total_sent, 3u);
+  EXPECT_EQ(network->stats().sent("A"), 2u);
+  EXPECT_EQ(network->stats().sent("B"), 1u);
+  EXPECT_EQ(network->stats().sent("C"), 0u);
+  EXPECT_EQ(network->stats().total_payload_bytes, 3 * sizeof(int));
+}
+
+TEST_F(NetTest, ResetStatsZeroesCounters) {
+  install(2, std::make_unique<FixedLatency>(1));
+  network->send(1, 2, std::make_unique<TestMessage>(1));
+  sim.run();
+  network->reset_stats();
+  EXPECT_EQ(network->stats().total_sent, 0u);
+  EXPECT_EQ(network->stats().sent("TEST"), 0u);
+}
+
+TEST_F(NetTest, InFlightTracking) {
+  install(3, std::make_unique<FixedLatency>(10));
+  network->send(1, 2, std::make_unique<TestMessage>(1, "X"));
+  network->send(1, 3, std::make_unique<TestMessage>(2, "Y"));
+  EXPECT_EQ(network->in_flight_count(), 2u);
+  EXPECT_EQ(network->in_flight_count("X"), 1u);
+  EXPECT_EQ(network->in_flight_count("Y"), 1u);
+  EXPECT_EQ(network->in_flight_count("Z"), 0u);
+  sim.run();
+  EXPECT_EQ(network->in_flight_count(), 0u);
+}
+
+TEST_F(NetTest, ForEachInFlightVisitsAll) {
+  install(3, std::make_unique<FixedLatency>(10));
+  network->send(1, 2, std::make_unique<TestMessage>(1));
+  network->send(2, 3, std::make_unique<TestMessage>(2));
+  int visited = 0;
+  network->for_each_in_flight([&](const Envelope& env) {
+    ++visited;
+    EXPECT_GE(env.deliver_at, 10);
+  });
+  EXPECT_EQ(visited, 2);
+}
+
+TEST_F(NetTest, SelfSendRejected) {
+  install(2, std::make_unique<FixedLatency>(1));
+  EXPECT_THROW(network->send(1, 1, std::make_unique<TestMessage>(0)),
+               std::logic_error);
+}
+
+TEST_F(NetTest, OutOfRangeNodesRejected) {
+  install(2, std::make_unique<FixedLatency>(1));
+  EXPECT_THROW(network->send(0, 2, std::make_unique<TestMessage>(0)),
+               std::logic_error);
+  EXPECT_THROW(network->send(1, 3, std::make_unique<TestMessage>(0)),
+               std::logic_error);
+}
+
+TEST_F(NetTest, ObserverSeesSendAndDeliver) {
+  struct Spy : NetworkObserver {
+    int sends = 0;
+    int delivers = 0;
+    void on_send(const Envelope&) override { ++sends; }
+    void on_deliver(const Envelope&) override { ++delivers; }
+  };
+  install(2, std::make_unique<FixedLatency>(1));
+  Spy spy;
+  network->set_observer(&spy);
+  network->send(1, 2, std::make_unique<TestMessage>(1));
+  EXPECT_EQ(spy.sends, 1);
+  EXPECT_EQ(spy.delivers, 0);
+  sim.run();
+  EXPECT_EQ(spy.delivers, 1);
+}
+
+TEST(LatencyModels, FixedAlwaysSame) {
+  Rng rng(1);
+  FixedLatency model(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(model.sample(1, 2, rng), 7);
+  }
+}
+
+TEST(LatencyModels, UniformWithinBounds) {
+  Rng rng(1);
+  UniformLatency model(3, 9);
+  for (int i = 0; i < 1000; ++i) {
+    const Tick t = model.sample(1, 2, rng);
+    EXPECT_GE(t, 3);
+    EXPECT_LE(t, 9);
+  }
+}
+
+TEST(LatencyModels, ExponentialAtLeastOne) {
+  Rng rng(1);
+  ExponentialLatency model(2.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(model.sample(1, 2, rng), 1);
+  }
+}
+
+TEST(LatencyModels, SubUnitLatencyRejected) {
+  EXPECT_THROW(FixedLatency(0), std::logic_error);
+  EXPECT_THROW(UniformLatency(0, 5), std::logic_error);
+  EXPECT_THROW(ExponentialLatency(0.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace dmx::net

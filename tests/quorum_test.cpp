@@ -1,0 +1,106 @@
+// Tests for Maekawa quorum constructions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quorum/quorum.hpp"
+
+namespace dmx::quorum {
+namespace {
+
+TEST(GridQuorums, ValidForManySizes) {
+  for (int n : {1, 2, 3, 4, 5, 7, 9, 10, 13, 16, 20, 25, 30, 50}) {
+    const QuorumSet q = grid_quorums(n);
+    EXPECT_TRUE(quorums_valid(q)) << "n=" << n;
+  }
+}
+
+TEST(GridQuorums, SizeIsOrderSqrtN) {
+  for (int n : {16, 25, 49, 100}) {
+    const QuorumSet q = grid_quorums(n);
+    const auto bound =
+        static_cast<std::size_t>(2 * std::ceil(std::sqrt(n)) + 1);
+    for (int v = 1; v <= n; ++v) {
+      EXPECT_LE(q[static_cast<std::size_t>(v)].size(), bound);
+    }
+  }
+}
+
+TEST(GridQuorums, PerfectSquareHasExactSize) {
+  const QuorumSet q = grid_quorums(25);
+  for (int v = 1; v <= 25; ++v) {
+    // Full row (5) + column minus own cell (4).
+    EXPECT_EQ(q[static_cast<std::size_t>(v)].size(), 9u);
+  }
+}
+
+TEST(ProjectivePlane, ExistsForProjectiveOrders) {
+  for (int n : {7, 13, 21, 31}) {
+    const auto q = projective_plane_quorums(n);
+    ASSERT_TRUE(q.has_value()) << "n=" << n;
+    EXPECT_TRUE(quorums_valid(*q)) << "n=" << n;
+  }
+}
+
+TEST(ProjectivePlane, QuorumSizeIsK) {
+  // n = k(k-1)+1: k = 3 for n=7, k = 4 for n=13, k = 5 for n=21.
+  const std::pair<int, std::size_t> cases[] = {{7, 3}, {13, 4}, {21, 5}};
+  for (const auto& [n, k] : cases) {
+    const auto q = projective_plane_quorums(n);
+    ASSERT_TRUE(q.has_value());
+    for (int v = 1; v <= n; ++v) {
+      EXPECT_EQ((*q)[static_cast<std::size_t>(v)].size(), k) << "n=" << n;
+    }
+  }
+}
+
+TEST(ProjectivePlane, AnyTwoCommitteesShareExactlyOneNode) {
+  const auto q = projective_plane_quorums(13);
+  ASSERT_TRUE(q.has_value());
+  for (NodeId a = 1; a <= 13; ++a) {
+    for (NodeId b = a + 1; b <= 13; ++b) {
+      std::vector<NodeId> common;
+      std::set_intersection((*q)[static_cast<std::size_t>(a)].begin(),
+                            (*q)[static_cast<std::size_t>(a)].end(),
+                            (*q)[static_cast<std::size_t>(b)].begin(),
+                            (*q)[static_cast<std::size_t>(b)].end(),
+                            std::back_inserter(common));
+      EXPECT_EQ(common.size(), 1u) << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(ProjectivePlane, RejectsNonProjectiveOrders) {
+  EXPECT_FALSE(projective_plane_quorums(8).has_value());
+  EXPECT_FALSE(projective_plane_quorums(10).has_value());
+  EXPECT_FALSE(projective_plane_quorums(12).has_value());
+}
+
+TEST(MaekawaQuorums, PrefersProjectivePlane) {
+  const QuorumSet q = maekawa_quorums(13);
+  for (int v = 1; v <= 13; ++v) {
+    EXPECT_EQ(q[static_cast<std::size_t>(v)].size(), 4u);
+  }
+}
+
+TEST(MaekawaQuorums, FallsBackToGrid) {
+  const QuorumSet q = maekawa_quorums(10);
+  EXPECT_TRUE(quorums_valid(q));
+}
+
+TEST(QuorumsValid, DetectsMissingSelf) {
+  QuorumSet bad(3);
+  bad[1] = {2};
+  bad[2] = {1, 2};
+  EXPECT_FALSE(quorums_valid(bad));
+}
+
+TEST(QuorumsValid, DetectsDisjointPair) {
+  QuorumSet bad(3);
+  bad[1] = {1};
+  bad[2] = {2};
+  EXPECT_FALSE(quorums_valid(bad));
+}
+
+}  // namespace
+}  // namespace dmx::quorum

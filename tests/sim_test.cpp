@@ -1,0 +1,139 @@
+// Tests for the discrete-event simulation kernel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace dmx::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZeroAndIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutesInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, EqualTimestampsFireInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  Tick seen = -1;
+  sim.schedule_at(10, [&] {
+    sim.schedule_after(7, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 17);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(5, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceFails) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(5, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelUnknownIdFails) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(0));
+  EXPECT_FALSE(sim.cancel(999));
+}
+
+TEST(Simulator, RunWithLimitStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(i, [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run(4), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pending(), 6u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<Tick> fired;
+  for (Tick t = 1; t <= 10; ++t) {
+    sim.schedule_at(t, [&fired, t] { fired.push_back(t); });
+  }
+  sim.run_until(5);
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_EQ(sim.now(), 5);
+  sim.run();
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeEvenWhenEmpty) {
+  Simulator sim;
+  sim.run_until(42);
+  EXPECT_EQ(sim.now(), 42);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 100) sim.schedule_after(1, step);
+  };
+  sim.schedule_at(0, step);
+  sim.run();
+  EXPECT_EQ(chain, 100);
+  EXPECT_EQ(sim.now(), 99);
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(Simulator, PendingExcludesCancelled) {
+  Simulator sim;
+  sim.schedule_at(1, [] {});
+  const EventId id = sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.idle());
+}
+
+}  // namespace
+}  // namespace dmx::sim

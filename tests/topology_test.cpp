@@ -1,0 +1,164 @@
+// Tests for logical-tree topologies: generators, metrics, orientation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topology/tree.hpp"
+
+namespace dmx::topology {
+namespace {
+
+TEST(TreeFromEdges, RejectsWrongEdgeCount) {
+  EXPECT_THROW(Tree::from_edges(3, {{1, 2}}), std::logic_error);
+  EXPECT_THROW(Tree::from_edges(2, {{1, 2}, {1, 2}}), std::logic_error);
+}
+
+TEST(TreeFromEdges, RejectsCycle) {
+  // 4 nodes, 3 edges, but a triangle + isolated node: disconnected/cyclic.
+  EXPECT_THROW(Tree::from_edges(4, {{1, 2}, {2, 3}, {3, 1}}),
+               std::logic_error);
+}
+
+TEST(TreeFromEdges, RejectsSelfLoopAndOutOfRange) {
+  EXPECT_THROW(Tree::from_edges(2, {{1, 1}}), std::logic_error);
+  EXPECT_THROW(Tree::from_edges(2, {{1, 3}}), std::logic_error);
+}
+
+TEST(TreeFromEdges, RejectsDuplicateEdge) {
+  EXPECT_THROW(Tree::from_edges(3, {{1, 2}, {2, 1}}), std::logic_error);
+}
+
+TEST(TreeFromEdges, SingleNodeTree) {
+  const Tree t = Tree::from_edges(1, {});
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.diameter(), 0);
+  EXPECT_TRUE(t.neighbors(1).empty());
+}
+
+TEST(TreeLine, StructureAndDiameter) {
+  const Tree t = Tree::line(6);
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.diameter(), 5);
+  EXPECT_EQ(t.degree(1), 1);
+  EXPECT_EQ(t.degree(3), 2);
+  EXPECT_EQ(t.distance(1, 6), 5);
+}
+
+TEST(TreeStar, CentralizedTopologyHasDiameterTwo) {
+  // Figure 8: the paper's best topology.
+  const Tree t = Tree::star(10, 1);
+  EXPECT_EQ(t.diameter(), 2);
+  EXPECT_EQ(t.degree(1), 9);
+  for (NodeId v = 2; v <= 10; ++v) {
+    EXPECT_EQ(t.degree(v), 1);
+    EXPECT_EQ(t.distance(1, v), 1);
+  }
+  EXPECT_EQ(t.distance(2, 10), 2);
+}
+
+TEST(TreeStar, NonDefaultCenter) {
+  const Tree t = Tree::star(5, 3);
+  EXPECT_EQ(t.degree(3), 4);
+  EXPECT_EQ(t.center(), 3);
+}
+
+TEST(TreeRadiatingStar, ArmsAreBalanced) {
+  const Tree t = Tree::radiating_star(7, 3);  // hub + 3 arms of 2
+  EXPECT_EQ(t.degree(1), 3);
+  EXPECT_EQ(t.diameter(), 4);  // leaf -> hub -> leaf across two arms
+}
+
+TEST(TreeKary, BinaryTreeDepth) {
+  const Tree t = Tree::kary(7, 2);  // perfect binary tree of depth 2
+  EXPECT_EQ(t.degree(1), 2);
+  EXPECT_EQ(t.distance(1, 7), 2);
+  EXPECT_EQ(t.diameter(), 4);
+}
+
+TEST(TreeRandom, IsAlwaysAValidTree) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    for (int n : {1, 2, 3, 5, 10, 33}) {
+      const Tree t = Tree::random_tree(n, seed);
+      EXPECT_EQ(t.size(), n);
+      // from_edges already validates; spot-check connectivity.
+      for (NodeId v = 1; v <= n; ++v) {
+        EXPECT_GE(t.distance(1, v), 0);
+      }
+    }
+  }
+}
+
+TEST(TreeRandom, DifferentSeedsGiveDifferentTrees) {
+  const Tree a = Tree::random_tree(12, 1);
+  const Tree b = Tree::random_tree(12, 2);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(TreePath, EndpointsInclusiveAndUnique) {
+  const Tree t = Tree::line(5);
+  const auto path = t.path(2, 5);
+  EXPECT_EQ(path, (std::vector<NodeId>{2, 3, 4, 5}));
+  const auto self_path = t.path(3, 3);
+  EXPECT_EQ(self_path, (std::vector<NodeId>{3}));
+}
+
+TEST(TreePath, PathThroughStarCenter) {
+  const Tree t = Tree::star(6, 1);
+  const auto path = t.path(4, 5);
+  EXPECT_EQ(path, (std::vector<NodeId>{4, 1, 5}));
+}
+
+TEST(TreeEccentricity, LineEndpoints) {
+  const Tree t = Tree::line(7);
+  EXPECT_EQ(t.eccentricity(1), 6);
+  EXPECT_EQ(t.eccentricity(4), 3);
+  EXPECT_EQ(t.center(), 4);
+}
+
+TEST(TreeNextPointers, OrientsTowardRoot) {
+  const Tree t = Tree::line(5);
+  const auto next = t.next_pointers_toward(3);
+  EXPECT_EQ(next[1], 2);
+  EXPECT_EQ(next[2], 3);
+  EXPECT_EQ(next[3], kNilNode);
+  EXPECT_EQ(next[4], 3);
+  EXPECT_EQ(next[5], 4);
+}
+
+TEST(TreeNextPointers, EveryNodeReachesRoot) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Tree t = Tree::random_tree(20, seed);
+    for (NodeId root = 1; root <= 20; root += 7) {
+      const auto next = t.next_pointers_toward(root);
+      for (NodeId v = 1; v <= 20; ++v) {
+        NodeId cur = v;
+        int steps = 0;
+        while (cur != root) {
+          cur = next[static_cast<std::size_t>(cur)];
+          ASSERT_NE(cur, kNilNode);
+          ASSERT_LT(++steps, 20);
+        }
+      }
+    }
+  }
+}
+
+TEST(TreeEdges, NormalizedAndSorted) {
+  const Tree t = Tree::from_edges(4, {{4, 3}, {2, 1}, {3, 2}});
+  const auto& edges = t.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  for (const auto& [a, b] : edges) {
+    EXPECT_LT(a, b);
+  }
+}
+
+TEST(TreeNeighbors, SortedAscending) {
+  const Tree t = Tree::star(6, 3);
+  const auto& nbrs = t.neighbors(3);
+  EXPECT_EQ(nbrs, (std::vector<NodeId>{1, 2, 4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace dmx::topology

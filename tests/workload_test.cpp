@@ -1,0 +1,111 @@
+// Tests for the workload generator.
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "harness/cluster.hpp"
+#include "topology/tree.hpp"
+#include "workload/workload.hpp"
+
+namespace dmx::workload {
+namespace {
+
+harness::ClusterConfig star_config(int n) {
+  harness::ClusterConfig config;
+  config.n = n;
+  config.initial_token_holder = 1;
+  config.tree = topology::Tree::star(n, 1);
+  return config;
+}
+
+TEST(Workload, CompletesTargetEntries) {
+  harness::Cluster cluster(baselines::algorithm_by_name("Neilsen"),
+                           star_config(6));
+  WorkloadConfig wl;
+  wl.target_entries = 100;
+  wl.mean_think_ticks = 5.0;
+  const WorkloadResult result = run_workload(cluster, wl);
+  EXPECT_GE(result.entries, 100u);
+  EXPECT_GT(result.makespan, 0);
+}
+
+TEST(Workload, MessagesPerEntryConsistent) {
+  harness::Cluster cluster(baselines::algorithm_by_name("Neilsen"),
+                           star_config(6));
+  WorkloadConfig wl;
+  wl.target_entries = 50;
+  const WorkloadResult result = run_workload(cluster, wl);
+  EXPECT_NEAR(result.messages_per_entry,
+              static_cast<double>(result.messages) /
+                  static_cast<double>(result.entries),
+              1e-9);
+}
+
+TEST(Workload, ParticipantsSubsetOnlyThoseEnter) {
+  harness::Cluster cluster(baselines::algorithm_by_name("Neilsen"),
+                           star_config(6));
+  WorkloadConfig wl;
+  wl.target_entries = 40;
+  wl.participants = {2, 5};
+  run_workload(cluster, wl);
+  for (const auto& event : cluster.events()) {
+    EXPECT_TRUE(event.node == 2 || event.node == 5);
+  }
+}
+
+TEST(Workload, HoldTimesRespected) {
+  harness::Cluster cluster(baselines::algorithm_by_name("Neilsen"),
+                           star_config(4));
+  WorkloadConfig wl;
+  wl.target_entries = 30;
+  wl.hold_lo = 3;
+  wl.hold_hi = 9;
+  run_workload(cluster, wl);
+  Tick enter_at = -1;
+  NodeId who = kNilNode;
+  for (const auto& event : cluster.events()) {
+    if (event.kind == harness::CsEvent::Kind::kEnter) {
+      enter_at = event.at;
+      who = event.node;
+    } else if (event.kind == harness::CsEvent::Kind::kExit) {
+      ASSERT_EQ(event.node, who);
+      const Tick held = event.at - enter_at;
+      EXPECT_GE(held, 3);
+      EXPECT_LE(held, 9);
+    }
+  }
+}
+
+TEST(Workload, DeterministicGivenSeed) {
+  auto run_once = [] {
+    harness::Cluster cluster(baselines::algorithm_by_name("Suzuki-Kasami"),
+                             star_config(5));
+    WorkloadConfig wl;
+    wl.target_entries = 60;
+    wl.mean_think_ticks = 4.0;
+    wl.seed = 7;
+    const WorkloadResult result = run_workload(cluster, wl);
+    return std::tuple{result.entries, result.messages, result.makespan};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Workload, SaturationKeepsPipelineBusy) {
+  harness::Cluster cluster(baselines::algorithm_by_name("Neilsen"),
+                           star_config(5));
+  WorkloadConfig wl;
+  wl.target_entries = 80;
+  wl.mean_think_ticks = 0.0;
+  // Hold each CS for >= N ticks so every in-flight request is absorbed
+  // into the implicit queue before the holder exits — the scenario §6.3
+  // defines synchronization delay for (successor already blocked).
+  wl.hold_lo = 5;
+  wl.hold_hi = 5;
+  const WorkloadResult result = run_workload(cluster, wl);
+  // Every hand-off is then exactly one PRIVILEGE hop.
+  ASSERT_GT(result.sync_delay_ticks.count(), 0u);
+  EXPECT_EQ(result.sync_delay_ticks.mean(), 1.0);
+  EXPECT_EQ(result.sync_delay_ticks.max(), 1.0);
+}
+
+}  // namespace
+}  // namespace dmx::workload
