@@ -3,6 +3,8 @@
 // simulator becoming the bottleneck of the reproduction.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "baselines/registry.hpp"
 #include "harness/cluster.hpp"
 #include "net/latency.hpp"
@@ -30,10 +32,43 @@ void BM_SimulatorScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000);
 
+// Timer churn: most scheduled events are cancelled before firing (the
+// pattern of timeout guards and retry timers). Exercises true O(1)/O(log n)
+// cancellation rather than lazy tombstoning.
+void BM_SimulatorCancelHeavy(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::EventId> ids(events);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::uint64_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      ids[i] = sim.schedule_at(static_cast<Tick>(i % 97),
+                               [&fired] { ++fired; });
+    }
+    // Cancel three quarters; the survivors still fire in order.
+    std::size_t cancelled = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      if (i % 4 != 0) cancelled += sim.cancel(ids[i]) ? 1 : 0;
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+    benchmark::DoNotOptimize(cancelled);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_SimulatorCancelHeavy)->Arg(1000)->Arg(10000);
+
 class PingMessage final : public net::Message {
  public:
-  std::string_view kind() const override { return "PING"; }
+  PingMessage() : net::Message(ping_kind()) {}
   std::size_t payload_bytes() const override { return 0; }
+
+ private:
+  static net::MessageKind ping_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("PING");
+    return kind;
+  }
 };
 
 void BM_NetworkSendDeliver(benchmark::State& state) {
@@ -53,6 +88,29 @@ void BM_NetworkSendDeliver(benchmark::State& state) {
                           1000);
 }
 BENCHMARK(BM_NetworkSendDeliver);
+
+// Steady-state message throughput with warm pools: one long-lived
+// simulator+network, send/deliver in rounds so every envelope slot, event
+// slot, and message block is recycled. This is the regime the
+// zero-allocation kernel optimizes for (BM_NetworkSendDeliver pays
+// construction and warm-up inside the timed region).
+void BM_MessagePoolSendDeliver(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Network network(sim, 2, std::make_unique<net::FixedLatency>(1));
+  std::uint64_t delivered = 0;
+  network.set_delivery_handler(
+      [&delivered](const net::Envelope&) { ++delivered; });
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      network.send(1, 2, std::make_unique<PingMessage>());
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_MessagePoolSendDeliver);
 
 void BM_AlgorithmSaturatedEntries(benchmark::State& state,
                                   const std::string& name) {

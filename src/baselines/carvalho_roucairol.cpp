@@ -1,6 +1,7 @@
 #include "baselines/carvalho_roucairol.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <memory>
 
 #include "common/check.hpp"

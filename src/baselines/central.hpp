@@ -18,19 +18,19 @@ namespace dmx::baselines {
 class CentralMessage final : public net::Message {
  public:
   enum class Type { kRequest, kGrant, kRelease };
-  explicit CentralMessage(Type type) : type_(type) {}
+  explicit CentralMessage(Type type)
+      : net::Message(kind_for(type)), type_(type) {}
   Type type() const { return type_; }
-  std::string_view kind() const override {
-    switch (type_) {
-      case Type::kRequest: return "REQUEST";
-      case Type::kGrant: return "GRANT";
-      case Type::kRelease: return "RELEASE";
-    }
-    return "?";
-  }
   std::size_t payload_bytes() const override { return 0; }
 
  private:
+  static net::MessageKind kind_for(Type type) {
+    static const net::MessageKind kinds[] = {net::MessageKind::of("REQUEST"),
+                                             net::MessageKind::of("GRANT"),
+                                             net::MessageKind::of("RELEASE")};
+    return kinds[static_cast<int>(type)];
+  }
+
   Type type_;
 };
 

@@ -1,6 +1,7 @@
 #include "baselines/lamport.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <memory>
 
 #include "common/check.hpp"

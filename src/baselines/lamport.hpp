@@ -8,7 +8,6 @@
 // channels); the flag below enables that optimization.
 #pragma once
 
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,25 +20,22 @@ class LamportMessage final : public net::Message {
  public:
   enum class Type { kRequest, kAck, kRelease };
   LamportMessage(Type type, int timestamp)
-      : type_(type), timestamp_(timestamp) {}
+      : net::Message(kind_for(type)), type_(type), timestamp_(timestamp) {}
   Type type() const { return type_; }
   int timestamp() const { return timestamp_; }
-  std::string_view kind() const override {
-    switch (type_) {
-      case Type::kRequest: return "REQUEST";
-      case Type::kAck: return "ACKNOWLEDGE";
-      case Type::kRelease: return "RELEASE";
-    }
-    return "?";
-  }
   std::size_t payload_bytes() const override { return sizeof(int); }
   std::string describe() const override {
-    std::ostringstream oss;
-    oss << kind() << "(ts=" << timestamp_ << ")";
-    return oss.str();
+    return std::string(kind()) + "(ts=" + std::to_string(timestamp_) + ")";
   }
 
  private:
+  static net::MessageKind kind_for(Type type) {
+    static const net::MessageKind kinds[] = {
+        net::MessageKind::of("REQUEST"), net::MessageKind::of("ACKNOWLEDGE"),
+        net::MessageKind::of("RELEASE")};
+    return kinds[static_cast<int>(type)];
+  }
+
   Type type_;
   int timestamp_;
 };

@@ -1,6 +1,7 @@
 #include "baselines/maekawa.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <memory>
 
 #include "common/check.hpp"

@@ -14,7 +14,6 @@
 #include <map>
 #include <optional>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,25 +27,22 @@ class MaekawaMessage final : public net::Message {
  public:
   enum class Type { kRequest, kLocked, kRelease, kFail, kInquire, kRelinquish };
   explicit MaekawaMessage(Type type, int sequence = 0)
-      : type_(type), sequence_(sequence) {}
+      : net::Message(kind_for(type)), type_(type), sequence_(sequence) {}
   Type type() const { return type_; }
   int sequence() const { return sequence_; }
-  std::string_view kind() const override {
-    switch (type_) {
-      case Type::kRequest: return "REQUEST";
-      case Type::kLocked: return "LOCKED";
-      case Type::kRelease: return "RELEASE";
-      case Type::kFail: return "FAIL";
-      case Type::kInquire: return "INQUIRE";
-      case Type::kRelinquish: return "RELINQUISH";
-    }
-    return "?";
-  }
   std::size_t payload_bytes() const override {
     return type_ == Type::kRequest ? sizeof(int) : 0;
   }
 
  private:
+  static net::MessageKind kind_for(Type type) {
+    static const net::MessageKind kinds[] = {
+        net::MessageKind::of("REQUEST"),  net::MessageKind::of("LOCKED"),
+        net::MessageKind::of("RELEASE"),  net::MessageKind::of("FAIL"),
+        net::MessageKind::of("INQUIRE"),  net::MessageKind::of("RELINQUISH")};
+    return kinds[static_cast<int>(type)];
+  }
+
   Type type_;
   int sequence_;
 };

@@ -20,14 +20,18 @@ namespace dmx::baselines {
 class RaymondMessage final : public net::Message {
  public:
   enum class Type { kRequest, kPrivilege };
-  explicit RaymondMessage(Type type) : type_(type) {}
+  explicit RaymondMessage(Type type)
+      : net::Message(kind_for(type)), type_(type) {}
   Type type() const { return type_; }
-  std::string_view kind() const override {
-    return type_ == Type::kRequest ? "REQUEST" : "PRIVILEGE";
-  }
   std::size_t payload_bytes() const override { return 0; }
 
  private:
+  static net::MessageKind kind_for(Type type) {
+    static const net::MessageKind kinds[] = {
+        net::MessageKind::of("REQUEST"), net::MessageKind::of("PRIVILEGE")};
+    return kinds[static_cast<int>(type)];
+  }
+
   Type type_;
 };
 

@@ -1,6 +1,7 @@
 #include "baselines/ricart_agrawala.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <memory>
 
 #include "common/check.hpp"

@@ -5,7 +5,6 @@
 // 2(N-1) messages per entry.
 #pragma once
 
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,20 +16,22 @@ namespace dmx::baselines {
 class RaMessage final : public net::Message {
  public:
   enum class Type { kRequest, kReply };
-  RaMessage(Type type, int sequence) : type_(type), sequence_(sequence) {}
+  RaMessage(Type type, int sequence)
+      : net::Message(kind_for(type)), type_(type), sequence_(sequence) {}
   Type type() const { return type_; }
   int sequence() const { return sequence_; }
-  std::string_view kind() const override {
-    return type_ == Type::kRequest ? "REQUEST" : "REPLY";
-  }
   std::size_t payload_bytes() const override { return sizeof(int); }
   std::string describe() const override {
-    std::ostringstream oss;
-    oss << kind() << "(sn=" << sequence_ << ")";
-    return oss.str();
+    return std::string(kind()) + "(sn=" + std::to_string(sequence_) + ")";
   }
 
  private:
+  static net::MessageKind kind_for(Type type) {
+    static const net::MessageKind kinds[] = {net::MessageKind::of("REQUEST"),
+                                             net::MessageKind::of("REPLY")};
+    return kinds[static_cast<int>(type)];
+  }
+
   Type type_;
   int sequence_;
 };

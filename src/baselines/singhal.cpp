@@ -1,6 +1,7 @@
 #include "baselines/singhal.hpp"
 
 #include <memory>
+#include <sstream>
 
 #include "common/check.hpp"
 

@@ -10,7 +10,6 @@
 // location knowledge.
 #pragma once
 
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -28,17 +27,20 @@ enum class SinghalState : char {
 
 class SinghalRequestMessage final : public net::Message {
  public:
-  explicit SinghalRequestMessage(int sequence) : sequence_(sequence) {}
+  explicit SinghalRequestMessage(int sequence)
+      : net::Message(request_kind()), sequence_(sequence) {}
   int sequence() const { return sequence_; }
-  std::string_view kind() const override { return "REQUEST"; }
   std::size_t payload_bytes() const override { return sizeof(int); }
   std::string describe() const override {
-    std::ostringstream oss;
-    oss << "REQUEST(sn=" << sequence_ << ")";
-    return oss.str();
+    return "REQUEST(sn=" + std::to_string(sequence_) + ")";
   }
 
  private:
+  static net::MessageKind request_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("REQUEST");
+    return kind;
+  }
+
   int sequence_;
 };
 
@@ -52,14 +54,18 @@ struct SinghalToken {
 class SinghalTokenMessage final : public net::Message {
  public:
   explicit SinghalTokenMessage(SinghalToken token)
-      : token_(std::move(token)) {}
+      : net::Message(token_kind()), token_(std::move(token)) {}
   const SinghalToken& token() const { return token_; }
-  std::string_view kind() const override { return "TOKEN"; }
   std::size_t payload_bytes() const override {
     return (token_.tsv.size() - 1) * (sizeof(char) + sizeof(int));
   }
 
  private:
+  static net::MessageKind token_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("TOKEN");
+    return kind;
+  }
+
   SinghalToken token_;
 };
 

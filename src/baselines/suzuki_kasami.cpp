@@ -1,6 +1,7 @@
 #include "baselines/suzuki_kasami.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <memory>
 
 #include "common/check.hpp"

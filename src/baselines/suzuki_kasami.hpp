@@ -8,7 +8,6 @@
 #pragma once
 
 #include <deque>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,17 +18,20 @@ namespace dmx::baselines {
 
 class SkRequestMessage final : public net::Message {
  public:
-  explicit SkRequestMessage(int sequence) : sequence_(sequence) {}
+  explicit SkRequestMessage(int sequence)
+      : net::Message(request_kind()), sequence_(sequence) {}
   int sequence() const { return sequence_; }
-  std::string_view kind() const override { return "REQUEST"; }
   std::size_t payload_bytes() const override { return sizeof(int); }
   std::string describe() const override {
-    std::ostringstream oss;
-    oss << "REQUEST(sn=" << sequence_ << ")";
-    return oss.str();
+    return "REQUEST(sn=" + std::to_string(sequence_) + ")";
   }
 
  private:
+  static net::MessageKind request_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("REQUEST");
+    return kind;
+  }
+
   int sequence_;
 };
 
@@ -42,16 +44,21 @@ struct SkToken {
 
 class SkTokenMessage final : public net::Message {
  public:
-  explicit SkTokenMessage(SkToken token) : token_(std::move(token)) {}
+  explicit SkTokenMessage(SkToken token)
+      : net::Message(token_kind()), token_(std::move(token)) {}
   const SkToken& token() const { return token_; }
   SkToken take() && { return std::move(token_); }
-  std::string_view kind() const override { return "TOKEN"; }
   std::size_t payload_bytes() const override {
     return (token_.last_granted.size() - 1) * sizeof(int) +
            token_.queue.size() * sizeof(NodeId);
   }
 
  private:
+  static net::MessageKind token_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("TOKEN");
+    return kind;
+  }
+
   SkToken token_;
 };
 

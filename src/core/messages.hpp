@@ -7,7 +7,7 @@
 // distributed initialization procedure of Figure 5.
 #pragma once
 
-#include <sstream>
+#include <string>
 
 #include "common/types.hpp"
 #include "net/message.hpp"
@@ -20,36 +20,52 @@ class RequestMessage final : public net::Message {
   /// paper's X, rewritten at each forwarding step); `origin` is the node
   /// whose critical-section request this is (the paper's Y, invariant
   /// along the path).
-  RequestMessage(NodeId hop, NodeId origin) : hop_(hop), origin_(origin) {}
+  RequestMessage(NodeId hop, NodeId origin)
+      : net::Message(interned_kind()), hop_(hop), origin_(origin) {}
 
   NodeId hop() const { return hop_; }
   NodeId origin() const { return origin_; }
 
-  std::string_view kind() const override { return "REQUEST"; }
   std::size_t payload_bytes() const override { return 2 * sizeof(NodeId); }
   std::string describe() const override {
-    std::ostringstream oss;
-    oss << "REQUEST(" << hop_ << "," << origin_ << ")";
-    return oss.str();
+    return "REQUEST(" + std::to_string(hop_) + "," + std::to_string(origin_) +
+           ")";
   }
 
  private:
+  static net::MessageKind interned_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("REQUEST");
+    return kind;
+  }
+
   NodeId hop_;
   NodeId origin_;
 };
 
 class PrivilegeMessage final : public net::Message {
  public:
-  std::string_view kind() const override { return "PRIVILEGE"; }
+  PrivilegeMessage() : net::Message(interned_kind()) {}
   std::size_t payload_bytes() const override { return 0; }
+
+ private:
+  static net::MessageKind interned_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("PRIVILEGE");
+    return kind;
+  }
 };
 
 class InitializeMessage final : public net::Message {
  public:
-  std::string_view kind() const override { return "INITIALIZE"; }
+  InitializeMessage() : net::Message(interned_kind()) {}
   /// Carries the sender's id (delivered out of band as the envelope
   /// sender); no additional payload.
   std::size_t payload_bytes() const override { return 0; }
+
+ private:
+  static net::MessageKind interned_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("INITIALIZE");
+    return kind;
+  }
 };
 
 }  // namespace dmx::core

@@ -27,6 +27,10 @@ class Cluster::NodeContext final : public proto::Context {
 Cluster::Cluster(const proto::Algorithm& algorithm, ClusterConfig config)
     : algorithm_(algorithm), config_(std::move(config)) {
   DMX_CHECK(config_.n >= 1);
+  token_kinds_.reserve(algorithm_.token_message_kinds.size());
+  for (const std::string& kind : algorithm_.token_message_kinds) {
+    token_kinds_.push_back(net::MessageKind::of(kind));
+  }
   if (algorithm_.needs_tree) {
     DMX_CHECK_MSG(config_.tree.has_value(),
                   algorithm_.name << " requires a logical tree");
@@ -155,7 +159,7 @@ void Cluster::check_invariants() {
     for (NodeId v = 1; v <= config_.n; ++v) {
       if (node(v).has_token()) ++tokens;
     }
-    for (const std::string& kind : algorithm_.token_message_kinds) {
+    for (const net::MessageKind kind : token_kinds_) {
       tokens += network_->in_flight_count(kind);
     }
     DMX_CHECK_MSG(tokens == 1, "token count is " << tokens

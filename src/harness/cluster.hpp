@@ -117,6 +117,9 @@ class Cluster {
   void deliver(const net::Envelope& env);
 
   proto::Algorithm algorithm_;
+  /// algorithm_.token_message_kinds, interned once: check_invariants runs
+  /// after every event and must not compare strings.
+  std::vector<net::MessageKind> token_kinds_;
   ClusterConfig config_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> network_;

@@ -1,25 +1,46 @@
 // Polymorphic protocol messages.
 //
 // Every algorithm defines its own message structs deriving from Message.
-// The base class deliberately carries nothing: the paper's PRIVILEGE
-// message "needs no data structure", and the storage-overhead experiment
-// (E5) measures payload_bytes() per message kind to reproduce §6.4.
+// The base class carries only the interned MessageKind: the paper's
+// PRIVILEGE message "needs no data structure", and the storage-overhead
+// experiment (E5) measures payload_bytes() per message kind to reproduce
+// §6.4.
+//
+// Kind contract: a concrete message class resolves its kind(s) to
+// MessageKind once (function-local static) and passes the id to the base
+// constructor. All hot-path kind comparisons — per-kind send counters,
+// failure injection, token-uniqueness checks — are integer compares; the
+// kind *string* is only materialized for reporting and traces.
+//
+// Allocation contract: messages allocate from the thread-local
+// MessagePool, so make_unique<SomeMessage>() recycles storage and the
+// steady-state send/deliver path never touches the heap. Classes with
+// heap-owning members (vectors, strings) still pay for those members;
+// keep token payloads preallocated where throughput matters.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <new>
 #include <string>
 #include <string_view>
+
+#include "net/message_kind.hpp"
+#include "net/message_pool.hpp"
 
 namespace dmx::net {
 
 class Message {
  public:
+  explicit Message(MessageKind kind) : kind_(kind) {}
   virtual ~Message() = default;
+
+  /// Interned kind id; the hot-path identity of this message.
+  MessageKind kind_id() const { return kind_; }
 
   /// Stable message-kind label used for per-kind counters and traces,
   /// e.g. "REQUEST", "PRIVILEGE", "REPLY".
-  virtual std::string_view kind() const = 0;
+  std::string_view kind() const { return kind_.name(); }
 
   /// Size of the semantic payload in bytes (excluding addressing), as the
   /// paper accounts it: a Neilsen REQUEST carries two integers (8 bytes),
@@ -29,6 +50,20 @@ class Message {
 
   /// Human-readable rendering for traces; defaults to kind().
   virtual std::string describe() const { return std::string(kind()); }
+
+  // Route all message storage through the recycling pool. The sized
+  // operator delete receives the dynamic type's size (the deleting
+  // destructor passes it), so blocks return to the right size class even
+  // when deleted through a Message*.
+  static void* operator new(std::size_t size) {
+    return MessagePool::local().allocate(size);
+  }
+  static void operator delete(void* p, std::size_t size) noexcept {
+    MessagePool::local().deallocate(p, size);
+  }
+
+ private:
+  MessageKind kind_;
 };
 
 using MessagePtr = std::unique_ptr<Message>;

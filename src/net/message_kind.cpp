@@ -1,0 +1,72 @@
+#include "net/message_kind.hpp"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace dmx::net {
+namespace {
+
+// Names live in a fixed-capacity table of pointers to heap strings that are
+// intentionally never freed: readers resolve id -> name without taking the
+// registration mutex, which requires entries to never move or die.
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string_view, std::uint32_t> by_name;  // keys point
+                                                                // into names
+  std::array<const std::string*, MessageKind::kMaxKinds> names = {};
+  std::atomic<std::uint32_t> count{0};
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+}  // namespace
+
+MessageKind MessageKind::of(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.by_name.find(name);
+  if (it != reg.by_name.end()) return MessageKind(it->second);
+  const std::uint32_t id = reg.count.load(std::memory_order_relaxed);
+  DMX_CHECK_MSG(id < kMaxKinds, "message-kind registry full (" << kMaxKinds
+                                                               << " kinds)");
+  const std::string* stored = new std::string(name);  // leaked, see Registry
+  reg.names[id] = stored;
+  reg.by_name.emplace(std::string_view(*stored), id);
+  // Publish after the name slot is written so lock-free readers of
+  // names[id'] for id' < count always see initialized entries.
+  reg.count.store(id + 1, std::memory_order_release);
+  return MessageKind(id);
+}
+
+MessageKind MessageKind::lookup(std::string_view name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.by_name.find(name);
+  return it == reg.by_name.end() ? MessageKind() : MessageKind(it->second);
+}
+
+std::size_t MessageKind::registered_count() {
+  return registry().count.load(std::memory_order_acquire);
+}
+
+MessageKind MessageKind::from_id(std::uint32_t id) {
+  DMX_CHECK(id < registered_count());
+  return MessageKind(id);
+}
+
+std::string_view MessageKind::name() const {
+  if (!valid()) return "?";
+  Registry& reg = registry();
+  DMX_CHECK(id_ < reg.count.load(std::memory_order_acquire));
+  return *reg.names[id_];
+}
+
+}  // namespace dmx::net

@@ -1,0 +1,68 @@
+// Interned message-kind identifiers.
+//
+// Per-kind statistics, failure injection, and the token-uniqueness
+// invariant all key on a message's kind. Comparing and hashing kind
+// *strings* on every send put a std::map lookup on the hottest path in the
+// repository; interning replaces that with an integer compare.
+//
+// Interning rules:
+//  * A kind string is registered once, on first use, and receives the next
+//    small integer id. Ids are dense (0..registered_count()-1), stable for
+//    the lifetime of the process, and never reused.
+//  * Registration is guarded by a mutex and safe to call from any thread;
+//    id -> name lookup is lock-free (fixed-capacity table, no relocation).
+//  * At most kMaxKinds distinct kinds may be registered (a protocol suite
+//    has dozens, not hundreds; exceeding the cap is a bug and throws).
+//  * A default-constructed MessageKind is the invalid kind: it compares
+//    unequal to every registered kind and names itself "?". lookup() of an
+//    unregistered string returns it, so "count of unknown kind" queries
+//    cleanly report zero.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dmx::net {
+
+class MessageKind {
+ public:
+  static constexpr std::uint32_t kInvalidId = 0xffffffffu;
+  static constexpr std::size_t kMaxKinds = 256;
+
+  /// The invalid kind.
+  constexpr MessageKind() = default;
+
+  /// Returns the id for `name`, registering it on first use.
+  static MessageKind of(std::string_view name);
+
+  /// Returns the id for `name` if registered, the invalid kind otherwise.
+  /// Never registers.
+  static MessageKind lookup(std::string_view name);
+
+  /// Number of kinds registered so far.
+  static std::size_t registered_count();
+
+  /// The kind with id `id` (must be < registered_count()).
+  static MessageKind from_id(std::uint32_t id);
+
+  std::uint32_t id() const { return id_; }
+  bool valid() const { return id_ != kInvalidId; }
+
+  /// The interned kind string ("?" for the invalid kind).
+  std::string_view name() const;
+
+  friend bool operator==(MessageKind a, MessageKind b) {
+    return a.id_ == b.id_;
+  }
+  friend bool operator!=(MessageKind a, MessageKind b) {
+    return a.id_ != b.id_;
+  }
+
+ private:
+  explicit constexpr MessageKind(std::uint32_t id) : id_(id) {}
+
+  std::uint32_t id_ = kInvalidId;
+};
+
+}  // namespace dmx::net

@@ -1,0 +1,59 @@
+#include "net/message_pool.hpp"
+
+#include <new>
+
+namespace dmx::net {
+
+MessagePool& MessagePool::local() {
+  static thread_local MessagePool pool;
+  return pool;
+}
+
+MessagePool::~MessagePool() { trim(); }
+
+void* MessagePool::allocate(std::size_t size) {
+  if (size == 0) size = 1;
+  if (size > kMaxPooledSize) {
+    ++stats_.oversize_allocations;
+    ++stats_.outstanding;
+    return ::operator new(size);
+  }
+  const std::size_t bucket = bucket_of(size);
+  if (FreeBlock* block = free_[bucket]) {
+    free_[bucket] = block->next;
+    ++stats_.pool_hits;
+    ++stats_.outstanding;
+    return block;
+  }
+  ++stats_.fresh_allocations;
+  ++stats_.outstanding;
+  // Allocate the bucket's full granule span so the block is reusable by
+  // any size in the class.
+  return ::operator new((bucket + 1) * kGranule);
+}
+
+void MessagePool::deallocate(void* p, std::size_t size) noexcept {
+  if (p == nullptr) return;
+  if (size == 0) size = 1;
+  --stats_.outstanding;
+  if (size > kMaxPooledSize) {
+    ::operator delete(p);
+    return;
+  }
+  const std::size_t bucket = bucket_of(size);
+  auto* block = static_cast<FreeBlock*>(p);
+  block->next = free_[bucket];
+  free_[bucket] = block;
+}
+
+void MessagePool::trim() noexcept {
+  for (FreeBlock*& head : free_) {
+    while (head != nullptr) {
+      FreeBlock* next = head->next;
+      ::operator delete(head);
+      head = next;
+    }
+  }
+}
+
+}  // namespace dmx::net

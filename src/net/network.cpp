@@ -4,20 +4,24 @@
 #include <utility>
 
 namespace dmx::net {
-namespace {
 
-/// Packs an ordered (from, to) pair into one map key.
-std::uint64_t channel_key(NodeId from, NodeId to) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
-          << 32) |
-         static_cast<std::uint32_t>(to);
+std::uint64_t MessageStats::sent(MessageKind kind) const {
+  if (!kind.valid() || kind.id() >= sent_by_kind_id.size()) return 0;
+  return sent_by_kind_id[kind.id()];
 }
 
-}  // namespace
-
 std::uint64_t MessageStats::sent(std::string_view kind) const {
-  auto it = sent_by_kind.find(std::string(kind));
-  return it == sent_by_kind.end() ? 0 : it->second;
+  return sent(MessageKind::lookup(kind));
+}
+
+std::map<std::string, std::uint64_t> MessageStats::by_kind() const {
+  std::map<std::string, std::uint64_t> view;
+  for (std::uint32_t id = 0; id < sent_by_kind_id.size(); ++id) {
+    if (sent_by_kind_id[id] == 0) continue;
+    view.emplace(std::string(MessageKind::from_id(id).name()),
+                 sent_by_kind_id[id]);
+  }
+  return view;
 }
 
 Network::Network(sim::Simulator& sim, int n,
@@ -25,10 +29,24 @@ Network::Network(sim::Simulator& sim, int n,
     : sim_(sim), n_(n), latency_(std::move(latency)), rng_(seed) {
   DMX_CHECK(n_ >= 1);
   DMX_CHECK(latency_ != nullptr);
+  channel_last_delivery_.assign(
+      static_cast<std::size_t>(n_ + 1) * static_cast<std::size_t>(n_ + 1), 0);
 }
 
 void Network::set_delivery_handler(DeliveryHandler handler) {
   handler_ = std::move(handler);
+}
+
+std::uint32_t Network::acquire_slot() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNpos;
+    return slot;
+  }
+  DMX_CHECK_MSG(slots_.size() < kNpos, "envelope slot space exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
 void Network::send(NodeId from, NodeId to, MessagePtr message) {
@@ -37,13 +55,17 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
   DMX_CHECK_MSG(from != to, "node " << from << " sending to itself");
   DMX_CHECK(message != nullptr);
 
+  const MessageKind kind = message->kind_id();
   stats_.total_sent += 1;
   stats_.total_payload_bytes += message->payload_bytes();
-  stats_.sent_by_kind[std::string(message->kind())] += 1;
+  if (kind.id() >= stats_.sent_by_kind_id.size()) {
+    stats_.sent_by_kind_id.resize(kind.id() + 1, 0);  // warms once per kind
+  }
+  stats_.sent_by_kind_id[kind.id()] += 1;
 
   // Failure injection: the message is counted as sent but vanishes.
-  if (drop_next_kind_.has_value() && message->kind() == *drop_next_kind_) {
-    drop_next_kind_.reset();
+  if (drop_next_kind_.valid() && kind == drop_next_kind_) {
+    drop_next_kind_ = MessageKind();
     stats_.total_dropped += 1;
     return;
   }
@@ -59,24 +81,43 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
   // FIFO per channel: a message may not arrive before the previously sent
   // message on the same ordered channel.
   Tick deliver_at = now + latency;
-  auto& last = channel_last_delivery_[channel_key(from, to)];
+  Tick& last = channel_last_delivery_[static_cast<std::size_t>(from) *
+                                          static_cast<std::size_t>(n_ + 1) +
+                                      static_cast<std::size_t>(to)];
   deliver_at = std::max(deliver_at, last);
   last = deliver_at;
 
-  const std::uint64_t id = next_envelope_id_++;
-  Envelope env{id, from, to, now, deliver_at, std::move(message)};
+  const std::uint32_t slot = acquire_slot();
+  Envelope& env = slots_[slot].env;
+  env.id = next_envelope_id_++;
+  env.from = from;
+  env.to = to;
+  env.sent_at = now;
+  env.deliver_at = deliver_at;
+  env.message = std::move(message);
+  slots_[slot].active = true;
+  ++in_flight_count_;
+  if (kind.id() >= in_flight_by_kind_.size()) {
+    in_flight_by_kind_.resize(kind.id() + 1, 0);  // warms once per kind
+  }
+  ++in_flight_by_kind_[kind.id()];
   if (observer_ != nullptr) {
     observer_->on_send(env);
   }
-  in_flight_.emplace(id, std::move(env));
-  sim_.schedule_at(deliver_at, [this, id] { deliver(id); });
+  sim_.schedule_at(deliver_at, [this, slot] { deliver(slot); });
 }
 
-void Network::deliver(std::uint64_t envelope_id) {
-  auto it = in_flight_.find(envelope_id);
-  DMX_CHECK(it != in_flight_.end());
-  Envelope env = std::move(it->second);
-  in_flight_.erase(it);
+void Network::deliver(std::uint32_t slot_index) {
+  EnvelopeSlot& slot = slots_[slot_index];
+  DMX_CHECK(slot.active);
+  // Detach the envelope and recycle the slot before invoking the handler:
+  // the handler may send new messages, reusing this slot.
+  Envelope env = std::move(slot.env);
+  slot.active = false;
+  slot.next_free = free_head_;
+  free_head_ = slot_index;
+  --in_flight_count_;
+  --in_flight_by_kind_[env.message->kind_id().id()];
   if (observer_ != nullptr) {
     observer_->on_deliver(env);
   }
@@ -92,21 +133,24 @@ void Network::set_drop_probability(double p) {
 }
 
 void Network::drop_next(std::string_view kind) {
-  drop_next_kind_ = std::string(kind);
+  // Intern (not lookup): arming a drop for a kind that has not been sent
+  // yet must still match the first send of that kind.
+  drop_next_kind_ = MessageKind::of(kind);
+}
+
+std::size_t Network::in_flight_count(MessageKind kind) const {
+  if (!kind.valid() || kind.id() >= in_flight_by_kind_.size()) return 0;
+  return in_flight_by_kind_[kind.id()];
 }
 
 std::size_t Network::in_flight_count(std::string_view kind) const {
-  std::size_t count = 0;
-  for (const auto& [id, env] : in_flight_) {
-    if (env.message->kind() == kind) ++count;
-  }
-  return count;
+  return in_flight_count(MessageKind::lookup(kind));
 }
 
 void Network::for_each_in_flight(
     const std::function<void(const Envelope&)>& fn) const {
-  for (const auto& [id, env] : in_flight_) {
-    fn(env);
+  for (const EnvelopeSlot& slot : slots_) {
+    if (slot.active) fn(slot.env);
   }
 }
 

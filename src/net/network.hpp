@@ -10,14 +10,22 @@
 // experiment: it counts sends per message kind, accounts payload bytes,
 // and exposes the set of in-flight messages so invariant checkers can
 // verify token uniqueness including PRIVILEGE messages in transit.
+//
+// Hot-path layout (the zero-allocation kernel):
+//  * the per-channel FIFO clamp is a dense vector<Tick> indexed by
+//    from * (n + 1) + to — one cache line probe, no hashing;
+//  * in-flight envelopes live in a slot map with an intrusive free list;
+//    slots recycle, so steady-state send/deliver never allocates;
+//  * per-kind counters are a flat vector indexed by interned MessageKind
+//    id; the string-keyed map view is materialized only for reporting.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <optional>
+#include <memory>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -38,15 +46,22 @@ struct Envelope {
   MessagePtr message;
 };
 
-/// Aggregate send counters, keyed by Message::kind().
+/// Aggregate send counters, keyed by interned message kind.
 struct MessageStats {
   std::uint64_t total_sent = 0;
   std::uint64_t total_dropped = 0;
   std::uint64_t total_payload_bytes = 0;
-  std::map<std::string, std::uint64_t> sent_by_kind;
+  /// Sends per kind, indexed by MessageKind::id(). May be shorter than
+  /// MessageKind::registered_count(); missing entries mean zero.
+  std::vector<std::uint64_t> sent_by_kind_id;
 
   /// Count for one kind (0 if never sent).
+  std::uint64_t sent(MessageKind kind) const;
   std::uint64_t sent(std::string_view kind) const;
+
+  /// Lazy reporting view: kind string -> count, kinds with zero sends
+  /// omitted. Builds a fresh map; not for hot paths.
+  std::map<std::string, std::uint64_t> by_kind() const;
 };
 
 /// Observer hooks for tracing; both calls happen after counters update.
@@ -101,13 +116,16 @@ class Network {
   /// from this network's deterministic RNG).
   void set_drop_probability(double p);
 
-  /// Drops the next sent message whose kind() equals `kind` (one-shot).
+  /// Drops the next sent message of kind `kind` (one-shot).
   void drop_next(std::string_view kind);
 
   /// Number of messages currently in flight.
-  std::size_t in_flight_count() const { return in_flight_.size(); }
+  std::size_t in_flight_count() const { return in_flight_count_; }
 
-  /// Number of in-flight messages of one kind (e.g. "PRIVILEGE").
+  /// Number of in-flight messages of one kind (e.g. "PRIVILEGE"). O(1):
+  /// per-kind counters are maintained on send/deliver, because the
+  /// token-uniqueness invariant queries this after every event.
+  std::size_t in_flight_count(MessageKind kind) const;
   std::size_t in_flight_count(std::string_view kind) const;
 
   /// Visits every in-flight envelope (order unspecified).
@@ -115,22 +133,36 @@ class Network {
       const std::function<void(const Envelope&)>& fn) const;
 
  private:
-  void deliver(std::uint64_t envelope_id);
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  struct EnvelopeSlot {
+    Envelope env;
+    std::uint32_t next_free = kNpos;
+    bool active = false;
+  };
+
+  void deliver(std::uint32_t slot_index);
+  std::uint32_t acquire_slot();
 
   sim::Simulator& sim_;
   int n_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   double drop_probability_ = 0.0;
-  std::optional<std::string> drop_next_kind_;
+  MessageKind drop_next_kind_;  // invalid = disarmed
   DeliveryHandler handler_;
   NetworkObserver* observer_ = nullptr;
   std::uint64_t next_envelope_id_ = 1;
   MessageStats stats_;
-  // Last scheduled delivery tick per ordered channel, for FIFO.
-  std::unordered_map<std::uint64_t, Tick> channel_last_delivery_;
-  // In-flight envelopes by id.
-  std::unordered_map<std::uint64_t, Envelope> in_flight_;
+  // Last scheduled delivery tick per ordered channel, dense (n+1)^2 table
+  // indexed by from * (n + 1) + to.
+  std::vector<Tick> channel_last_delivery_;
+  // In-flight envelopes: slot map with intrusive free list.
+  std::vector<EnvelopeSlot> slots_;
+  std::uint32_t free_head_ = kNpos;
+  std::size_t in_flight_count_ = 0;
+  // In-flight messages per kind id (missing entries mean zero).
+  std::vector<std::size_t> in_flight_by_kind_;
 };
 
 }  // namespace dmx::net

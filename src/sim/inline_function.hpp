@@ -1,0 +1,150 @@
+// Move-only type-erased `void()` callable with fixed inline storage.
+//
+// The simulator schedules millions of callbacks per experiment; storing
+// them as std::function costs a heap allocation whenever the capture
+// exceeds the (implementation-defined, typically 16-byte) small-buffer
+// size. InlineCallback fixes the buffer contract at kInlineCallbackCapacity
+// bytes: every callable that fits (and is nothrow-move-constructible) is
+// stored in place, so the steady-state event loop never touches the heap.
+//
+// Size contract: keep scheduler lambdas within kInlineCallbackCapacity
+// bytes of captured state (six pointers). Larger callables still work —
+// they fall back to a heap-allocated holder — but each fallback is counted
+// in heap_allocations() and the zero-allocation test will flag hot paths
+// that regress.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dmx::sim {
+
+inline constexpr std::size_t kInlineCallbackCapacity = 48;
+
+class InlineCallback {
+ public:
+  InlineCallback() noexcept = default;
+  InlineCallback(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                    std::is_invocable_r_v<void, std::decay_t<F>&>,
+                int> = 0>
+  InlineCallback(F&& f) {  // NOLINT(runtime/explicit)
+    using Decayed = std::decay_t<F>;
+    if constexpr (fits_inline<Decayed>()) {
+      ::new (static_cast<void*>(storage_)) Decayed(std::forward<F>(f));
+      ops_ = &kInlineOps<Decayed>;
+    } else {
+      ++heap_allocations_;
+      *reinterpret_cast<Decayed**>(storage_) =
+          new Decayed(std::forward<F>(f));
+      ops_ = &kHeapOps<Decayed>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      relocate_from(other);
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        relocate_from(other);
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Number of callables (process-wide) that exceeded the inline capacity
+  /// and fell back to the heap. The zero-allocation test pins this to stay
+  /// flat across steady-state simulation.
+  static std::uint64_t heap_allocations() noexcept {
+    return heap_allocations_;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs the payload at `dst` from `src` and destroys `src`;
+    /// nullptr means the payload is trivially relocatable (plain memcpy).
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// nullptr means trivially destructible (no-op).
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= kInlineCallbackCapacity &&
+           alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      [](void* storage) { (*static_cast<F*>(storage))(); },
+      std::is_trivially_copyable_v<F>
+          ? nullptr
+          : +[](void* dst, void* src) noexcept {
+              ::new (dst) F(std::move(*static_cast<F*>(src)));
+              static_cast<F*>(src)->~F();
+            },
+      std::is_trivially_destructible_v<F>
+          ? nullptr
+          : +[](void* storage) noexcept { static_cast<F*>(storage)->~F(); },
+  };
+
+  // Heap payloads hold a plain pointer in storage_: trivially relocatable.
+  template <typename F>
+  static constexpr Ops kHeapOps = {
+      [](void* storage) { (**static_cast<F**>(storage))(); },
+      nullptr,
+      [](void* storage) noexcept { delete *static_cast<F**>(storage); },
+  };
+
+  void relocate_from(InlineCallback& other) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+    } else {
+      std::memcpy(storage_, other.storage_, kInlineCallbackCapacity);
+    }
+    other.ops_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCallbackCapacity];
+  const Ops* ops_ = nullptr;
+
+  inline static std::uint64_t heap_allocations_ = 0;
+};
+
+}  // namespace dmx::sim

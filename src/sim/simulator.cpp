@@ -1,17 +1,190 @@
 #include "sim/simulator.hpp"
 
+#include <bit>
 #include <utility>
 
 namespace dmx::sim {
+
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+Simulator::Simulator() {
+  bucket_head_.fill(kNpos);
+  bucket_tail_.fill(kNpos);
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNpos) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = record(slot).next_free;
+    record(slot).next_free = kNpos;
+    return slot;
+  }
+  DMX_CHECK_MSG(slot_count_ < kNpos, "event slot space exhausted");
+  if (slot_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Chunk>());
+  }
+  return static_cast<std::uint32_t>(slot_count_++);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  EventRecord& rec = record(slot);
+  rec.cb = nullptr;
+  ++rec.generation;  // invalidates every EventId issued for this slot
+  rec.heap_pos = kNpos;
+  rec.prev = kNpos;
+  rec.next = kNpos;
+  rec.state = SlotState::kFree;
+  rec.next_free = free_head_;
+  free_head_ = slot;
+}
+
+// --- Timing wheel ----------------------------------------------------------
+
+void Simulator::wheel_append(std::uint32_t slot) {
+  EventRecord& rec = record(slot);
+  const std::size_t bucket =
+      static_cast<std::size_t>(rec.at) & kWheelMask;
+  rec.state = SlotState::kWheel;
+  rec.next = kNpos;
+  rec.prev = bucket_tail_[bucket];
+  if (rec.prev == kNpos) {
+    bucket_head_[bucket] = slot;
+    occupied_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+  } else {
+    record(rec.prev).next = slot;
+  }
+  bucket_tail_[bucket] = slot;
+  ++wheel_count_;
+}
+
+void Simulator::wheel_unlink(std::uint32_t slot) {
+  EventRecord& rec = record(slot);
+  const std::size_t bucket =
+      static_cast<std::size_t>(rec.at) & kWheelMask;
+  if (rec.prev != kNpos) {
+    record(rec.prev).next = rec.next;
+  } else {
+    bucket_head_[bucket] = rec.next;
+  }
+  if (rec.next != kNpos) {
+    record(rec.next).prev = rec.prev;
+  } else {
+    bucket_tail_[bucket] = rec.prev;
+  }
+  if (bucket_head_[bucket] == kNpos) {
+    occupied_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+  }
+  --wheel_count_;
+}
+
+std::size_t Simulator::wheel_min_bucket() const {
+  // Every pending wheel event has at in [now_, now_ + span), so the
+  // circular distance from now_'s bucket equals at - now_: the first
+  // occupied bucket scanning circularly from now_ holds the minimum tick.
+  const std::size_t start = static_cast<std::size_t>(now_) & kWheelMask;
+  std::size_t word_index = start >> 6;
+  std::uint64_t word = occupied_[word_index] & (~std::uint64_t{0}
+                                               << (start & 63));
+  for (std::size_t i = 0; i <= kWheelWords; ++i) {
+    if (word != 0) {
+      return (word_index << 6) +
+             static_cast<std::size_t>(std::countr_zero(word));
+    }
+    word_index = (word_index + 1) & (kWheelWords - 1);
+    word = occupied_[word_index];
+  }
+  DMX_CHECK_MSG(false, "wheel_min_bucket on empty wheel");
+  return 0;
+}
+
+void Simulator::migrate_overflow() {
+  // Invariant: outside this function, every overflow event satisfies
+  // at >= now_ + span. It is restored after every advance of now_ and
+  // BEFORE any user callback runs, so a callback scheduling a same-tick
+  // event always appends behind the earlier-scheduled (migrated) one.
+  while (!heap_.empty() && heap_[0].at - now_ < kWheelSpan) {
+    const std::uint32_t slot = heap_[0].slot;
+    heap_pop_root();  // pops in (at, seq) order, preserving bucket FIFO
+    wheel_append(slot);
+  }
+}
+
+// --- Overflow heap ---------------------------------------------------------
+// The sift routines take the displaced entry by value and write it once at
+// its final position (hole percolation): half the stores of swap-based
+// sifting, and comparisons only touch the contiguous heap array.
+
+void Simulator::heap_sift_up(std::size_t pos, HeapEntry entry) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kArity;
+    if (!fires_before(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    record(heap_[pos].slot).heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  record(entry.slot).heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::heap_sift_down(std::size_t pos, HeapEntry entry) {
+  const std::size_t size = heap_.size();
+  while (true) {
+    const std::size_t first = kArity * pos + 1;
+    if (first >= size) break;
+    const std::size_t last = first + kArity < size ? first + kArity : size;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (fires_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!fires_before(heap_[best], entry)) break;
+    heap_[pos] = heap_[best];
+    record(heap_[pos].slot).heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = entry;
+  record(entry.slot).heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::heap_pop_root() {
+  const HeapEntry displaced = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) heap_sift_down(0, displaced);
+}
+
+void Simulator::heap_remove(std::size_t pos) {
+  const HeapEntry displaced = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the last entry
+  // The displaced entry may belong above or below `pos`; try both (one is
+  // a no-op).
+  heap_sift_down(pos, displaced);
+  const std::size_t settled = record(displaced.slot).heap_pos;
+  if (settled == pos) heap_sift_up(pos, displaced);
+}
+
+// --- Scheduling ------------------------------------------------------------
 
 EventId Simulator::schedule_at(Tick at, Callback cb) {
   DMX_CHECK_MSG(at >= now_, "cannot schedule into the past: at=" << at
                                                                  << " now="
                                                                  << now_);
-  DMX_CHECK(cb != nullptr);
-  const EventId id = next_id_++;
-  queue_.push(Entry{at, id, std::move(cb)});
-  return id;
+  DMX_CHECK(static_cast<bool>(cb));
+  const std::uint32_t slot = acquire_slot();
+  EventRecord& rec = record(slot);
+  rec.cb = std::move(cb);
+  rec.at = at;
+  if (at - now_ < kWheelSpan) {
+    wheel_append(slot);
+  } else {
+    rec.state = SlotState::kHeap;
+    const HeapEntry entry{at, next_seq_++, slot};
+    heap_.push_back(entry);  // placeholder; sift writes the final layout
+    heap_sift_up(heap_.size() - 1, entry);
+  }
+  return (static_cast<EventId>(rec.generation) << 32) |
+         (static_cast<EventId>(slot) + 1);
 }
 
 EventId Simulator::schedule_after(Tick delay, Callback cb) {
@@ -20,36 +193,54 @@ EventId Simulator::schedule_after(Tick delay, Callback cb) {
 }
 
 bool Simulator::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // We cannot remove from the middle of a priority queue; mark instead and
-  // skip on pop. The set is purged as entries surface.
-  return cancelled_.insert(id).second;
-}
-
-bool Simulator::pop_next(Entry& out) {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const ref; move via const_cast is the
-    // standard idiom but we copy the small fields and move the callback
-    // by re-pushing nothing.
-    Entry e = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    auto it = cancelled_.find(e.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    out = std::move(e);
-    return true;
+  const std::uint32_t lo = static_cast<std::uint32_t>(id);
+  if (lo == 0) return false;
+  const std::uint32_t slot = lo - 1;
+  if (slot >= slot_count_) return false;
+  EventRecord& rec = record(slot);
+  if (rec.state == SlotState::kFree) return false;  // fired or cancelled
+  if (rec.generation != static_cast<std::uint32_t>(id >> 32)) return false;
+  if (rec.state == SlotState::kWheel) {
+    wheel_unlink(slot);
+  } else {
+    heap_remove(rec.heap_pos);
   }
-  return false;
+  release_slot(slot);
+  return true;
 }
 
 bool Simulator::step() {
-  Entry e;
-  if (!pop_next(e)) return false;
-  now_ = e.at;
+  return step_limited(std::numeric_limits<Tick>::max());
+}
+
+bool Simulator::step_limited(Tick until) {
+  // Selection needs no migration: the overflow invariant guarantees every
+  // heap event is at least a full window later than every wheel event.
+  std::uint32_t slot;
+  if (wheel_count_ > 0) {
+    const std::size_t bucket = wheel_min_bucket();
+    slot = bucket_head_[bucket];
+    if (record(slot).at > until) return false;
+    wheel_unlink(slot);
+  } else if (!heap_.empty()) {
+    // Beyond-window event with nothing nearer: fire straight from the
+    // heap.
+    if (heap_[0].at > until) return false;
+    slot = heap_[0].slot;
+    heap_pop_root();
+  } else {
+    return false;
+  }
+  EventRecord& rec = record(slot);
+  now_ = rec.at;
+  // Restore the overflow invariant for the new now_ before user code runs.
+  migrate_overflow();
+  // Detach the callback and free the slot before invoking: the callback
+  // may schedule new events (reusing this slot) or cancel others.
+  Callback cb = std::move(rec.cb);
+  release_slot(slot);
   ++executed_;
-  e.cb();
+  cb();
   return true;
 }
 
@@ -64,21 +255,11 @@ std::size_t Simulator::run(std::size_t max_events) {
 std::size_t Simulator::run_until(Tick until) {
   DMX_CHECK(until >= now_);
   std::size_t n = 0;
-  Entry e;
-  while (!queue_.empty()) {
-    // Peek at the next live event time without executing.
-    if (!pop_next(e)) break;
-    if (e.at > until) {
-      // Too late: put it back and stop.
-      queue_.push(std::move(e));
-      break;
-    }
-    now_ = e.at;
-    ++executed_;
+  while (step_limited(until)) {
     ++n;
-    e.cb();
   }
   now_ = until;
+  migrate_overflow();  // now_ advanced: restore the overflow invariant
   return n;
 }
 

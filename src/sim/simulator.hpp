@@ -5,17 +5,48 @@
 // arrivals and critical-section exits. Events at equal timestamps fire in
 // insertion order (a monotonically increasing sequence number breaks ties),
 // which makes every run a pure function of (code, seed).
+//
+// Architecture (the zero-allocation kernel):
+//  * Event records live in a slot map: fixed-size chunks of records with
+//    an intrusive free list. Slots are recycled, so steady-state scheduling
+//    never allocates once the arena has grown to the peak concurrent event
+//    count. Chunking keeps record addresses stable (no reallocation moves)
+//    and each chunk small enough that the allocator recycles it from its
+//    free lists instead of returning pages to the OS — bulk scheduling
+//    does not pay page-fault churn.
+//  * Dispatch is a two-level timer. Events within kWheelSpan ticks of now()
+//    go into a timing wheel — one FIFO bucket per tick, O(1) schedule,
+//    O(1) pop (a 1024-bit occupancy bitmap finds the next non-empty
+//    bucket), O(1) cancel (doubly-linked intrusive bucket lists). Because
+//    every pending wheel event satisfies now() <= at < schedule_time + span,
+//    no two distinct pending ticks ever map to the same bucket, and FIFO
+//    append per bucket is exactly (timestamp, sequence) order.
+//  * Events beyond the wheel window overflow into an indexed 4-ary min-heap
+//    keyed by (timestamp, sequence): O(log n) push/pop/cancel with the sort
+//    key stored in the contiguous heap array and a back-pointer
+//    (`heap_pos`) in the slot record. Invariant: every overflow event is
+//    at least a full window later than now(). It is restored — overflow
+//    events that have come within the window migrate into their buckets in
+//    (timestamp, sequence) order — each time now() advances, before any
+//    user callback runs, which is what keeps migrated events ordered ahead
+//    of same-tick events scheduled later.
+//  * EventIds encode (generation << 32 | slot + 1). The generation bumps on
+//    every slot release, so stale ids — cancelled, fired, or recycled —
+//    are rejected in O(1) without any auxiliary set. pending() and idle()
+//    are exact by construction.
+//  * Callbacks are InlineCallback (48-byte in-place storage), not
+//    std::function: scheduling a lambda that fits does zero heap work.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "sim/inline_function.hpp"
 
 namespace dmx::sim {
 
@@ -25,9 +56,9 @@ using EventId = std::uint64_t;
 /// Single-threaded virtual-time event loop.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -40,8 +71,9 @@ class Simulator {
   /// Schedules `cb` to run `delay` ticks from now (delay >= 0).
   EventId schedule_after(Tick delay, Callback cb);
 
-  /// Cancels a pending event. Returns false if it already fired or was
-  /// already cancelled.
+  /// Cancels a pending event: O(1) for events within the wheel window,
+  /// O(log n) for far-future events. Returns false if it already fired,
+  /// was already cancelled, or the id was never issued.
   bool cancel(EventId id);
 
   /// Runs the next pending event. Returns false if the queue is empty.
@@ -56,36 +88,109 @@ class Simulator {
   /// `until` even if the queue drains earlier. Returns events executed.
   std::size_t run_until(Tick until);
 
-  /// True if no events are pending (cancelled events excluded).
-  bool idle() const { return queue_.size() == cancelled_.size(); }
+  /// True if no events are pending. Exact: cancelled events are removed
+  /// immediately.
+  bool idle() const { return wheel_count_ == 0 && heap_.empty(); }
 
-  /// Number of events pending (excludes cancelled ones).
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events pending. Exact under cancellation.
+  std::size_t pending() const { return wheel_count_ + heap_.size(); }
 
   /// Total number of events executed so far.
   std::uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Entry {
-    Tick at = 0;
-    EventId id = 0;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among equal timestamps
-    }
+  static constexpr std::uint32_t kNpos =
+      std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::size_t kWheelBits = 10;
+  static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+  static constexpr std::size_t kWheelMask = kWheelSize - 1;
+  static constexpr std::size_t kWheelWords = kWheelSize / 64;
+  /// Events with at - now() < kWheelSpan take the O(1) wheel path.
+  static constexpr Tick kWheelSpan = static_cast<Tick>(kWheelSize);
+
+  enum class SlotState : std::uint8_t { kFree, kWheel, kHeap };
+
+  /// Overflow-heap entries carry the full sort key so sift comparisons
+  /// stay within the contiguous heap array; the slot is dereferenced only
+  /// to maintain its back-pointer.
+  struct HeapEntry {
+    Tick at;
+    std::uint64_t seq;  // insertion order; breaks timestamp ties
+    std::uint32_t slot;
   };
 
-  /// Pops the next non-cancelled event, or returns false.
-  bool pop_next(Entry& out);
+  struct EventRecord {
+    Callback cb;
+    Tick at = 0;
+    std::uint32_t generation = 0;
+    std::uint32_t heap_pos = kNpos;  // position in heap_ (kHeap state only)
+    std::uint32_t prev = kNpos;      // bucket list links (kWheel state only)
+    std::uint32_t next = kNpos;
+    std::uint32_t next_free = kNpos;
+    SlotState state = SlotState::kFree;
+  };
+
+  // 512 records ≈ 45 KiB per chunk: comfortably below glibc's mmap
+  // threshold, so retired chunks cycle through malloc free lists rather
+  // than munmap (fresh Simulators would otherwise re-fault every page).
+  static constexpr std::size_t kChunkBits = 9;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+  struct Chunk {
+    std::array<EventRecord, kChunkSize> records;
+  };
+
+  EventRecord& record(std::uint32_t slot) {
+    return chunks_[slot >> kChunkBits]->records[slot & kChunkMask];
+  }
+  const EventRecord& record(std::uint32_t slot) const {
+    return chunks_[slot >> kChunkBits]->records[slot & kChunkMask];
+  }
+
+  /// Strict ordering: earlier timestamp first, FIFO (by sequence) among
+  /// equal timestamps.
+  static bool fires_before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  /// step() with a timestamp ceiling: fires the next event only if its
+  /// timestamp is <= `until`. Selection happens once (run_until would
+  /// otherwise scan the wheel bitmap twice per event: peek, then pop).
+  bool step_limited(Tick until);
+
+  void wheel_append(std::uint32_t slot);
+  void wheel_unlink(std::uint32_t slot);
+  /// Bucket with the smallest pending tick; requires wheel_count_ > 0.
+  std::size_t wheel_min_bucket() const;
+  /// Moves overflow events that have come within the wheel window into
+  /// their buckets (in (at, seq) order, preserving FIFO).
+  void migrate_overflow();
+
+  void heap_sift_up(std::size_t pos, HeapEntry entry);
+  void heap_sift_down(std::size_t pos, HeapEntry entry);
+  void heap_pop_root();
+  /// Removes the heap entry at `pos`, restoring the heap property.
+  void heap_remove(std::size_t pos);
 
   Tick now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t slot_count_ = 0;  // records handed out so far
+  std::uint32_t free_head_ = kNpos;
+
+  // Timing wheel: per-tick FIFO bucket lists plus an occupancy bitmap.
+  std::array<std::uint32_t, kWheelSize> bucket_head_;
+  std::array<std::uint32_t, kWheelSize> bucket_tail_;
+  std::array<std::uint64_t, kWheelWords> occupied_ = {};
+  std::size_t wheel_count_ = 0;
+
+  // Overflow: 4-ary min-heap keyed by (at, seq) for far-future events.
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace dmx::sim

@@ -1,0 +1,127 @@
+// Determinism golden test: the simulation substrate must be a pure
+// function of (code, seed). This test runs the Neilsen algorithm on fixed
+// topologies/seeds, hashes the complete network trace (send and deliver
+// events in the order the substrate emits them, with routes, ticks, and
+// message descriptions), and pins the hash.
+//
+// The pinned values were captured from the original priority_queue +
+// std::function kernel; the indexed-heap/zero-allocation kernel must
+// reproduce them bit for bit. If a deliberate semantic change to the
+// substrate ever alters event ordering, re-pin the constants in the same
+// commit and call the change out in review.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "baselines/registry.hpp"
+#include "harness/cluster.hpp"
+#include "net/network.hpp"
+#include "topology/tree.hpp"
+#include "workload/workload.hpp"
+
+namespace dmx {
+namespace {
+
+/// FNV-1a 64-bit over the event stream.
+class TraceHasher final : public net::NetworkObserver {
+ public:
+  void on_send(const net::Envelope& env) override { mix('S', env); }
+  void on_deliver(const net::Envelope& env) override { mix('D', env); }
+
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  void mix(char tag, const net::Envelope& env) {
+    byte(static_cast<unsigned char>(tag));
+    u64(env.id);
+    u64(static_cast<std::uint64_t>(env.from));
+    u64(static_cast<std::uint64_t>(env.to));
+    u64(static_cast<std::uint64_t>(env.sent_at));
+    u64(static_cast<std::uint64_t>(env.deliver_at));
+    const std::string desc = env.message->describe();
+    for (const char c : desc) byte(static_cast<unsigned char>(c));
+  }
+  void byte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 1099511628211ULL;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+std::uint64_t neilsen_trace_digest(topology::Tree tree, std::uint64_t seed) {
+  harness::ClusterConfig config;
+  config.n = tree.size();
+  config.initial_token_holder = 1;
+  config.tree = std::move(tree);
+  config.seed = seed;
+  harness::Cluster cluster(baselines::algorithm_by_name("Neilsen"),
+                           std::move(config));
+  TraceHasher hasher;
+  cluster.network().set_observer(&hasher);
+
+  workload::WorkloadConfig wl;
+  wl.target_entries = 400;
+  wl.mean_think_ticks = 3.0;
+  wl.hold_lo = 0;
+  wl.hold_hi = 2;
+  wl.seed = seed;
+  workload::run_workload(cluster, wl);
+  return hasher.digest();
+}
+
+TEST(DeterminismGolden, SameSeedSameDigest) {
+  const std::uint64_t a =
+      neilsen_trace_digest(topology::Tree::random_tree(12, 7), 11);
+  const std::uint64_t b =
+      neilsen_trace_digest(topology::Tree::random_tree(12, 7), 11);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeterminismGolden, DifferentSeedDifferentDigest) {
+  const std::uint64_t a =
+      neilsen_trace_digest(topology::Tree::random_tree(12, 7), 11);
+  const std::uint64_t b =
+      neilsen_trace_digest(topology::Tree::random_tree(12, 7), 12);
+  EXPECT_NE(a, b);
+}
+
+// Golden digests pinned from the pre-refactor kernel (priority_queue +
+// std::function + hash-map network). Any kernel swap must reproduce these.
+TEST(DeterminismGolden, PinnedStarTopology) {
+  EXPECT_EQ(neilsen_trace_digest(topology::Tree::star(8, 1), 5),
+            0x472d9b15493288e5ULL)
+      << "actual: 0x" << std::hex
+      << neilsen_trace_digest(topology::Tree::star(8, 1), 5);
+}
+
+TEST(DeterminismGolden, PinnedRandomTreeJitteryLatency) {
+  harness::ClusterConfig config;
+  const topology::Tree tree = topology::Tree::random_tree(16, 3);
+  config.n = tree.size();
+  config.initial_token_holder = 1;
+  config.tree = tree;
+  config.latency_model = std::make_unique<net::UniformLatency>(1, 9);
+  config.seed = 21;
+  harness::Cluster cluster(baselines::algorithm_by_name("Neilsen"),
+                           std::move(config));
+  TraceHasher hasher;
+  cluster.network().set_observer(&hasher);
+
+  workload::WorkloadConfig wl;
+  wl.target_entries = 300;
+  wl.mean_think_ticks = 1.0;
+  wl.hold_lo = 0;
+  wl.hold_hi = 3;
+  wl.seed = 21;
+  workload::run_workload(cluster, wl);
+  EXPECT_EQ(hasher.digest(), 0x763e75d029bfa294ULL)
+      << "actual: 0x" << std::hex << hasher.digest();
+}
+
+}  // namespace
+}  // namespace dmx

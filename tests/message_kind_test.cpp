@@ -1,0 +1,78 @@
+// Tests for MessageKind interning: stable ids, name round-trips,
+// unknown-kind lookup, and race-free concurrent registration.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/message_kind.hpp"
+
+namespace dmx::net {
+namespace {
+
+TEST(MessageKind, InterningIsStable) {
+  const MessageKind a = MessageKind::of("KINDTEST_ALPHA");
+  const MessageKind b = MessageKind::of("KINDTEST_BETA");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.id(), b.id());
+  // Re-interning returns the identical id.
+  EXPECT_EQ(MessageKind::of("KINDTEST_ALPHA"), a);
+  EXPECT_EQ(MessageKind::of("KINDTEST_BETA"), b);
+}
+
+TEST(MessageKind, NameRoundTrips) {
+  const MessageKind kind = MessageKind::of("KINDTEST_NAME");
+  EXPECT_EQ(kind.name(), "KINDTEST_NAME");
+  EXPECT_EQ(MessageKind::from_id(kind.id()).name(), "KINDTEST_NAME");
+}
+
+TEST(MessageKind, LookupDoesNotRegister) {
+  const std::size_t before = MessageKind::registered_count();
+  const MessageKind unknown = MessageKind::lookup("KINDTEST_NEVER_INTERNED");
+  EXPECT_FALSE(unknown.valid());
+  EXPECT_EQ(unknown.name(), "?");
+  EXPECT_EQ(MessageKind::registered_count(), before);
+}
+
+TEST(MessageKind, InvalidKindComparesUnequalToRegistered) {
+  const MessageKind invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_NE(invalid, MessageKind::of("KINDTEST_ALPHA"));
+  EXPECT_EQ(invalid, MessageKind());
+}
+
+TEST(MessageKind, IdsAreDense) {
+  const MessageKind fresh = MessageKind::of("KINDTEST_DENSE");
+  EXPECT_LT(fresh.id(), MessageKind::registered_count());
+}
+
+TEST(MessageKind, ConcurrentRegistrationIsConsistent) {
+  // Many threads intern an overlapping set of names; every thread must
+  // observe the same name -> id mapping with no duplicate ids.
+  constexpr int kThreads = 8;
+  constexpr int kNames = 16;
+  std::vector<std::vector<std::uint32_t>> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen] {
+      for (int i = 0; i < kNames; ++i) {
+        const std::string name =
+            "KINDTEST_CONCURRENT_" + std::to_string(i);
+        seen[static_cast<std::size_t>(t)].push_back(
+            MessageKind::of(name).id());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+  }
+  const std::set<std::uint32_t> unique(seen[0].begin(), seen[0].end());
+  EXPECT_EQ(unique.size(), static_cast<std::size_t>(kNames));
+}
+
+}  // namespace
+}  // namespace dmx::net

@@ -15,15 +15,13 @@ namespace {
 
 class TestMessage final : public Message {
  public:
-  explicit TestMessage(int value, std::string kind = "TEST")
-      : value_(value), kind_(std::move(kind)) {}
+  explicit TestMessage(int value, std::string_view kind = "TEST")
+      : Message(MessageKind::of(kind)), value_(value) {}
   int value() const { return value_; }
-  std::string_view kind() const override { return kind_; }
   std::size_t payload_bytes() const override { return sizeof(int); }
 
  private:
   int value_;
-  std::string kind_;
 };
 
 struct Delivery {

@@ -135,5 +135,127 @@ TEST(Simulator, PendingExcludesCancelled) {
   EXPECT_FALSE(sim.idle());
 }
 
+// --- Regression coverage for exact accounting under cancellation ---------
+// The original kernel computed pending() as queue size minus a lazy
+// cancelled-set size, which drifted once entries were popped or an id was
+// cancelled twice. The indexed kernel must keep these exact.
+
+TEST(Simulator, CancelAfterFireFailsAndKeepsAccountingExact) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1, [&] { fired = true; });
+  sim.schedule_at(2, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_TRUE(fired);
+  // The event already ran: cancelling it must fail and must not disturb
+  // the pending count of the remaining event.
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.idle());
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, CancelTwiceKeepsPendingExact) {
+  Simulator sim;
+  sim.schedule_at(1, [] {});
+  const EventId id = sim.schedule_at(2, [] {});
+  sim.schedule_at(3, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 2u);
+  // Double-cancel must not decrement pending() a second time.
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, StaleIdDoesNotCancelRecycledSlot) {
+  Simulator sim;
+  bool second_fired = false;
+  const EventId first = sim.schedule_at(1, [] {});
+  sim.run();
+  // The slot is recycled for a new event; the stale id must not cancel it.
+  sim.schedule_at(2, [&] { second_fired = true; });
+  EXPECT_FALSE(sim.cancel(first));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(Simulator, CancelInterleavedWithFiringStaysExact) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (Tick t = 1; t <= 20; ++t) {
+    ids.push_back(sim.schedule_at(t, [] {}));
+  }
+  // Fire five, cancel five of the remainder, fire the rest.
+  EXPECT_EQ(sim.run(5), 5u);
+  EXPECT_EQ(sim.pending(), 15u);
+  for (int i = 5; i < 10; ++i) {
+    EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_EQ(sim.pending(), 10u);
+  EXPECT_EQ(sim.run(), 10u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_executed(), 15u);
+}
+
+// --- Far-future events (the overflow tier behind the timing wheel) -------
+
+TEST(Simulator, FarFutureEventsFireInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(500000, [&] { order.push_back(3); });
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.schedule_at(90000, [&] { order.push_back(2); });
+  sim.schedule_at(500000, [&] { order.push_back(4); });  // FIFO at equal t
+  EXPECT_EQ(sim.run(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), 500000);
+}
+
+TEST(Simulator, FarFutureEventsCanBeCancelled) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1000000, [&] { fired = true; });
+  sim.schedule_at(3, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.now(), 3);
+}
+
+TEST(Simulator, NearAndFarEventsAtSameTickKeepInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  // Scheduled while tick 2000 is beyond the wheel window (far tier)...
+  sim.schedule_at(2000, [&] { order.push_back(1); });
+  // ...then an event that drags virtual time forward...
+  sim.schedule_at(1500, [&sim, &order] {
+    // ...and now tick 2000 is near: this same-tick event must still fire
+    // after the earlier-scheduled one.
+    sim.schedule_at(2000, [&order] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, RunUntilHandlesFarFutureBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(700000, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(699999), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 699999);
+  EXPECT_EQ(sim.run_until(700000), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
 }  // namespace
 }  // namespace dmx::sim

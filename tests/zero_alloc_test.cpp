@@ -1,0 +1,126 @@
+// Proof that the steady-state send/deliver path performs zero heap
+// allocations once pools are warm.
+//
+// This test overrides the global operator new/delete with counting
+// versions (which is why it lives in its own binary — see CMakeLists) and
+// drives a simulator + network through repeated send/deliver bursts. The
+// first burst warms every structure: event-slot chunks, envelope slots,
+// the message pool, per-kind counters, and the channel table. Every
+// subsequent burst must allocate nothing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "net/latency.hpp"
+#include "net/message_pool.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_heap_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dmx {
+namespace {
+
+class PingMessage final : public net::Message {
+ public:
+  PingMessage() : net::Message(ping_kind()) {}
+  std::size_t payload_bytes() const override { return 0; }
+
+ private:
+  static net::MessageKind ping_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("PING");
+    return kind;
+  }
+};
+
+TEST(ZeroAlloc, SteadyStateSendDeliverDoesNotTouchTheHeap) {
+  sim::Simulator sim;
+  net::Network network(sim, 3, std::make_unique<net::FixedLatency>(2));
+  std::uint64_t delivered = 0;
+  network.set_delivery_handler(
+      [&delivered](const net::Envelope&) { ++delivered; });
+
+  const auto burst = [&] {
+    for (int i = 0; i < 200; ++i) {
+      network.send(1, 2, std::make_unique<PingMessage>());
+      network.send(2, 3, std::make_unique<PingMessage>());
+      network.send(3, 1, std::make_unique<PingMessage>());
+    }
+    sim.run();
+  };
+
+  burst();  // warm every pool and table
+  const std::uint64_t heap_before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  const net::MessagePool::Stats pool_before =
+      net::MessagePool::local().stats();
+  const std::uint64_t inline_fallbacks_before =
+      sim::InlineCallback::heap_allocations();
+
+  for (int round = 0; round < 5; ++round) {
+    burst();
+  }
+
+  EXPECT_EQ(g_heap_allocations.load(std::memory_order_relaxed), heap_before)
+      << "steady-state send/deliver allocated from the heap";
+  const net::MessagePool::Stats pool_after =
+      net::MessagePool::local().stats();
+  EXPECT_EQ(pool_after.fresh_allocations, pool_before.fresh_allocations)
+      << "message pool had to grow after warm-up";
+  EXPECT_GT(pool_after.pool_hits, pool_before.pool_hits)
+      << "messages were not actually recycled through the pool";
+  EXPECT_EQ(pool_after.outstanding, 0u);
+  EXPECT_EQ(sim::InlineCallback::heap_allocations(),
+            inline_fallbacks_before)
+      << "a scheduler callback outgrew its inline storage";
+  EXPECT_EQ(delivered, 600u * 6u);
+}
+
+TEST(ZeroAlloc, ScheduleCancelRecyclesSlots) {
+  sim::Simulator sim;
+  // Warm-up round growing the slot arena.
+  for (int i = 0; i < 100; ++i) {
+    const sim::EventId id = sim.schedule_after(5, [] {});
+    ASSERT_TRUE(sim.cancel(id));
+  }
+  sim.run();
+  const std::uint64_t heap_before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      const sim::EventId id = sim.schedule_after(5, [] {});
+      ASSERT_TRUE(sim.cancel(id));
+    }
+    sim.run();
+  }
+  EXPECT_EQ(g_heap_allocations.load(std::memory_order_relaxed), heap_before)
+      << "steady-state schedule/cancel allocated from the heap";
+  EXPECT_TRUE(sim.idle());
+}
+
+}  // namespace
+}  // namespace dmx
