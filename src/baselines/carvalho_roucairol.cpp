@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "proto/snapshot.hpp"
 
 namespace dmx::baselines {
 
@@ -55,13 +56,19 @@ void CrNode::on_message(proto::Context& ctx, NodeId from,
       if (in_cs_ || mine_first) {
         deferred_[static_cast<std::size_t>(from)] = true;
       } else {
-        // Grant our permission away; if we are still waiting ourselves we
-        // must simultaneously re-request from `from` (we just lost the
-        // authorization we would otherwise have relied on).
+        // Grant our permission away; if we are still waiting AND relied on
+        // a standing authorization from `from`, we must simultaneously
+        // re-request (we just lost the authorization). If we never held
+        // it, our original REQUEST is still outstanding — re-sending would
+        // put a duplicate in flight whose eventual second REPLY could be
+        // mis-booked as authorization for a LATER round (the exhaustive
+        // explorer found the resulting double-entry on line(3)).
+        const bool had_authorization =
+            authorized_[static_cast<std::size_t>(from)];
         authorized_[static_cast<std::size_t>(from)] = false;
         ctx.send(from,
                  std::make_unique<CrMessage>(CrMessage::Type::kReply, clock_));
-        if (waiting_) {
+        if (waiting_ && had_authorization) {
           ctx.send(from, std::make_unique<CrMessage>(CrMessage::Type::kRequest,
                                                      my_seq_));
         }
@@ -78,6 +85,32 @@ void CrNode::on_message(proto::Context& ctx, NodeId from,
 std::size_t CrNode::state_bytes() const {
   return 2 * static_cast<std::size_t>(n_) * sizeof(bool) + 3 * sizeof(int) +
          2 * sizeof(bool);
+}
+
+std::string CrNode::snapshot() const {
+  proto::SnapshotWriter w;
+  w.i32(self_);
+  w.i32(n_);
+  w.i32(clock_);
+  w.i32(my_seq_);
+  w.boolean(waiting_);
+  w.boolean(in_cs_);
+  w.u8_seq(authorized_);
+  w.u8_seq(deferred_);
+  return w.take();
+}
+
+void CrNode::restore(std::string_view blob) {
+  proto::SnapshotReader r(blob);
+  DMX_CHECK_MSG(r.i32() == self_ && r.i32() == n_,
+                "snapshot from a different node");
+  clock_ = r.i32();
+  my_seq_ = r.i32();
+  waiting_ = r.boolean();
+  in_cs_ = r.boolean();
+  r.u8_seq(authorized_);
+  r.u8_seq(deferred_);
+  r.finish();
 }
 
 std::string CrNode::debug_state() const {

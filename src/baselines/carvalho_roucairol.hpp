@@ -25,6 +25,9 @@ class CrMessage final : public net::Message {
   std::string describe() const override {
     return std::string(kind()) + "(sn=" + std::to_string(sequence_) + ")";
   }
+  net::MessagePtr clone() const override {
+    return std::make_unique<CrMessage>(*this);
+  }
 
  private:
   static net::MessageKind kind_for(Type type) {
@@ -53,6 +56,8 @@ class CrNode final : public proto::MutexNode {
   bool has_token() const override { return false; }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
+  std::string snapshot() const override;
+  void restore(std::string_view blob) override;
 
   bool authorized_by(NodeId j) const {
     return authorized_[static_cast<std::size_t>(j)];

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "proto/snapshot.hpp"
 
 namespace dmx::baselines {
 
@@ -99,6 +100,28 @@ std::size_t CentralNode::state_bytes() const {
     bytes += sizeof(NodeId) + queue_.size() * sizeof(NodeId);
   }
   return bytes;
+}
+
+std::string CentralNode::snapshot() const {
+  proto::SnapshotWriter w;
+  w.i32(self_);
+  w.i32(coordinator_);
+  w.boolean(waiting_);
+  w.boolean(in_cs_);
+  w.i32(busy_with_);
+  w.i32_seq(queue_);
+  return w.take();
+}
+
+void CentralNode::restore(std::string_view blob) {
+  proto::SnapshotReader r(blob);
+  DMX_CHECK_MSG(r.i32() == self_, "snapshot from a different node");
+  coordinator_ = r.i32();
+  waiting_ = r.boolean();
+  in_cs_ = r.boolean();
+  busy_with_ = r.i32();
+  r.i32_seq(queue_);
+  r.finish();
 }
 
 std::string CentralNode::debug_state() const {

@@ -22,6 +22,9 @@ class CentralMessage final : public net::Message {
       : net::Message(kind_for(type)), type_(type) {}
   Type type() const { return type_; }
   std::size_t payload_bytes() const override { return 0; }
+  net::MessagePtr clone() const override {
+    return std::make_unique<CentralMessage>(*this);
+  }
 
  private:
   static net::MessageKind kind_for(Type type) {
@@ -46,6 +49,8 @@ class CentralNode final : public proto::MutexNode {
   bool has_token() const override { return false; }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
+  std::string snapshot() const override;
+  void restore(std::string_view blob) override;
 
   bool is_coordinator() const { return self_ == coordinator_; }
 

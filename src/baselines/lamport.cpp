@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "proto/snapshot.hpp"
 
 namespace dmx::baselines {
 
@@ -93,6 +94,32 @@ std::size_t LamportNode::state_bytes() const {
   // per-node structure Neilsen's three scalars replace.
   return 2 * static_cast<std::size_t>(n_) * sizeof(int) + sizeof(int) +
          2 * sizeof(bool);
+}
+
+std::string LamportNode::snapshot() const {
+  proto::SnapshotWriter w;
+  w.i32(self_);
+  w.i32(n_);
+  w.boolean(ack_optimization_);
+  w.i32(clock_);
+  w.boolean(waiting_);
+  w.boolean(in_cs_);
+  w.i32_seq(request_ts_);
+  w.i32_seq(last_ts_);
+  return w.take();
+}
+
+void LamportNode::restore(std::string_view blob) {
+  proto::SnapshotReader r(blob);
+  DMX_CHECK_MSG(r.i32() == self_ && r.i32() == n_,
+                "snapshot from a different node");
+  ack_optimization_ = r.boolean();
+  clock_ = r.i32();
+  waiting_ = r.boolean();
+  in_cs_ = r.boolean();
+  r.i32_seq(request_ts_);
+  r.i32_seq(last_ts_);
+  r.finish();
 }
 
 std::string LamportNode::debug_state() const {

@@ -27,6 +27,9 @@ class LamportMessage final : public net::Message {
   std::string describe() const override {
     return std::string(kind()) + "(ts=" + std::to_string(timestamp_) + ")";
   }
+  net::MessagePtr clone() const override {
+    return std::make_unique<LamportMessage>(*this);
+  }
 
  private:
   static net::MessageKind kind_for(Type type) {
@@ -55,6 +58,8 @@ class LamportNode final : public proto::MutexNode {
   bool has_token() const override { return false; }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
+  std::string snapshot() const override;
+  void restore(std::string_view blob) override;
 
  private:
   /// (ts, id) lexicographic priority; true if a beats b.

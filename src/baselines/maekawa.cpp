@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "proto/snapshot.hpp"
 
 namespace dmx::baselines {
 
@@ -142,8 +143,15 @@ void MaekawaNode::requester_on_fail(proto::Context& ctx, NodeId member,
 void MaekawaNode::requester_relinquish_pending(proto::Context& ctx) {
   if (failed_members_.empty()) return;
   // We are provably outranked somewhere: give back every inquired lock.
+  // A returned lock goes to a better request, so record the member as
+  // failed — relinquishing IS failure knowledge. Without this memory a
+  // later LOCKED from the original failing arbiter can erase the last
+  // recorded FAIL while this lock is still gone, leaving the node unable
+  // to answer the next INQUIRE and deadlocking the whole system (found by
+  // the exhaustive explorer on star(4); see tests/modelcheck_test.cpp).
   for (NodeId member : pending_inquires_) {
     locked_members_.erase(member);
+    failed_members_.insert(member);
     send_or_local(ctx, member,
                   MaekawaMessage(MaekawaMessage::Type::kRelinquish, clock_));
   }
@@ -160,6 +168,7 @@ void MaekawaNode::requester_on_inquire(proto::Context& ctx, NodeId member,
   }
   if (!failed_members_.empty()) {
     locked_members_.erase(member);
+    failed_members_.insert(member);  // the returned lock outranks us too
     send_or_local(ctx, member,
                   MaekawaMessage(MaekawaMessage::Type::kRelinquish, clock_));
   } else {
@@ -210,6 +219,66 @@ std::size_t MaekawaNode::state_bytes() const {
           pending_inquires_.size()) *
              sizeof(NodeId) +
          sizeof(int) * 2 + sizeof(bool) * 3;
+}
+
+std::string MaekawaNode::snapshot() const {
+  proto::SnapshotWriter w;
+  w.i32(self_);
+  w.i32_seq(quorum_);
+  w.boolean(locked_for_.has_value());
+  if (locked_for_.has_value()) {
+    w.i32(locked_for_->first);
+    w.i32(locked_for_->second);
+  }
+  w.boolean(inquire_outstanding_);
+  w.i32(static_cast<std::int32_t>(waiting_.size()));
+  for (const auto& [priority, entry] : waiting_) {  // map order: canonical
+    w.i32(priority.first);
+    w.i32(priority.second);
+    w.boolean(entry.fail_sent);
+  }
+  w.i32(clock_);
+  w.i32(my_seq_);
+  w.boolean(waiting_cs_);
+  w.boolean(in_cs_);
+  w.i32_seq(locked_members_);
+  w.i32_seq(failed_members_);
+  w.i32_seq(pending_inquires_);
+  return w.take();
+}
+
+void MaekawaNode::restore(std::string_view blob) {
+  proto::SnapshotReader r(blob);
+  DMX_CHECK_MSG(r.i32() == self_, "snapshot from a different node");
+  std::vector<NodeId> quorum;
+  r.i32_seq(quorum);
+  DMX_CHECK_MSG(quorum == quorum_, "snapshot from a different committee");
+  if (r.boolean()) {
+    const int priority = r.i32();
+    locked_for_ = Priority{priority, r.i32()};
+  } else {
+    locked_for_.reset();
+  }
+  inquire_outstanding_ = r.boolean();
+  const std::int32_t waiting_count = r.i32();
+  waiting_.clear();
+  for (std::int32_t i = 0; i < waiting_count; ++i) {
+    const int sequence = r.i32();
+    const Priority priority{sequence, r.i32()};
+    waiting_.emplace(priority, WaitingRequest{priority, r.boolean()});
+  }
+  clock_ = r.i32();
+  my_seq_ = r.i32();
+  waiting_cs_ = r.boolean();
+  in_cs_ = r.boolean();
+  std::vector<NodeId> members;
+  r.i32_seq(members);
+  locked_members_ = std::set<NodeId>(members.begin(), members.end());
+  r.i32_seq(members);
+  failed_members_ = std::set<NodeId>(members.begin(), members.end());
+  r.i32_seq(members);
+  pending_inquires_ = std::set<NodeId>(members.begin(), members.end());
+  r.finish();
 }
 
 std::string MaekawaNode::debug_state() const {

@@ -33,6 +33,14 @@ class MaekawaMessage final : public net::Message {
   std::size_t payload_bytes() const override {
     return type_ == Type::kRequest ? sizeof(int) : 0;
   }
+  net::MessagePtr clone() const override {
+    return std::make_unique<MaekawaMessage>(*this);
+  }
+  std::string encode() const override {
+    // describe() renders only the kind; every Maekawa message carries the
+    // request sequence it concerns, which the explorer must distinguish.
+    return std::string(kind()) + "(" + std::to_string(sequence_) + ")";
+  }
 
  private:
   static net::MessageKind kind_for(Type type) {
@@ -59,6 +67,8 @@ class MaekawaNode final : public proto::MutexNode {
   bool has_token() const override { return false; }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
+  std::string snapshot() const override;
+  void restore(std::string_view blob) override;
 
   const std::vector<NodeId>& quorum() const { return quorum_; }
 

@@ -5,19 +5,9 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "proto/snapshot.hpp"
 
 namespace dmx::baselines {
-
-RaymondNode RaymondNode::restore(NodeId self, NodeId holder, bool using_cs,
-                                 bool asked, bool waiting,
-                                 std::deque<NodeId> queue) {
-  RaymondNode node(self, holder);
-  node.using_ = using_cs;
-  node.asked_ = asked;
-  node.waiting_ = waiting;
-  node.queue_ = std::move(queue);
-  return node;
-}
 
 void RaymondNode::assign_privilege(proto::Context& ctx) {
   if (holder_ != self_ || using_ || queue_.empty()) return;
@@ -84,6 +74,28 @@ std::size_t RaymondNode::state_bytes() const {
   // HOLDER + USING + ASKED + the explicit request queue (the structure
   // Neilsen's FOLLOW variable replaces).
   return sizeof(NodeId) + 2 * sizeof(bool) + queue_.size() * sizeof(NodeId);
+}
+
+std::string RaymondNode::snapshot() const {
+  proto::SnapshotWriter w;
+  w.i32(self_);
+  w.i32(holder_);
+  w.boolean(using_);
+  w.boolean(asked_);
+  w.boolean(waiting_);
+  w.i32_seq(queue_);
+  return w.take();
+}
+
+void RaymondNode::restore(std::string_view blob) {
+  proto::SnapshotReader r(blob);
+  DMX_CHECK_MSG(r.i32() == self_, "snapshot from a different node");
+  holder_ = r.i32();
+  using_ = r.boolean();
+  asked_ = r.boolean();
+  waiting_ = r.boolean();
+  r.i32_seq(queue_);
+  r.finish();
 }
 
 std::string RaymondNode::debug_state() const {

@@ -24,6 +24,9 @@ class RaymondMessage final : public net::Message {
       : net::Message(kind_for(type)), type_(type) {}
   Type type() const { return type_; }
   std::size_t payload_bytes() const override { return 0; }
+  net::MessagePtr clone() const override {
+    return std::make_unique<RaymondMessage>(*this);
+  }
 
  private:
   static net::MessageKind kind_for(Type type) {
@@ -48,19 +51,14 @@ class RaymondNode final : public proto::MutexNode {
   bool has_token() const override { return holder_ == self_; }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
+  std::string snapshot() const override;
+  void restore(std::string_view blob) override;
 
   NodeId holder() const { return holder_; }
   bool asked() const { return asked_; }
   bool using_cs() const { return using_; }
   bool waiting() const { return waiting_; }
   const std::deque<NodeId>& queue() const { return queue_; }
-
-  /// Reconstructs a node in an arbitrary mid-protocol state; used by the
-  /// exhaustive model checker (src/modelcheck) so that explored
-  /// transitions run this production handler code.
-  static RaymondNode restore(NodeId self, NodeId holder, bool using_cs,
-                             bool asked, bool waiting,
-                             std::deque<NodeId> queue);
 
  private:
   /// Raymond's ASSIGN_PRIVILEGE: if we hold an unused token and someone

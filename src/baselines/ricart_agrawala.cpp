@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "proto/snapshot.hpp"
 
 namespace dmx::baselines {
 
@@ -72,6 +73,32 @@ std::size_t RaNode::state_bytes() const {
   // Deferred-reply bitmap + clocks.
   return static_cast<std::size_t>(n_) * sizeof(bool) + 3 * sizeof(int) +
          2 * sizeof(bool);
+}
+
+std::string RaNode::snapshot() const {
+  proto::SnapshotWriter w;
+  w.i32(self_);
+  w.i32(n_);
+  w.i32(clock_);
+  w.i32(my_seq_);
+  w.boolean(waiting_);
+  w.boolean(in_cs_);
+  w.i32(replies_outstanding_);
+  w.u8_seq(deferred_);
+  return w.take();
+}
+
+void RaNode::restore(std::string_view blob) {
+  proto::SnapshotReader r(blob);
+  DMX_CHECK_MSG(r.i32() == self_ && r.i32() == n_,
+                "snapshot from a different node");
+  clock_ = r.i32();
+  my_seq_ = r.i32();
+  waiting_ = r.boolean();
+  in_cs_ = r.boolean();
+  replies_outstanding_ = r.i32();
+  r.u8_seq(deferred_);
+  r.finish();
 }
 
 std::string RaNode::debug_state() const {

@@ -24,6 +24,9 @@ class RaMessage final : public net::Message {
   std::string describe() const override {
     return std::string(kind()) + "(sn=" + std::to_string(sequence_) + ")";
   }
+  net::MessagePtr clone() const override {
+    return std::make_unique<RaMessage>(*this);
+  }
 
  private:
   static net::MessageKind kind_for(Type type) {
@@ -49,6 +52,8 @@ class RaNode final : public proto::MutexNode {
   bool has_token() const override { return false; }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
+  std::string snapshot() const override;
+  void restore(std::string_view blob) override;
 
  private:
   static bool before(int ts_a, NodeId a, int ts_b, NodeId b) {

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "proto/snapshot.hpp"
 
 namespace dmx::baselines {
 
@@ -42,7 +43,7 @@ void SinghalNode::request_cs(proto::Context& ctx) {
   // either hold the token, will hold it soon, or know who does).
   for (NodeId j = 1; j <= n_; ++j) {
     if (j != self_ && sv(j) == SinghalState::kRequesting) {
-      ctx.send(j, std::make_unique<SinghalRequestMessage>(seq));
+      ctx.send(j, std::make_unique<SinghalRequestMessage>(self_, seq));
     }
   }
 }
@@ -53,22 +54,37 @@ void SinghalNode::release_cs(proto::Context& ctx) {
   sv(self_) = SinghalState::kNone;
   token_.tsv[static_cast<std::size_t>(self_)] = SinghalState::kNone;
   token_.tsn[static_cast<std::size_t>(self_)] = sn(self_);
-  // Mutual knowledge merge between the node and the token: fresher
-  // sequence number wins.
+  // Mutual knowledge merge between the node and the token: strictly
+  // fresher sequence number wins. Ties at SN >= 1 adopt the token's view
+  // (a token entry (N, k) means request k was satisfied — real knowledge
+  // that trims stale R entries and keeps later fan-outs small). Ties at
+  // SN == 0 keep the LOCAL view: both sides hold priors there, and
+  // letting the token's init (N, 0) erase the staircase prior (R, 0)
+  // destroys the request-set intersection property — the exhaustive
+  // explorer found the resulting starvation on line(3) with two entries
+  // per node.
   for (NodeId j = 1; j <= n_; ++j) {
     if (sn(j) > token_.tsn[static_cast<std::size_t>(j)]) {
       token_.tsn[static_cast<std::size_t>(j)] = sn(j);
       token_.tsv[static_cast<std::size_t>(j)] = sv(j);
-    } else {
+    } else if (token_.tsn[static_cast<std::size_t>(j)] > sn(j) ||
+               sn(j) >= 1) {
       sn(j) = token_.tsn[static_cast<std::size_t>(j)];
       sv(j) = token_.tsv[static_cast<std::size_t>(j)];
     }
   }
   // Round-robin fairness scan for the next requester, starting past self.
+  // The scan reads the TOKEN's merged view, not the local SV: under the
+  // strict merge every TSV[j]=R is backed by a real request (TSN >= 1),
+  // whereas the local SV legitimately over-approximates (staircase
+  // priors) to steer request fan-out — handing the token to an
+  // over-approximated entry would strand it at a non-requester.
   for (int offset = 1; offset <= n_; ++offset) {
     const NodeId j = static_cast<NodeId>((self_ - 1 + offset) % n_ + 1);
-    if (j != self_ && sv(j) == SinghalState::kRequesting) {
+    if (j != self_ &&
+        token_.tsv[static_cast<std::size_t>(j)] == SinghalState::kRequesting) {
       has_token_ = false;
+      last_token_sent_to_ = j;
       ctx.send(j, std::make_unique<SinghalTokenMessage>(std::move(token_)));
       token_ = SinghalToken{};
       return;
@@ -81,32 +97,49 @@ void SinghalNode::on_message(proto::Context& ctx, NodeId from,
                              const net::Message& message) {
   if (const auto* req =
           dynamic_cast<const SinghalRequestMessage*>(&message)) {
-    if (req->sequence() <= sn(from)) {
-      return;  // stale request; already superseded
+    const NodeId origin = req->origin();
+    if (req->sequence() <= sn(origin)) {
+      return;  // stale request; already superseded (also ends any forward
+               // chase that loops back over known ground)
     }
-    sn(from) = req->sequence();
-    const SinghalState previous = sv(from);
-    sv(from) = SinghalState::kRequesting;
+    sn(origin) = req->sequence();
+    const SinghalState previous = sv(origin);
+    sv(origin) = SinghalState::kRequesting;
     switch (sv(self_)) {
       case SinghalState::kNone:
-        break;  // nothing to contribute
+        // We can neither serve nor carry this request to the token at our
+        // own release: chase the token along the trail of our last
+        // hand-off. Trail pointers reach the current holder (or a
+        // requester who will hold it and merge at release), so the
+        // request cannot strand at an out-of-the-loop node — the
+        // starvation the exhaustive explorer found on line(3) with two
+        // entries per node.
+        if (last_token_sent_to_ != kNilNode && last_token_sent_to_ != origin) {
+          ctx.send(last_token_sent_to_, std::make_unique<SinghalRequestMessage>(
+                                            origin, req->sequence()));
+        }
+        break;
       case SinghalState::kRequesting:
         // Make the relation symmetric: if we did not already consider
-        // `from` a requester, it does not know about our request either.
+        // `origin` a requester, it does not know about our request either.
         if (previous != SinghalState::kRequesting) {
-          ctx.send(from, std::make_unique<SinghalRequestMessage>(sn(self_)));
+          ctx.send(origin,
+                   std::make_unique<SinghalRequestMessage>(self_, sn(self_)));
         }
         break;
       case SinghalState::kExecuting:
-        break;  // will be served at release via the merged arrays
+        break;  // we hold the token; served at release via the merge
       case SinghalState::kHolding:
         // Idle token holder: hand over immediately.
         DMX_CHECK(has_token_);
         sv(self_) = SinghalState::kNone;
-        token_.tsv[static_cast<std::size_t>(from)] = SinghalState::kRequesting;
-        token_.tsn[static_cast<std::size_t>(from)] = sn(from);
+        token_.tsv[static_cast<std::size_t>(origin)] =
+            SinghalState::kRequesting;
+        token_.tsn[static_cast<std::size_t>(origin)] = sn(origin);
         has_token_ = false;
-        ctx.send(from, std::make_unique<SinghalTokenMessage>(std::move(token_)));
+        last_token_sent_to_ = origin;
+        ctx.send(origin,
+                 std::make_unique<SinghalTokenMessage>(std::move(token_)));
         token_ = SinghalToken{};
         break;
     }
@@ -128,11 +161,47 @@ void SinghalNode::on_message(proto::Context& ctx, NodeId from,
 std::size_t SinghalNode::state_bytes() const {
   std::size_t bytes =
       static_cast<std::size_t>(n_) * (sizeof(char) + sizeof(int)) +
-      sizeof(bool);
+      sizeof(bool) + sizeof(NodeId);  // + the token-trail pointer
   if (has_token_) {
     bytes += static_cast<std::size_t>(n_) * (sizeof(char) + sizeof(int));
   }
   return bytes;
+}
+
+std::string SinghalNode::snapshot() const {
+  proto::SnapshotWriter w;
+  w.i32(self_);
+  w.i32(n_);
+  w.u8_seq(sv_);
+  w.i32_seq(sn_);
+  w.boolean(has_token_);
+  if (has_token_) {  // token_ is normalized to empty while not held
+    w.u8_seq(token_.tsv);
+    w.i32_seq(token_.tsn);
+  }
+  w.boolean(waiting_);
+  w.boolean(in_cs_);
+  w.i32(last_token_sent_to_);
+  return w.take();
+}
+
+void SinghalNode::restore(std::string_view blob) {
+  proto::SnapshotReader r(blob);
+  DMX_CHECK_MSG(r.i32() == self_ && r.i32() == n_,
+                "snapshot from a different node");
+  r.u8_seq(sv_);
+  r.i32_seq(sn_);
+  has_token_ = r.boolean();
+  if (has_token_) {
+    r.u8_seq(token_.tsv);
+    r.i32_seq(token_.tsn);
+  } else {
+    token_ = SinghalToken{};
+  }
+  waiting_ = r.boolean();
+  in_cs_ = r.boolean();
+  last_token_sent_to_ = r.i32();
+  r.finish();
 }
 
 std::string SinghalNode::debug_state() const {

@@ -25,14 +25,25 @@ enum class SinghalState : char {
   kNone = 'N',
 };
 
+/// REQUEST(origin, sn): `origin` is the node whose request this is — not
+/// necessarily the envelope sender, because a node that can neither serve
+/// nor use a request forwards it along the token trail (see
+/// SinghalNode::on_message).
 class SinghalRequestMessage final : public net::Message {
  public:
-  explicit SinghalRequestMessage(int sequence)
-      : net::Message(request_kind()), sequence_(sequence) {}
+  SinghalRequestMessage(NodeId origin, int sequence)
+      : net::Message(request_kind()), origin_(origin), sequence_(sequence) {}
+  NodeId origin() const { return origin_; }
   int sequence() const { return sequence_; }
-  std::size_t payload_bytes() const override { return sizeof(int); }
+  std::size_t payload_bytes() const override {
+    return sizeof(NodeId) + sizeof(int);
+  }
   std::string describe() const override {
-    return "REQUEST(sn=" + std::to_string(sequence_) + ")";
+    return "REQUEST(origin=" + std::to_string(origin_) +
+           ",sn=" + std::to_string(sequence_) + ")";
+  }
+  net::MessagePtr clone() const override {
+    return std::make_unique<SinghalRequestMessage>(*this);
   }
 
  private:
@@ -41,6 +52,7 @@ class SinghalRequestMessage final : public net::Message {
     return kind;
   }
 
+  NodeId origin_;
   int sequence_;
 };
 
@@ -58,6 +70,23 @@ class SinghalTokenMessage final : public net::Message {
   const SinghalToken& token() const { return token_; }
   std::size_t payload_bytes() const override {
     return (token_.tsv.size() - 1) * (sizeof(char) + sizeof(int));
+  }
+  net::MessagePtr clone() const override {
+    return std::make_unique<SinghalTokenMessage>(*this);
+  }
+  std::string encode() const override {
+    // describe() renders only "TOKEN"; the explorer must distinguish
+    // tokens by their TSV/TSN knowledge arrays.
+    std::string out = "TOKEN[";
+    for (const SinghalState s : token_.tsv) {
+      out.push_back(static_cast<char>(s));
+    }
+    out += "|";
+    for (const int sn : token_.tsn) {
+      out += std::to_string(sn) + ",";
+    }
+    out += "]";
+    return out;
   }
 
  private:
@@ -80,6 +109,8 @@ class SinghalNode final : public proto::MutexNode {
   bool has_token() const override { return has_token_; }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
+  std::string snapshot() const override;
+  void restore(std::string_view blob) override;
 
   SinghalState known_state(NodeId j) const {
     return sv_[static_cast<std::size_t>(j)];
@@ -97,6 +128,11 @@ class SinghalNode final : public proto::MutexNode {
   SinghalToken token_;  // valid only while has_token_
   bool waiting_ = false;
   bool in_cs_ = false;
+  /// Token trail: the node this one last handed the token to (kNilNode
+  /// until the first hand-off). Following these pointers from any past
+  /// holder reaches the current holder, which is what makes the N-state
+  /// request forwarding below terminate.
+  NodeId last_token_sent_to_ = kNilNode;
 };
 
 proto::Algorithm make_singhal_algorithm();

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "proto/snapshot.hpp"
 
 namespace dmx::baselines {
 
@@ -92,6 +93,38 @@ std::size_t SkNode::state_bytes() const {
              token_.queue.size() * sizeof(NodeId);
   }
   return bytes;
+}
+
+std::string SkNode::snapshot() const {
+  proto::SnapshotWriter w;
+  w.i32(self_);
+  w.i32(n_);
+  w.i32_seq(rn_);
+  w.boolean(has_token_);
+  if (has_token_) {  // token_ is normalized to empty while not held
+    w.i32_seq(token_.last_granted);
+    w.i32_seq(token_.queue);
+  }
+  w.boolean(waiting_);
+  w.boolean(in_cs_);
+  return w.take();
+}
+
+void SkNode::restore(std::string_view blob) {
+  proto::SnapshotReader r(blob);
+  DMX_CHECK_MSG(r.i32() == self_ && r.i32() == n_,
+                "snapshot from a different node");
+  r.i32_seq(rn_);
+  has_token_ = r.boolean();
+  if (has_token_) {
+    r.i32_seq(token_.last_granted);
+    r.i32_seq(token_.queue);
+  } else {
+    token_ = SkToken{};
+  }
+  waiting_ = r.boolean();
+  in_cs_ = r.boolean();
+  r.finish();
 }
 
 std::string SkNode::debug_state() const {

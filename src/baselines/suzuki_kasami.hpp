@@ -25,6 +25,9 @@ class SkRequestMessage final : public net::Message {
   std::string describe() const override {
     return "REQUEST(sn=" + std::to_string(sequence_) + ")";
   }
+  net::MessagePtr clone() const override {
+    return std::make_unique<SkRequestMessage>(*this);
+  }
 
  private:
   static net::MessageKind request_kind() {
@@ -52,6 +55,23 @@ class SkTokenMessage final : public net::Message {
     return (token_.last_granted.size() - 1) * sizeof(int) +
            token_.queue.size() * sizeof(NodeId);
   }
+  net::MessagePtr clone() const override {
+    return std::make_unique<SkTokenMessage>(*this);
+  }
+  std::string encode() const override {
+    // describe() renders only "TOKEN"; the explorer must distinguish
+    // tokens by their LN array and resident queue.
+    std::string out = "TOKEN[";
+    for (const int ln : token_.last_granted) {
+      out += std::to_string(ln) + ",";
+    }
+    out += "|";
+    for (const NodeId v : token_.queue) {
+      out += std::to_string(v) + ",";
+    }
+    out += "]";
+    return out;
+  }
 
  private:
   static net::MessageKind token_kind() {
@@ -73,6 +93,8 @@ class SkNode final : public proto::MutexNode {
   bool has_token() const override { return has_token_; }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
+  std::string snapshot() const override;
+  void restore(std::string_view blob) override;
 
   int request_number(NodeId j) const {
     return rn_[static_cast<std::size_t>(j)];

@@ -31,6 +31,9 @@ class RequestMessage final : public net::Message {
     return "REQUEST(" + std::to_string(hop_) + "," + std::to_string(origin_) +
            ")";
   }
+  net::MessagePtr clone() const override {
+    return std::make_unique<RequestMessage>(*this);
+  }
 
  private:
   static net::MessageKind interned_kind() {
@@ -46,6 +49,9 @@ class PrivilegeMessage final : public net::Message {
  public:
   PrivilegeMessage() : net::Message(interned_kind()) {}
   std::size_t payload_bytes() const override { return 0; }
+  net::MessagePtr clone() const override {
+    return std::make_unique<PrivilegeMessage>(*this);
+  }
 
  private:
   static net::MessageKind interned_kind() {
@@ -60,6 +66,9 @@ class InitializeMessage final : public net::Message {
   /// Carries the sender's id (delivered out of band as the envelope
   /// sender); no additional payload.
   std::size_t payload_bytes() const override { return 0; }
+  net::MessagePtr clone() const override {
+    return std::make_unique<InitializeMessage>(*this);
+  }
 
  private:
   static net::MessageKind interned_kind() {

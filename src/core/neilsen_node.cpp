@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "core/messages.hpp"
+#include "proto/snapshot.hpp"
 
 namespace dmx::core {
 
@@ -169,6 +170,30 @@ std::string NeilsenNode::state_label() const {
   if (cs_ == CsStatus::kInCs) return follow_ == kNilNode ? "E" : "EF";
   if (cs_ == CsStatus::kWaiting) return follow_ == kNilNode ? "R" : "RF";
   return holding_ ? "H" : "N";
+}
+
+std::string NeilsenNode::snapshot() const {
+  proto::SnapshotWriter w;
+  w.boolean(initialized_);
+  w.boolean(holding_);
+  w.i32(next_);
+  w.i32(follow_);
+  w.u8(static_cast<std::uint8_t>(cs_));
+  w.boolean(is_initial_holder_);
+  w.i32_seq(neighbors_);
+  return w.take();
+}
+
+void NeilsenNode::restore(std::string_view blob) {
+  proto::SnapshotReader r(blob);
+  initialized_ = r.boolean();
+  holding_ = r.boolean();
+  next_ = r.i32();
+  follow_ = r.i32();
+  cs_ = static_cast<CsStatus>(r.u8());
+  is_initial_holder_ = r.boolean();
+  r.i32_seq(neighbors_);
+  r.finish();
 }
 
 std::string NeilsenNode::debug_state() const {

@@ -62,6 +62,8 @@ class NeilsenNode final : public proto::MutexNode {
   bool has_token() const override;
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
+  std::string snapshot() const override;
+  void restore(std::string_view blob) override;
 
   // Introspection used by invariant checks, traces and the paper-example
   // tests ------------------------------------------------------------------

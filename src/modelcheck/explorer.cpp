@@ -3,67 +3,50 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <numeric>
-#include <sstream>
+#include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.hpp"
-#include "core/messages.hpp"
-#include "core/neilsen_node.hpp"
+#include "net/message.hpp"
+#include "net/message_kind.hpp"
 #include "proto/mutex_node.hpp"
+#include "proto/snapshot.hpp"
 
 namespace dmx::modelcheck {
 namespace {
 
-using core::NeilsenNode;
+/// Messages in flight are immutable once sent, so explored states share
+/// them; copying a system state copies pointers, not payloads.
+using SharedMessage = std::shared_ptr<const net::Message>;
 
-/// In-flight message, compactly.
-struct Msg {
-  bool is_privilege = false;
-  NodeId origin = kNilNode;  // REQUEST only
-  bool operator==(const Msg&) const = default;
-};
-
-/// Compact per-node protocol state + remaining request budget.
-struct NodeS {
-  bool holding = false;
-  NodeId next = kNilNode;
-  NodeId follow = kNilNode;
-  NeilsenNode::CsStatus cs = NeilsenNode::CsStatus::kIdle;
-  int budget = 0;
-  bool operator==(const NodeS&) const = default;
-};
-
-/// Full system state. Channels are FIFO per ordered pair; the std::map
-/// keeps a canonical iteration order for encoding.
+/// Full system state: per-node protocol snapshots plus the engine's own
+/// bookkeeping (application phase, remaining request budget) plus the
+/// FIFO channel contents. The std::map keeps a canonical channel order
+/// for encoding.
 struct SysState {
-  std::vector<NodeS> nodes;  // index 1..n
-  std::map<std::pair<NodeId, NodeId>, std::vector<Msg>> channels;
+  std::vector<std::string> node_blob;   // index 1..n
+  std::vector<std::uint8_t> phase;      // index 1..n, CsPhase
+  std::vector<std::uint8_t> budget;     // index 1..n
+  std::map<std::pair<NodeId, NodeId>, std::vector<SharedMessage>> channels;
 
   std::string encode() const {
-    std::string out;
-    out.reserve(nodes.size() * 5 + channels.size() * 8);
-    for (std::size_t v = 1; v < nodes.size(); ++v) {
-      const NodeS& node = nodes[v];
-      out.push_back(node.holding ? 'H' : 'h');
-      out.push_back(static_cast<char>('0' + node.next));
-      out.push_back(static_cast<char>('0' + node.follow));
-      out.push_back(static_cast<char>('0' + static_cast<int>(node.cs)));
-      out.push_back(static_cast<char>('0' + node.budget));
+    proto::SnapshotWriter w;
+    for (std::size_t v = 1; v < node_blob.size(); ++v) {
+      w.str(node_blob[v]);
+      w.u8(phase[v]);
+      w.u8(budget[v]);
     }
-    for (const auto& [key, fifo] : channels) {
+    for (const auto& [channel, fifo] : channels) {
       if (fifo.empty()) continue;
-      out.push_back('|');
-      out.push_back(static_cast<char>('0' + key.first));
-      out.push_back(static_cast<char>('0' + key.second));
-      for (const Msg& msg : fifo) {
-        out.push_back(msg.is_privilege
-                          ? 'P'
-                          : static_cast<char>('A' + msg.origin));
+      w.i32(channel.first);
+      w.i32(channel.second);
+      w.i32(static_cast<std::int32_t>(fifo.size()));
+      for (const SharedMessage& message : fifo) {
+        w.str(message->encode());
       }
     }
-    return out;
+    return w.take();
   }
 };
 
@@ -76,19 +59,17 @@ class CaptureContext final : public proto::Context {
   NodeId self() const override { return self_; }
   int cluster_size() const override { return n_; }
   void send(NodeId to, net::MessagePtr message) override {
-    Msg msg;
-    if (const auto* req =
-            dynamic_cast<const core::RequestMessage*>(message.get())) {
-      DMX_CHECK(req->hop() == self_);
-      msg.origin = req->origin();
-    } else {
-      DMX_CHECK(dynamic_cast<const core::PrivilegeMessage*>(message.get()) !=
-                nullptr);
-      msg.is_privilege = true;
-    }
-    state_.channels[{self_, to}].push_back(msg);
+    DMX_CHECK(to >= 1 && to <= n_ && to != self_);
+    state_.channels[{self_, to}].emplace_back(std::move(message));
   }
-  void grant() override {}  // entry is visible via the node's CsStatus
+  void grant() override {
+    const auto v = static_cast<std::size_t>(self_);
+    if (state_.phase[v] != static_cast<std::uint8_t>(CsPhase::kWaiting)) {
+      throw std::logic_error("grant() for node " + std::to_string(self_) +
+                             " which has no pending request");
+    }
+    state_.phase[v] = static_cast<std::uint8_t>(CsPhase::kInCs);
+  }
 
  private:
   NodeId self_;
@@ -99,16 +80,47 @@ class CaptureContext final : public proto::Context {
 class Explorer {
  public:
   explicit Explorer(const ExplorerConfig& config) : config_(config) {
-    DMX_CHECK(config.tree != nullptr);
-    DMX_CHECK(config.tree->size() == config.n);
-    DMX_CHECK(config.requests_per_node >= 1);
-    DMX_CHECK_MSG(config.n <= 8 && config.requests_per_node <= 9,
-                  "state encoding supports n <= 8, budgets <= 9");
+    DMX_CHECK_MSG(config.algorithm != nullptr,
+                  "ExplorerConfig::algorithm is required");
+    DMX_CHECK(config.n >= 1);
+    DMX_CHECK(config.requests_per_node >= 1 &&
+              config.requests_per_node <= 255);
+    DMX_CHECK(config.initial_token_holder >= 1 &&
+              config.initial_token_holder <= config.n);
+    if (config.algorithm->needs_tree) {
+      DMX_CHECK_MSG(config.tree != nullptr,
+                    config.algorithm->name << " requires a logical tree");
+      DMX_CHECK(config.tree->size() == config.n);
+    }
+    for (const std::string& kind : config.algorithm->token_message_kinds) {
+      token_kinds_.push_back(net::MessageKind::of(kind));
+    }
+    for (const std::string& kind : config.duplicate_message_kinds) {
+      duplicate_kinds_.push_back(net::MessageKind::of(kind));
+    }
+    hook_ = invariant_hook_for(*config.algorithm);
+
+    proto::ClusterSpec spec;
+    spec.n = config_.n;
+    spec.initial_token_holder = config_.initial_token_holder;
+    spec.tree = config_.tree;
+    nodes_ = config_.algorithm->factory(spec);
+    DMX_CHECK(nodes_.size() == static_cast<std::size_t>(config_.n) + 1);
+    if (config_.mutate_initial) config_.mutate_initial(nodes_);
   }
 
   ExplorerResult run() {
-    SysState initial = initial_state();
-    result_.states = 0;
+    SysState initial;
+    initial.node_blob.resize(static_cast<std::size_t>(config_.n) + 1);
+    initial.phase.assign(static_cast<std::size_t>(config_.n) + 1,
+                         static_cast<std::uint8_t>(CsPhase::kIdle));
+    initial.budget.assign(
+        static_cast<std::size_t>(config_.n) + 1,
+        static_cast<std::uint8_t>(config_.requests_per_node));
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      initial.node_blob[static_cast<std::size_t>(v)] =
+          nodes_[static_cast<std::size_t>(v)]->snapshot();
+    }
 
     std::deque<std::string> frontier;
     const std::string initial_key = initial.encode();
@@ -116,8 +128,8 @@ class Explorer {
     predecessor_.emplace(initial_key,
                          std::pair<std::string, Action>{"", Action{}});
     frontier.push_back(initial_key);
-
     if (!check_state(initial, initial_key)) {
+      dump_node_states(initial);
       return finish();
     }
 
@@ -136,213 +148,199 @@ class Explorer {
         ++result_.terminal_states;
         // Terminal: channels drained, nobody in CS. A waiter here would
         // wait forever — deadlock/starvation (Theorems 1 and 2).
-        for (std::size_t v = 1; v < state.nodes.size(); ++v) {
-          if (state.nodes[v].cs == NeilsenNode::CsStatus::kWaiting) {
-            std::ostringstream oss;
-            oss << "terminal state leaves node " << v << " waiting forever";
-            record_violation(oss.str(), key);
+        for (NodeId v = 1; v <= config_.n; ++v) {
+          if (state.phase[static_cast<std::size_t>(v)] !=
+              static_cast<std::uint8_t>(CsPhase::kIdle)) {
+            record_violation("terminal state leaves node " +
+                                 std::to_string(v) + " waiting forever",
+                             key);
+            dump_node_states(state);
             return finish();
           }
         }
         continue;
       }
       for (const Action& action : actions) {
-        SysState next = apply(state, action);
+        SysState next;
+        try {
+          next = apply(state, action);
+        } catch (const std::logic_error& error) {
+          // A handler precondition fired (e.g. a duplicated token message
+          // delivered to a node that is not waiting): the production code
+          // itself detected the corruption. Report it with its trace.
+          result_.violation =
+              std::string("protocol assertion: ") + error.what();
+          result_.counterexample = trace_to(key);
+          result_.counterexample.push_back(action);
+          return finish();
+        }
         ++result_.transitions;
         std::string next_key = next.encode();
         if (states_by_key_.find(next_key) != states_by_key_.end()) {
           continue;
         }
-        predecessor_.emplace(next_key, std::pair<std::string, Action>{
-                                           key, action});
+        predecessor_.emplace(next_key,
+                             std::pair<std::string, Action>{key, action});
         const bool ok = check_state(next, next_key);
+        if (!ok) dump_node_states(next);
         states_by_key_.emplace(next_key, std::move(next));
-        if (!ok) {
-          return finish();
-        }
+        if (!ok) return finish();
         frontier.push_back(std::move(next_key));
       }
     }
-    result_.ok = result_.violation.empty();
     return finish();
   }
 
  private:
-  SysState initial_state() const {
-    SysState state;
-    state.nodes.resize(static_cast<std::size_t>(config_.n) + 1);
-    const std::vector<NodeId> next =
-        config_.tree->next_pointers_toward(config_.initial_token_holder);
-    for (NodeId v = 1; v <= config_.n; ++v) {
-      NodeS& node = state.nodes[static_cast<std::size_t>(v)];
-      node.holding = v == config_.initial_token_holder;
-      node.next = next[static_cast<std::size_t>(v)];
-      node.budget = config_.requests_per_node;
-    }
-    return state;
-  }
-
   std::vector<Action> enabled_actions(const SysState& state) const {
     std::vector<Action> actions;
     for (NodeId v = 1; v <= config_.n; ++v) {
-      const NodeS& node = state.nodes[static_cast<std::size_t>(v)];
-      if (node.cs == NeilsenNode::CsStatus::kIdle && node.budget > 0) {
+      const auto i = static_cast<std::size_t>(v);
+      if (state.phase[i] == static_cast<std::uint8_t>(CsPhase::kIdle) &&
+          state.budget[i] > 0) {
         actions.push_back({Action::Type::kRequest, v, kNilNode});
       }
-      if (node.cs == NeilsenNode::CsStatus::kInCs) {
+      if (state.phase[i] == static_cast<std::uint8_t>(CsPhase::kInCs)) {
         actions.push_back({Action::Type::kRelease, v, kNilNode});
       }
     }
-    for (const auto& [key, fifo] : state.channels) {
-      if (!fifo.empty()) {
-        actions.push_back({Action::Type::kDeliver, key.second, key.first});
+    for (const auto& [channel, fifo] : state.channels) {
+      if (fifo.empty()) continue;
+      actions.push_back({Action::Type::kDeliver, channel.second,
+                         channel.first});
+      if (is_duplicate_kind(fifo.front()->kind_id())) {
+        actions.push_back({Action::Type::kDeliverDup, channel.second,
+                           channel.first});
       }
     }
     return actions;
   }
 
-  SysState apply(const SysState& state, const Action& action) const {
+  bool is_duplicate_kind(net::MessageKind kind) const {
+    for (const net::MessageKind candidate : duplicate_kinds_) {
+      if (candidate == kind) return true;
+    }
+    return false;
+  }
+
+  SysState apply(const SysState& state, const Action& action) {
     SysState next = state;
-    NodeS& slot = next.nodes[static_cast<std::size_t>(action.node)];
-    NeilsenNode node =
-        NeilsenNode::restore(slot.holding, slot.next, slot.follow, slot.cs);
+    const auto i = static_cast<std::size_t>(action.node);
+    proto::MutexNode& node = *nodes_[i];
+    node.restore(state.node_blob[i]);
     CaptureContext ctx(action.node, config_.n, next);
     switch (action.type) {
       case Action::Type::kRequest:
-        DMX_CHECK(slot.budget > 0);
-        slot.budget -= 1;
+        DMX_CHECK(next.budget[i] > 0);
+        next.budget[i] -= 1;
+        next.phase[i] = static_cast<std::uint8_t>(CsPhase::kWaiting);
         node.request_cs(ctx);
         break;
       case Action::Type::kRelease:
+        next.phase[i] = static_cast<std::uint8_t>(CsPhase::kIdle);
         node.release_cs(ctx);
         break;
-      case Action::Type::kDeliver: {
+      case Action::Type::kDeliver:
+      case Action::Type::kDeliverDup: {
         auto it = next.channels.find({action.from, action.node});
         DMX_CHECK(it != next.channels.end() && !it->second.empty());
-        const Msg msg = it->second.front();
-        it->second.erase(it->second.begin());
-        if (it->second.empty()) next.channels.erase(it);
-        if (msg.is_privilege) {
-          node.on_message(ctx, action.from, core::PrivilegeMessage());
-        } else {
-          node.on_message(ctx, action.from,
-                          core::RequestMessage(action.from, msg.origin));
+        const SharedMessage message = it->second.front();
+        if (action.type == Action::Type::kDeliver) {
+          it->second.erase(it->second.begin());
+          if (it->second.empty()) next.channels.erase(it);
         }
+        node.on_message(ctx, action.from, *message);
         break;
       }
     }
-    slot.holding = node.holding();
-    slot.next = node.next();
-    slot.follow = node.follow();
-    slot.cs = node.cs_status();
+    next.node_blob[i] = node.snapshot();
     return next;
   }
 
   /// All safety checks; returns false (and records) on violation.
   bool check_state(const SysState& state, const std::string& key) {
-    // Token uniqueness, counting in-flight PRIVILEGEs.
-    int tokens = 0;
     int occupants = 0;
-    for (std::size_t v = 1; v < state.nodes.size(); ++v) {
-      const NodeS& node = state.nodes[v];
-      if (node.holding || node.cs == NeilsenNode::CsStatus::kInCs) ++tokens;
-      if (node.cs == NeilsenNode::CsStatus::kInCs) ++occupants;
-    }
-    std::size_t in_flight_requests = 0;
-    for (const auto& [channel, fifo] : state.channels) {
-      for (const Msg& msg : fifo) {
-        if (msg.is_privilege) {
-          ++tokens;
-        } else {
-          ++in_flight_requests;
-        }
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      if (state.phase[static_cast<std::size_t>(v)] ==
+          static_cast<std::uint8_t>(CsPhase::kInCs)) {
+        ++occupants;
       }
     }
     if (occupants > 1) {
       record_violation("two nodes inside the critical section", key);
       return false;
     }
-    if (tokens != 1) {
-      std::ostringstream oss;
-      oss << "token count " << tokens << " (must be 1)";
-      record_violation(oss.str(), key);
-      return false;
+    const bool needs_nodes = config_.algorithm->token_based ||
+                             hook_ != nullptr ||
+                             config_.extra_invariant != nullptr;
+    if (!needs_nodes) return true;
+
+    // Restore the live nodes to this state for has_token()/hook queries.
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      nodes_[static_cast<std::size_t>(v)]->restore(
+          state.node_blob[static_cast<std::size_t>(v)]);
     }
-    // NEXT structure: out-degree <= 1 by construction; forest + paths.
-    const int n = config_.n;
-    for (NodeId v = 1; v <= n; ++v) {
-      NodeId cur = v;
-      int steps = 0;
-      while (state.nodes[static_cast<std::size_t>(cur)].next != kNilNode) {
-        cur = state.nodes[static_cast<std::size_t>(cur)].next;
-        if (++steps >= n) {
-          record_violation("NEXT path does not reach a sink (Lemma 2)", key);
-          return false;
+    if (config_.algorithm->token_based) {
+      std::size_t tokens = 0;
+      for (NodeId v = 1; v <= config_.n; ++v) {
+        if (nodes_[static_cast<std::size_t>(v)]->has_token()) ++tokens;
+      }
+      for (const auto& [channel, fifo] : state.channels) {
+        for (const SharedMessage& message : fifo) {
+          for (const net::MessageKind kind : token_kinds_) {
+            if (message->kind_id() == kind) ++tokens;
+          }
         }
       }
-    }
-    // Sink census (Chapter 3): at most in-flight requests + 1 sinks, and
-    // no idle token-less sink.
-    std::size_t sinks = 0;
-    for (NodeId v = 1; v <= n; ++v) {
-      const NodeS& node = state.nodes[static_cast<std::size_t>(v)];
-      if (node.next != kNilNode) continue;
-      ++sinks;
-      if (!node.holding && node.cs == NeilsenNode::CsStatus::kIdle) {
-        record_violation("idle sink without the token", key);
+      if (tokens != 1) {
+        record_violation("token count " + std::to_string(tokens) +
+                             " (must be 1)",
+                         key);
         return false;
       }
     }
-    if (sinks < 1 || sinks > in_flight_requests + 1) {
-      std::ostringstream oss;
-      oss << sinks << " sinks with " << in_flight_requests
-          << " requests in flight";
-      record_violation(oss.str(), key);
-      return false;
-    }
-    // Implicit-queue completeness (the Abstract's claim, quiescent form):
-    // with no message in flight, the FOLLOW chain from the token holder
-    // must enumerate exactly the waiting nodes, each exactly once.
-    if (state.channels.empty()) {
-      NodeId holder = kNilNode;
-      std::size_t waiting = 0;
-      for (NodeId v = 1; v <= n; ++v) {
-        const NodeS& node = state.nodes[static_cast<std::size_t>(v)];
-        if (node.holding || node.cs == NeilsenNode::CsStatus::kInCs) {
-          holder = v;
-        }
-        if (node.cs == NeilsenNode::CsStatus::kWaiting) ++waiting;
-      }
-      DMX_CHECK(holder != kNilNode);  // token not in flight here
-      std::vector<bool> seen(static_cast<std::size_t>(n) + 1, false);
-      std::size_t chain_length = 0;
-      NodeId cur = state.nodes[static_cast<std::size_t>(holder)].follow;
-      while (cur != kNilNode) {
-        if (seen[static_cast<std::size_t>(cur)] ||
-            state.nodes[static_cast<std::size_t>(cur)].cs !=
-                NeilsenNode::CsStatus::kWaiting) {
-          record_violation("FOLLOW chain corrupt (cycle or non-waiter)",
-                           key);
+    if (hook_ != nullptr || config_.extra_invariant != nullptr) {
+      const StateView view = make_view(state);
+      if (hook_ != nullptr) {
+        const std::string violation = hook_(view);
+        if (!violation.empty()) {
+          record_violation(violation, key);
           return false;
         }
-        seen[static_cast<std::size_t>(cur)] = true;
-        ++chain_length;
-        cur = state.nodes[static_cast<std::size_t>(cur)].follow;
       }
-      if (chain_length != waiting) {
-        std::ostringstream oss;
-        oss << "FOLLOW chain covers " << chain_length << " of " << waiting
-            << " waiting nodes";
-        record_violation(oss.str(), key);
-        return false;
+      if (config_.extra_invariant != nullptr) {
+        const std::string violation = config_.extra_invariant(view);
+        if (!violation.empty()) {
+          record_violation(violation, key);
+          return false;
+        }
       }
     }
     return true;
   }
 
-  void record_violation(const std::string& what, const std::string& key) {
-    result_.violation = what;
-    // Walk the predecessor chain for the counterexample.
+  StateView make_view(const SysState& state) {
+    StateView view;
+    view.n = config_.n;
+    view.node = [this](NodeId v) -> const proto::MutexNode& {
+      return *nodes_[static_cast<std::size_t>(v)];
+    };
+    view.phase = [&state](NodeId v) {
+      return static_cast<CsPhase>(state.phase[static_cast<std::size_t>(v)]);
+    };
+    view.for_each_in_flight =
+        [&state](const std::function<void(NodeId, NodeId,
+                                          const net::Message&)>& fn) {
+          for (const auto& [channel, fifo] : state.channels) {
+            for (const SharedMessage& message : fifo) {
+              fn(channel.first, channel.second, *message);
+            }
+          }
+        };
+    return view;
+  }
+
+  std::vector<Action> trace_to(const std::string& key) const {
     std::vector<Action> trace;
     std::string cur = key;
     while (true) {
@@ -351,7 +349,22 @@ class Explorer {
       trace.push_back(action);
       cur = pred;
     }
-    result_.counterexample.assign(trace.rbegin(), trace.rend());
+    return {trace.rbegin(), trace.rend()};
+  }
+
+  void record_violation(const std::string& what, const std::string& key) {
+    result_.violation = what;
+    result_.counterexample = trace_to(key);
+  }
+
+  /// Renders every node of `state` into the result, for diagnostics.
+  void dump_node_states(const SysState& state) {
+    result_.violating_node_states.assign(1, "");
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      proto::MutexNode& node = *nodes_[static_cast<std::size_t>(v)];
+      node.restore(state.node_blob[static_cast<std::size_t>(v)]);
+      result_.violating_node_states.push_back(node.debug_state());
+    }
   }
 
   ExplorerResult finish() {
@@ -362,6 +375,12 @@ class Explorer {
 
   ExplorerConfig config_;
   ExplorerResult result_;
+  std::vector<net::MessageKind> token_kinds_;
+  std::vector<net::MessageKind> duplicate_kinds_;
+  InvariantHook hook_;
+  /// Live worker nodes, restored to whichever state is being expanded or
+  /// checked; handlers only ever mutate the acting node.
+  std::vector<std::unique_ptr<proto::MutexNode>> nodes_;
   std::unordered_map<std::string, SysState> states_by_key_;
   std::unordered_map<std::string, std::pair<std::string, Action>>
       predecessor_;
@@ -370,19 +389,19 @@ class Explorer {
 }  // namespace
 
 std::string Action::to_string() const {
-  std::ostringstream oss;
   switch (type) {
     case Type::kRequest:
-      oss << "request(" << node << ")";
-      break;
+      return "request(" + std::to_string(node) + ")";
     case Type::kRelease:
-      oss << "release(" << node << ")";
-      break;
+      return "release(" + std::to_string(node) + ")";
     case Type::kDeliver:
-      oss << "deliver(" << from << " -> " << node << ")";
-      break;
+      return "deliver(" + std::to_string(from) + " -> " +
+             std::to_string(node) + ")";
+    case Type::kDeliverDup:
+      return "deliver+dup(" + std::to_string(from) + " -> " +
+             std::to_string(node) + ")";
   }
-  return oss.str();
+  return "?";
 }
 
 ExplorerResult explore(const ExplorerConfig& config) {

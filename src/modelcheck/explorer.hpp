@@ -1,39 +1,47 @@
-// Exhaustive explicit-state model checker for the Neilsen algorithm.
+// Algorithm-generic exhaustive explicit-state model checker.
 //
 // Chapter 5 proves mutual exclusion, deadlock freedom and starvation
-// freedom by hand; this module makes those proofs executable. For a small
-// system (N nodes, each allowed a bounded number of CS entries) it
-// explores EVERY reachable interleaving of the nondeterministic actions
+// freedom by hand; this module makes those proofs executable for EVERY
+// algorithm in the proto::Algorithm registry. For a small system (N
+// nodes, each allowed a bounded number of CS entries) it explores every
+// reachable interleaving of the nondeterministic actions
 //   * a node issues a request,
 //   * a node in its critical section releases,
-//   * the head message of some FIFO channel is delivered,
+//   * the head message of some FIFO channel is delivered
+//     (optionally also delivered-and-kept, to model duplication faults),
 // and verifies in every reachable state:
-//   * token uniqueness (resident tokens + in-flight PRIVILEGEs == 1),
-//   * at most one node in its critical section,
-//   * the NEXT structure stays an acyclic forest whose paths end at
-//     sinks (Lemma 2),
+//   * at most one node inside its critical section,
+//   * token uniqueness for token-based algorithms (resident tokens via
+//     MutexNode::has_token plus in-flight token-kind messages),
+//   * the algorithm's structural invariants (modelcheck/invariants.hpp:
+//     Neilsen's NEXT-forest and sink census, Raymond's HOLDER walk),
 //   * no terminal state leaves a waiter stuck (deadlock AND bounded
 //     starvation freedom: with finite request budgets, every terminal
 //     state must have all requests served and channels empty).
 //
-// Transitions are executed by the production NeilsenNode handler code
-// (restored from compact state), so the model checked is exactly the
-// implementation shipped in src/core — no re-modelling gap.
+// Transitions run the production MutexNode handler code, restored from
+// the node's own snapshot() — the model checked is exactly the
+// implementation shipped in src/core and src/baselines, with no
+// re-modelling gap, and any algorithm added to the registry joins this
+// coverage for free once it implements snapshot()/restore().
 #pragma once
 
 #include <cstdint>
-#include <optional>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "modelcheck/invariants.hpp"
+#include "proto/algorithm.hpp"
 #include "topology/tree.hpp"
 
 namespace dmx::modelcheck {
 
 /// One nondeterministic step, for counterexample traces.
 struct Action {
-  enum class Type { kRequest, kRelease, kDeliver };
+  enum class Type { kRequest, kRelease, kDeliver, kDeliverDup };
   Type type = Type::kRequest;
   NodeId node = kNilNode;  // requester / releaser / recipient
   NodeId from = kNilNode;  // deliver: channel sender
@@ -41,15 +49,30 @@ struct Action {
 };
 
 struct ExplorerConfig {
+  /// The algorithm under test (must outlive the explorer).
+  const proto::Algorithm* algorithm = nullptr;
   int n = 3;
   NodeId initial_token_holder = 1;
-  /// Logical tree (must outlive the explorer).
+  /// Logical tree (must outlive the explorer); required iff the algorithm
+  /// declares needs_tree.
   const topology::Tree* tree = nullptr;
   /// Each node may enter its critical section at most this many times —
-  /// the bound that makes the state space finite.
+  /// the bound that makes the state space finite. At most 255.
   int requests_per_node = 1;
   /// Exploration aborts (inconclusive) beyond this many states.
   std::size_t max_states = 5'000'000;
+  /// Fault injection at exploration level: delivery of a head message of
+  /// one of these kinds is additionally explored as a DUPLICATED delivery
+  /// (the handler runs but the message stays in flight). Duplicating a
+  /// token kind seeds a token-uniqueness bug the checker must catch, with
+  /// a minimal counterexample trace.
+  std::vector<std::string> duplicate_message_kinds;
+  /// Optional corruption of the initial node states (seeded-bug configs);
+  /// runs right after the factory builds the nodes.
+  std::function<void(std::vector<std::unique_ptr<proto::MutexNode>>&)>
+      mutate_initial;
+  /// Extra invariant hook, checked after the algorithm's registered one.
+  InvariantHook extra_invariant;
 };
 
 struct ExplorerResult {
@@ -64,6 +87,9 @@ struct ExplorerResult {
   std::string violation;
   /// Action sequence from the initial state to the violating state.
   std::vector<Action> counterexample;
+  /// debug_state() of every node in the violating state (index 0 unused;
+  /// empty when ok or when the violation was a handler assertion).
+  std::vector<std::string> violating_node_states;
   /// True if max_states was hit before exhausting the space.
   bool truncated = false;
 };

@@ -1,0 +1,148 @@
+#include "modelcheck/invariants.hpp"
+
+#include <string>
+#include <vector>
+
+#include "baselines/raymond.hpp"
+#include "common/check.hpp"
+#include "core/neilsen_node.hpp"
+
+namespace dmx::modelcheck {
+namespace {
+
+using baselines::RaymondNode;
+using core::NeilsenNode;
+
+/// Resolves the typed node pointers once per state — the chase loops
+/// below would otherwise pay a std::function call plus a dynamic_cast per
+/// pointer step.
+template <typename Node>
+std::vector<const Node*> typed_nodes(const StateView& view,
+                                     const char* what) {
+  std::vector<const Node*> nodes(static_cast<std::size_t>(view.n) + 1,
+                                 nullptr);
+  for (NodeId v = 1; v <= view.n; ++v) {
+    nodes[static_cast<std::size_t>(v)] =
+        dynamic_cast<const Node*>(&view.node(v));
+    DMX_CHECK_MSG(nodes[static_cast<std::size_t>(v)] != nullptr,
+                  what << " hook on a foreign node type");
+  }
+  return nodes;
+}
+
+/// Chapter 3/5 structure: NEXT paths terminate at sinks (Lemma 2), the
+/// sink census matches the in-flight request count, and — in quiescent
+/// states — the FOLLOW chain from the token holder enumerates exactly the
+/// waiting nodes (the implicit-queue completeness claim of the Abstract).
+std::string check_neilsen(const StateView& view) {
+  const int n = view.n;
+  const std::vector<const NeilsenNode*> node =
+      typed_nodes<NeilsenNode>(view, "Neilsen");
+  for (NodeId v = 1; v <= n; ++v) {
+    NodeId cur = v;
+    int steps = 0;
+    while (node[static_cast<std::size_t>(cur)]->next() != kNilNode) {
+      cur = node[static_cast<std::size_t>(cur)]->next();
+      if (++steps >= n) {
+        return "NEXT path does not reach a sink (Lemma 2)";
+      }
+    }
+  }
+  const std::size_t in_flight_requests = view.count_in_flight("REQUEST");
+  std::size_t sinks = 0;
+  for (NodeId v = 1; v <= n; ++v) {
+    const NeilsenNode& current = *node[static_cast<std::size_t>(v)];
+    if (!current.is_sink()) continue;
+    ++sinks;
+    if (!current.holding() &&
+        current.cs_status() == NeilsenNode::CsStatus::kIdle) {
+      return "idle sink without the token";
+    }
+  }
+  if (sinks < 1 || sinks > in_flight_requests + 1) {
+    return std::to_string(sinks) + " sinks with " +
+           std::to_string(in_flight_requests) + " requests in flight";
+  }
+  if (view.count_in_flight_total() == 0) {
+    NodeId holder = kNilNode;
+    std::size_t waiting = 0;
+    for (NodeId v = 1; v <= n; ++v) {
+      const NeilsenNode& current = *node[static_cast<std::size_t>(v)];
+      if (current.has_token()) holder = v;
+      if (current.cs_status() == NeilsenNode::CsStatus::kWaiting) ++waiting;
+    }
+    if (holder == kNilNode) {
+      return "quiescent state without a token holder";
+    }
+    std::vector<bool> seen(static_cast<std::size_t>(n) + 1, false);
+    std::size_t chain_length = 0;
+    NodeId cur = node[static_cast<std::size_t>(holder)]->follow();
+    while (cur != kNilNode) {
+      if (seen[static_cast<std::size_t>(cur)] ||
+          node[static_cast<std::size_t>(cur)]->cs_status() !=
+              NeilsenNode::CsStatus::kWaiting) {
+        return "FOLLOW chain corrupt (cycle or non-waiter)";
+      }
+      seen[static_cast<std::size_t>(cur)] = true;
+      ++chain_length;
+      cur = node[static_cast<std::size_t>(cur)]->follow();
+    }
+    if (chain_length != waiting) {
+      return "FOLLOW chain covers " + std::to_string(chain_length) + " of " +
+             std::to_string(waiting) + " waiting nodes";
+    }
+  }
+  return "";
+}
+
+/// Raymond: HOLDER pointers lead every node to the token within n hops.
+/// While a PRIVILEGE is in flight from u to w, u.holder==w and w.holder==u
+/// form an expected transient 2-cycle; the walk then terminates at the
+/// in-flight recipient instead.
+std::string check_raymond(const StateView& view) {
+  const std::vector<const RaymondNode*> node =
+      typed_nodes<RaymondNode>(view, "Raymond");
+  NodeId privilege_target = kNilNode;
+  view.for_each_in_flight(
+      [&privilege_target](NodeId, NodeId to, const net::Message& message) {
+        if (message.kind() == "PRIVILEGE") privilege_target = to;
+      });
+  for (NodeId v = 1; v <= view.n; ++v) {
+    NodeId cur = v;
+    int steps = 0;
+    while (node[static_cast<std::size_t>(cur)]->holder() != cur &&
+           cur != privilege_target) {
+      cur = node[static_cast<std::size_t>(cur)]->holder();
+      if (++steps > view.n) {
+        return "HOLDER pointers cycle";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::size_t StateView::count_in_flight(std::string_view kind) const {
+  std::size_t count = 0;
+  for_each_in_flight(
+      [&count, kind](NodeId, NodeId, const net::Message& message) {
+        if (message.kind() == kind) ++count;
+      });
+  return count;
+}
+
+std::size_t StateView::count_in_flight_total() const {
+  std::size_t count = 0;
+  for_each_in_flight(
+      [&count](NodeId, NodeId, const net::Message&) { ++count; });
+  return count;
+}
+
+InvariantHook invariant_hook_for(const proto::Algorithm& algorithm) {
+  if (algorithm.name == "Neilsen") return check_neilsen;
+  if (algorithm.name == "Raymond") return check_raymond;
+  return nullptr;
+}
+
+}  // namespace dmx::modelcheck

@@ -1,0 +1,55 @@
+// Per-algorithm structural invariant hooks shared by the exhaustive
+// explorer and the seeded swarm tester.
+//
+// The generic engines check the universal properties themselves (at most
+// one node in its critical section; exactly one token counting in-flight
+// token messages). Everything an algorithm guarantees beyond that — the
+// Neilsen NEXT-forest acyclicity and sink census of Chapter 3, Raymond's
+// HOLDER pointers leading to the token — lives here, keyed by the
+// algorithm's registry name, expressed over a substrate-independent
+// StateView so the same predicate runs on restored snapshots (explorer)
+// and on a live cluster (swarm).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+
+namespace dmx::modelcheck {
+
+/// Application-level view of one node's critical-section progress, as the
+/// driving engine tracks it (request issued / grant received / released).
+enum class CsPhase : std::uint8_t { kIdle, kWaiting, kInCs };
+
+/// Substrate-independent view of one system state.
+struct StateView {
+  int n = 0;
+  /// Node `v` (1..n), reflecting the state under inspection.
+  std::function<const proto::MutexNode&(NodeId)> node;
+  /// The engine's application phase for node `v`.
+  std::function<CsPhase(NodeId)> phase;
+  /// Visits every in-flight message as (from, to, message).
+  std::function<void(
+      const std::function<void(NodeId, NodeId, const net::Message&)>&)>
+      for_each_in_flight;
+
+  /// Number of in-flight messages of `kind` (walks for_each_in_flight).
+  std::size_t count_in_flight(std::string_view kind) const;
+  /// Total number of in-flight messages.
+  std::size_t count_in_flight_total() const;
+};
+
+/// Returns the first violated invariant as a human-readable description,
+/// or an empty string when the state is clean.
+using InvariantHook = std::function<std::string(const StateView&)>;
+
+/// The structural hook registered for `algorithm` (by registry name), or
+/// a null function when the algorithm has none beyond the generic checks.
+InvariantHook invariant_hook_for(const proto::Algorithm& algorithm);
+
+}  // namespace dmx::modelcheck

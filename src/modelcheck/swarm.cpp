@@ -1,0 +1,181 @@
+#include "modelcheck/swarm.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+#include "harness/cluster.hpp"
+#include "modelcheck/invariants.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "topology/tree.hpp"
+#include "workload/workload.hpp"
+
+namespace dmx::modelcheck {
+namespace {
+
+/// FNV-1a 64-bit over the network event stream, mirroring the determinism
+/// golden tests: tag, envelope id, route, ticks, message description.
+class SwarmTraceHasher final : public net::NetworkObserver {
+ public:
+  void on_send(const net::Envelope& env) override { mix('S', env); }
+  void on_deliver(const net::Envelope& env) override { mix('D', env); }
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  void mix(char tag, const net::Envelope& env) {
+    byte(static_cast<unsigned char>(tag));
+    u64(env.id);
+    u64(static_cast<std::uint64_t>(env.from));
+    u64(static_cast<std::uint64_t>(env.to));
+    u64(static_cast<std::uint64_t>(env.sent_at));
+    u64(static_cast<std::uint64_t>(env.deliver_at));
+    for (const char c : env.message->describe()) {
+      byte(static_cast<unsigned char>(c));
+    }
+  }
+  void byte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 1099511628211ULL;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+topology::Tree make_tree(const SwarmConfig& config) {
+  switch (config.topology) {
+    case SwarmConfig::Topology::kLine:
+      return topology::Tree::line(config.n);
+    case SwarmConfig::Topology::kStar:
+      return topology::Tree::star(config.n, 1);
+    case SwarmConfig::Topology::kRandom:
+      break;
+  }
+  return topology::Tree::random_tree(config.n, config.seed);
+}
+
+StateView make_view(harness::Cluster& cluster) {
+  StateView view;
+  view.n = cluster.size();
+  view.node = [&cluster](NodeId v) -> const proto::MutexNode& {
+    return cluster.node(v);
+  };
+  view.phase = [&cluster](NodeId v) {
+    if (cluster.is_in_cs(v)) return CsPhase::kInCs;
+    return cluster.is_waiting(v) ? CsPhase::kWaiting : CsPhase::kIdle;
+  };
+  view.for_each_in_flight =
+      [&cluster](const std::function<void(NodeId, NodeId,
+                                          const net::Message&)>& fn) {
+        cluster.network().for_each_in_flight(
+            [&fn](const net::Envelope& env) {
+              fn(env.from, env.to, *env.message);
+            });
+      };
+  return view;
+}
+
+}  // namespace
+
+SwarmResult run_swarm(const SwarmConfig& config) {
+  DMX_CHECK_MSG(config.algorithm != nullptr,
+                "SwarmConfig::algorithm is required");
+  DMX_CHECK(config.n >= 2);
+  DMX_CHECK(config.latency_lo >= 1 && config.latency_lo <= config.latency_hi);
+
+  harness::ClusterConfig cluster_config;
+  cluster_config.n = config.n;
+  cluster_config.initial_token_holder = config.initial_token_holder;
+  if (config.algorithm->needs_tree) {
+    cluster_config.tree = make_tree(config);
+  }
+  cluster_config.latency_model =
+      std::make_unique<net::UniformLatency>(config.latency_lo,
+                                            config.latency_hi);
+  cluster_config.seed = config.seed;
+
+  SwarmResult result;
+  harness::Cluster cluster(*config.algorithm, std::move(cluster_config));
+
+  SwarmTraceHasher hasher;
+  cluster.network().set_observer(&hasher);
+
+  // Re-check the algorithm's structural invariants after every event, on
+  // top of the cluster's built-in CS-exclusivity and token-uniqueness
+  // checks.
+  const InvariantHook hook = invariant_hook_for(*config.algorithm);
+  if (hook != nullptr) {
+    cluster.set_post_event_hook([hook](harness::Cluster& c) {
+      const std::string violation = hook(make_view(c));
+      if (!violation.empty()) throw std::logic_error(violation);
+    });
+  }
+
+  if (config.drop_probability > 0.0) {
+    cluster.network().set_drop_probability(config.drop_probability);
+  }
+  if (!config.duplicate_next_kind.empty()) {
+    cluster.network().duplicate_next(config.duplicate_next_kind);
+  }
+
+  workload::WorkloadConfig wl;
+  wl.target_entries = config.target_entries;
+  wl.mean_think_ticks = config.mean_think_ticks;
+  wl.hold_lo = config.hold_lo;
+  wl.hold_hi = config.hold_hi;
+  // Decouple the workload's RNG stream from the network's (both descend
+  // from the master seed, deterministically).
+  wl.seed = config.seed * 0x9e3779b97f4a7c15ULL + 1;
+
+  try {
+    const workload::WorkloadResult run = workload::run_workload(cluster, wl);
+    result.entries = run.entries;
+    result.makespan = run.makespan;
+  } catch (const std::logic_error& error) {
+    result.violation = error.what();
+  }
+  result.messages = cluster.network().stats().total_sent;
+  result.trace_hash = hasher.digest();
+
+  if (result.violation.empty()) {
+    // Bounded waiting: every request must have been granted (the drain in
+    // run_workload leaves no waiter behind in a live algorithm), and the
+    // longest request→grant wait is reported as the witness.
+    std::vector<Tick> requested_at(static_cast<std::size_t>(config.n) + 1,
+                                   -1);
+    for (const harness::CsEvent& event : cluster.events()) {
+      const auto v = static_cast<std::size_t>(event.node);
+      switch (event.kind) {
+        case harness::CsEvent::Kind::kRequest:
+          requested_at[v] = event.at;
+          break;
+        case harness::CsEvent::Kind::kEnter:
+          if (requested_at[v] >= 0) {
+            result.max_wait_ticks =
+                std::max(result.max_wait_ticks, event.at - requested_at[v]);
+            requested_at[v] = -1;
+          }
+          break;
+        case harness::CsEvent::Kind::kExit:
+          break;
+      }
+    }
+    for (NodeId v = 1; v <= config.n; ++v) {
+      if (cluster.is_waiting(v)) {
+        result.violation = "node " + std::to_string(v) +
+                           " still waiting after quiescence";
+        break;
+      }
+    }
+  }
+  result.ok = result.violation.empty();
+  cluster.network().set_observer(nullptr);
+  return result;
+}
+
+}  // namespace dmx::modelcheck

@@ -30,6 +30,9 @@
 
 namespace dmx::net {
 
+class Message;
+using MessagePtr = std::unique_ptr<Message>;
+
 class Message {
  public:
   explicit Message(MessageKind kind) : kind_(kind) {}
@@ -51,6 +54,18 @@ class Message {
   /// Human-readable rendering for traces; defaults to kind().
   virtual std::string describe() const { return std::string(kind()); }
 
+  /// Deep copy with the same dynamic type and content. Used by the
+  /// network's duplicate-injection (the duplicate is an independent
+  /// envelope) and by tooling that needs to retain sent messages.
+  virtual MessagePtr clone() const = 0;
+
+  /// Canonical full-content rendering, used by the schedule explorer to
+  /// hash and compare system states. Defaults to describe(), which is
+  /// exact for messages whose payload it fully renders; classes whose
+  /// describe() omits payload fields (e.g. token arrays) must override —
+  /// two messages with equal encode() must be behaviorally identical.
+  virtual std::string encode() const { return describe(); }
+
   // Route all message storage through the recycling pool. The sized
   // operator delete receives the dynamic type's size (the deleting
   // destructor passes it), so blocks return to the right size class even
@@ -65,7 +80,5 @@ class Message {
  private:
   MessageKind kind_;
 };
-
-using MessagePtr = std::unique_ptr<Message>;
 
 }  // namespace dmx::net

@@ -105,6 +105,15 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
     observer_->on_send(env);
   }
   sim_.schedule_at(deliver_at, [this, slot] { deliver(slot); });
+
+  // Failure injection: re-send a clone of the message on the same channel.
+  // Disarm before recursing (one duplicate, not an avalanche); the FIFO
+  // clamp orders the duplicate behind the original.
+  if (duplicate_next_kind_.valid() && kind == duplicate_next_kind_) {
+    duplicate_next_kind_ = MessageKind();
+    stats_.total_duplicated += 1;
+    send(from, to, slots_[slot].env.message->clone());
+  }
 }
 
 void Network::deliver(std::uint32_t slot_index) {
@@ -136,6 +145,10 @@ void Network::drop_next(std::string_view kind) {
   // Intern (not lookup): arming a drop for a kind that has not been sent
   // yet must still match the first send of that kind.
   drop_next_kind_ = MessageKind::of(kind);
+}
+
+void Network::duplicate_next(std::string_view kind) {
+  duplicate_next_kind_ = MessageKind::of(kind);
 }
 
 std::size_t Network::in_flight_count(MessageKind kind) const {

@@ -50,6 +50,7 @@ struct Envelope {
 struct MessageStats {
   std::uint64_t total_sent = 0;
   std::uint64_t total_dropped = 0;
+  std::uint64_t total_duplicated = 0;
   std::uint64_t total_payload_bytes = 0;
   /// Sends per kind, indexed by MessageKind::id(). May be shorter than
   /// MessageKind::registered_count(); missing entries mean zero.
@@ -119,6 +120,15 @@ class Network {
   /// Drops the next sent message of kind `kind` (one-shot).
   void drop_next(std::string_view kind);
 
+  /// Duplicates the next sent message of kind `kind` (one-shot): a second,
+  /// independent envelope with a cloned message is scheduled on the same
+  /// channel, FIFO-behind the original. A duplicated PRIVILEGE/TOKEN is a
+  /// forged second token — the token-uniqueness invariant must catch it,
+  /// which is exactly what the swarm tester and failure-injection tests
+  /// assert. The duplicate counts toward total_sent and per-kind stats
+  /// (it does traverse the network) plus total_duplicated.
+  void duplicate_next(std::string_view kind);
+
   /// Number of messages currently in flight.
   std::size_t in_flight_count() const { return in_flight_count_; }
 
@@ -149,7 +159,8 @@ class Network {
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   double drop_probability_ = 0.0;
-  MessageKind drop_next_kind_;  // invalid = disarmed
+  MessageKind drop_next_kind_;       // invalid = disarmed
+  MessageKind duplicate_next_kind_;  // invalid = disarmed
   DeliveryHandler handler_;
   NetworkObserver* observer_ = nullptr;
   std::uint64_t next_envelope_id_ = 1;

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -76,6 +77,23 @@ class MutexNode {
   /// One-line rendering of the protocol variables, for traces and the
   /// paper-example tests (e.g. "HOLDING=f NEXT=2 FOLLOW=0").
   virtual std::string debug_state() const = 0;
+
+  /// Compact canonical serialization of the protocol variables. Two nodes
+  /// of the same class with equal protocol state produce byte-identical
+  /// blobs — the schedule explorer (src/modelcheck) deduplicates system
+  /// states on these, so members that are only meaningful under a guard
+  /// (e.g. a token payload held only while has_token()) must be normalized
+  /// when inactive. Classes that keep identity fields (self id, cluster
+  /// size) include them and verify them on restore; identity-free classes
+  /// (NeilsenNode keeps only the paper's three variables) accept any
+  /// well-formed blob of the same class.
+  virtual std::string snapshot() const = 0;
+
+  /// Restores this node to the state captured by snapshot() on a node of
+  /// the same class and identity. The restored node runs the exact same
+  /// handler code as a live node — this is what lets the model checker
+  /// explore the production implementation rather than a re-model.
+  virtual void restore(std::string_view blob) = 0;
 };
 
 }  // namespace dmx::proto

@@ -1,0 +1,109 @@
+// Compact binary serialization helpers for MutexNode::snapshot/restore.
+//
+// The format is intentionally dumb: fixed-width little-endian fields
+// appended in declaration order, containers length-prefixed. What matters
+// is canonicality — two nodes of the same class with equal protocol state
+// must produce byte-identical blobs, because the model checker deduplicates
+// system states on the concatenated snapshots. Serialize ordered
+// containers in iteration order and normalize any "valid only while X"
+// members (e.g. a token payload held only while has_token) to a fixed
+// value when inactive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace dmx::proto {
+
+class SnapshotWriter {
+ public:
+  void u8(std::uint8_t value) { out_.push_back(static_cast<char>(value)); }
+  void boolean(bool value) { u8(value ? 1 : 0); }
+  void i32(std::int32_t value) {
+    const auto u = static_cast<std::uint32_t>(value);
+    out_.push_back(static_cast<char>(u & 0xff));
+    out_.push_back(static_cast<char>((u >> 8) & 0xff));
+    out_.push_back(static_cast<char>((u >> 16) & 0xff));
+    out_.push_back(static_cast<char>((u >> 24) & 0xff));
+  }
+  /// Length-prefixed sequence of i32-encodable values.
+  template <typename Container>
+  void i32_seq(const Container& values) {
+    i32(static_cast<std::int32_t>(values.size()));
+    for (const auto& value : values) {
+      i32(static_cast<std::int32_t>(value));
+    }
+  }
+  /// Length-prefixed sequence of bytes (bools, enums-as-char).
+  template <typename Container>
+  void u8_seq(const Container& values) {
+    i32(static_cast<std::int32_t>(values.size()));
+    for (const auto& value : values) {
+      u8(static_cast<std::uint8_t>(value));
+    }
+  }
+  /// Length-prefixed byte string (e.g. a nested blob).
+  void str(std::string_view value) {
+    i32(static_cast<std::int32_t>(value.size()));
+    out_.append(value);
+  }
+
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string_view blob) : blob_(blob) {}
+
+  std::uint8_t u8() {
+    DMX_CHECK_MSG(pos_ < blob_.size(), "snapshot blob underflow");
+    return static_cast<std::uint8_t>(blob_[pos_++]);
+  }
+  bool boolean() { return u8() != 0; }
+  std::int32_t i32() {
+    std::uint32_t u = 0;
+    u |= static_cast<std::uint32_t>(u8());
+    u |= static_cast<std::uint32_t>(u8()) << 8;
+    u |= static_cast<std::uint32_t>(u8()) << 16;
+    u |= static_cast<std::uint32_t>(u8()) << 24;
+    return static_cast<std::int32_t>(u);
+  }
+  /// Reads a length-prefixed i32 sequence into `out` (cleared first).
+  template <typename Container>
+  void i32_seq(Container& out) {
+    const std::int32_t count = i32();
+    DMX_CHECK(count >= 0);
+    out.clear();
+    for (std::int32_t i = 0; i < count; ++i) {
+      out.push_back(
+          static_cast<typename Container::value_type>(this->i32()));
+    }
+  }
+  template <typename Container>
+  void u8_seq(Container& out) {
+    const std::int32_t count = i32();
+    DMX_CHECK(count >= 0);
+    out.clear();
+    for (std::int32_t i = 0; i < count; ++i) {
+      out.push_back(static_cast<typename Container::value_type>(u8()));
+    }
+  }
+
+  /// Asserts the blob was consumed exactly — catches schema drift between
+  /// snapshot() and restore().
+  void finish() const {
+    DMX_CHECK_MSG(pos_ == blob_.size(), "snapshot blob not fully consumed");
+  }
+
+ private:
+  std::string_view blob_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dmx::proto

@@ -85,8 +85,12 @@ TEST(SinghalComplexity, AtMostNMessages) {
   for (NodeId requester : {3, 7, 2, 8, 3}) {
     const ProbeResult probe = single_entry_probe(cluster, requester);
     // Heuristic: REQUESTs go only to nodes believed requesting, plus one
-    // TOKEN transfer; never more than N total.
-    EXPECT_LE(probe.messages_total, static_cast<std::uint64_t>(n));
+    // TOKEN transfer — at most N of those. On top, a node that can
+    // neither serve nor carry a request forwards it along the token
+    // trail (the liveness repair found by the exhaustive explorer; see
+    // SinghalNode::on_message), adding at most one forward per contacted
+    // node: 2N bounds the total.
+    EXPECT_LE(probe.messages_total, 2 * static_cast<std::uint64_t>(n));
   }
 }
 

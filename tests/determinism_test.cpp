@@ -16,6 +16,7 @@
 
 #include "baselines/registry.hpp"
 #include "harness/cluster.hpp"
+#include "modelcheck/swarm.hpp"
 #include "net/network.hpp"
 #include "topology/tree.hpp"
 #include "workload/workload.hpp"
@@ -121,6 +122,51 @@ TEST(DeterminismGolden, PinnedRandomTreeJitteryLatency) {
   workload::run_workload(cluster, wl);
   EXPECT_EQ(hasher.digest(), 0x763e75d029bfa294ULL)
       << "actual: 0x" << std::hex << hasher.digest();
+}
+
+// ---- Swarm schedule goldens -------------------------------------------------
+// One pinned seed per registry algorithm: the swarm tester's randomized
+// delivery schedule (topology, adversarial latency, workload think/hold)
+// must be a pure function of (code, seed). Re-pin in the same commit as
+// any deliberate change to an algorithm's message behaviour or to the
+// swarm's seed derivation, and call the change out in review.
+
+struct SwarmGolden {
+  const char* algorithm;
+  std::uint64_t trace_hash;
+};
+
+TEST(DeterminismGolden, PinnedSwarmSeedPerAlgorithm) {
+  const SwarmGolden goldens[] = {
+      {"Neilsen", 0xf8b09871cb9e2c59ULL},
+      {"Raymond", 0x6c0c077063145f21ULL},
+      {"Central", 0xb8edf60567e5855eULL},
+      {"Suzuki-Kasami", 0xca60fb715faaacfdULL},
+      {"Singhal", 0xa0bcd4dc44eb00d6ULL},
+      {"Lamport", 0x9b8a37849a1fdf4dULL},
+      {"Ricart-Agrawala", 0x38de5d8f18409dafULL},
+      {"Carvalho-Roucairol", 0x7dc604d3ac11a745ULL},
+      {"Maekawa", 0xec3138e581cc494cULL},
+  };
+  for (const SwarmGolden& golden : goldens) {
+    const proto::Algorithm algo =
+        baselines::algorithm_by_name(golden.algorithm);
+    modelcheck::SwarmConfig config;
+    config.algorithm = &algo;
+    config.n = 8;
+    config.topology = modelcheck::SwarmConfig::Topology::kRandom;
+    config.seed = 2026;
+    config.target_entries = 50;
+    config.latency_lo = 1;
+    config.latency_hi = 9;
+    config.mean_think_ticks = 1.5;
+    config.hold_lo = 0;
+    config.hold_hi = 2;
+    const modelcheck::SwarmResult result = modelcheck::run_swarm(config);
+    ASSERT_TRUE(result.ok) << golden.algorithm << ": " << result.violation;
+    EXPECT_EQ(result.trace_hash, golden.trace_hash)
+        << golden.algorithm << " actual: 0x" << std::hex << result.trace_hash;
+  }
 }
 
 }  // namespace

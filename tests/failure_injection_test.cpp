@@ -53,6 +53,41 @@ TEST(FailureInjection, LostPrivilegeIsDetectedAsTokenLoss) {
   }
 }
 
+TEST(FailureInjection, DuplicatedPrivilegeIsDetectedAsForgedToken) {
+  Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(4, 1));
+  // Node 3 requests; node 1 answers with a PRIVILEGE, which the network
+  // duplicates in flight. Two tokens now exist; the invariant checker
+  // must refuse to let the run continue.
+  cluster.network().duplicate_next("PRIVILEGE");
+  cluster.request_cs(3);
+  try {
+    cluster.run_to_quiescence();
+    FAIL() << "token duplication went undetected";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("token count is 2"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(cluster.network().stats().total_duplicated, 1u);
+  // The duplicate is real traffic: both envelopes count as sent.
+  EXPECT_EQ(cluster.network().stats().sent("PRIVILEGE"), 2u);
+}
+
+TEST(FailureInjection, DuplicatedRequestIsAbsorbedByRaymond) {
+  // A duplicated REQUEST enqueues its sender twice at the receiver. The
+  // stale entry acts as a phantom request — it costs an extra token
+  // round-trip but never mints a second PRIVILEGE, so the run completes
+  // with every invariant (checked after each event) intact. Contrast
+  // with the duplicated-token cases, which must fail loudly.
+  Cluster cluster(baselines::algorithm_by_name("Raymond"), line_config(3, 1));
+  cluster.network().duplicate_next("REQUEST");
+  workload::WorkloadConfig wl;
+  wl.target_entries = 50;
+  const workload::WorkloadResult result = workload::run_workload(cluster, wl);
+  EXPECT_GE(result.entries, 50u);
+  EXPECT_EQ(cluster.network().stats().total_duplicated, 1u);
+}
+
 TEST(FailureInjection, LostRequestStallsTheWorkload) {
   Cluster cluster(baselines::algorithm_by_name("Neilsen"), line_config(5, 1));
   cluster.network().drop_next("REQUEST");

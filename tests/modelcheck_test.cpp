@@ -1,17 +1,25 @@
 // Exhaustive model-checking tests: the Chapter 5 theorems verified over
-// every interleaving of small configurations.
+// every interleaving of small configurations — for the Neilsen core, for
+// Raymond (the head-to-head baseline), and for the whole registry through
+// one generic explorer. Seeded-bug configurations (duplicated token
+// messages, corrupted initial states) must be caught with counterexample
+// traces.
 #include <gtest/gtest.h>
 
+#include "baselines/registry.hpp"
+#include "core/neilsen_node.hpp"
 #include "modelcheck/explorer.hpp"
 #include "topology/tree.hpp"
 
 namespace dmx::modelcheck {
 namespace {
 
-ExplorerResult check(const topology::Tree& tree, NodeId holder,
+ExplorerResult check(const proto::Algorithm& algorithm,
+                     const topology::Tree& tree, NodeId holder,
                      int requests_per_node,
                      std::size_t max_states = 5'000'000) {
   ExplorerConfig config;
+  config.algorithm = &algorithm;
   config.n = tree.size();
   config.initial_token_holder = holder;
   config.tree = &tree;
@@ -20,9 +28,12 @@ ExplorerResult check(const topology::Tree& tree, NodeId holder,
   return explore(config);
 }
 
+// ---- Neilsen: the original explorer's verdicts, reproduced -----------------
+
 TEST(ModelCheck, TwoNodesManyEntries) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
   const topology::Tree tree = topology::Tree::line(2);
-  const ExplorerResult result = check(tree, 1, 4);
+  const ExplorerResult result = check(algo, tree, 1, 4);
   EXPECT_TRUE(result.ok) << result.violation;
   EXPECT_GT(result.states, 10u);
   EXPECT_GE(result.terminal_states, 1u);
@@ -30,46 +41,235 @@ TEST(ModelCheck, TwoNodesManyEntries) {
 }
 
 TEST(ModelCheck, LineOfThreeTwoEntriesEach) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
   const topology::Tree tree = topology::Tree::line(3);
   for (NodeId holder : {1, 2, 3}) {
-    const ExplorerResult result = check(tree, holder, 2);
+    const ExplorerResult result = check(algo, tree, holder, 2);
     EXPECT_TRUE(result.ok) << "holder " << holder << ": " << result.violation;
     EXPECT_GT(result.states, 100u);
   }
 }
 
 TEST(ModelCheck, StarOfFourSingleEntries) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
   const topology::Tree tree = topology::Tree::star(4, 1);
   for (NodeId holder : {1, 2}) {
-    const ExplorerResult result = check(tree, holder, 1);
+    const ExplorerResult result = check(algo, tree, holder, 1);
     EXPECT_TRUE(result.ok) << result.violation;
   }
 }
 
 TEST(ModelCheck, StarOfFourTwoEntriesEach) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
   const topology::Tree tree = topology::Tree::star(4, 1);
-  const ExplorerResult result = check(tree, 2, 2);
+  const ExplorerResult result = check(algo, tree, 2, 2);
   EXPECT_TRUE(result.ok) << result.violation;
   EXPECT_GT(result.states, 10'000u);
 }
 
 TEST(ModelCheck, LineOfFourSingleEntries) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
   const topology::Tree tree = topology::Tree::line(4);
-  const ExplorerResult result = check(tree, 2, 1);
+  const ExplorerResult result = check(algo, tree, 2, 1);
   EXPECT_TRUE(result.ok) << result.violation;
 }
 
+TEST(ModelCheck, BinaryTreeOfFive) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  const topology::Tree tree = topology::Tree::kary(5, 2);
+  const ExplorerResult result = check(algo, tree, 1, 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(ModelCheck, StarOfFiveSingleEntries) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  const topology::Tree tree = topology::Tree::star(5, 1);
+  for (NodeId holder : {1, 3}) {
+    const ExplorerResult result = check(algo, tree, holder, 1);
+    EXPECT_TRUE(result.ok) << result.violation;
+  }
+}
+
 TEST(ModelCheck, RandomTreesOfFive) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
   for (std::uint64_t seed = 0; seed < 4; ++seed) {
     const topology::Tree tree = topology::Tree::random_tree(5, seed);
-    const ExplorerResult result = check(tree, 3, 1);
+    const ExplorerResult result = check(algo, tree, 3, 1);
     EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
   }
 }
 
-TEST(ModelCheck, StateBudgetTruncationIsReported) {
+// ---- Raymond: the bespoke explorer's verdicts, reproduced ------------------
+
+TEST(RaymondModelCheck, TwoNodesManyEntries) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Raymond");
+  const topology::Tree tree = topology::Tree::line(2);
+  const ExplorerResult result = check(algo, tree, 1, 4);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_GT(result.states, 10u);
+}
+
+TEST(RaymondModelCheck, LineOfThreeTwoEntriesEach) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Raymond");
+  const topology::Tree tree = topology::Tree::line(3);
+  for (NodeId holder : {1, 2}) {
+    const ExplorerResult result = check(algo, tree, holder, 2);
+    EXPECT_TRUE(result.ok) << "holder " << holder << ": " << result.violation;
+    EXPECT_GT(result.states, 100u);
+  }
+}
+
+TEST(RaymondModelCheck, StarOfFour) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Raymond");
   const topology::Tree tree = topology::Tree::star(4, 1);
-  const ExplorerResult result = check(tree, 1, 2, /*max_states=*/50);
+  for (int requests : {1, 2}) {
+    const ExplorerResult result = check(algo, tree, 2, requests);
+    EXPECT_TRUE(result.ok) << result.violation;
+  }
+}
+
+TEST(RaymondModelCheck, BinaryTreeOfFive) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Raymond");
+  const topology::Tree tree = topology::Tree::kary(5, 2);
+  const ExplorerResult result = check(algo, tree, 1, 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(RaymondModelCheck, RandomTreesOfFive) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Raymond");
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const topology::Tree tree = topology::Tree::random_tree(5, seed);
+    const ExplorerResult result = check(algo, tree, 2, 1);
+    EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
+  }
+}
+
+// ---- The whole registry through the one generic explorer -------------------
+
+TEST(GenericModelCheck, EveryRegistryAlgorithmLineOfThree) {
+  const topology::Tree tree = topology::Tree::line(3);
+  for (const proto::Algorithm& algo : baselines::all_algorithms()) {
+    const ExplorerResult result = check(algo, tree, 1, 1);
+    EXPECT_TRUE(result.ok) << algo.name << ": " << result.violation;
+    EXPECT_GT(result.states, 3u) << algo.name;
+    EXPECT_GE(result.terminal_states, 1u) << algo.name;
+  }
+}
+
+TEST(GenericModelCheck, EveryRegistryAlgorithmTwoEntriesEach) {
+  // Two entries per node exercises round boundaries (stale replies, token
+  // re-requests) — the schedules where the explorer found real bugs in
+  // the seeded Carvalho-Roucairol and Singhal implementations. Lamport's
+  // replicated-queue state space explodes past the budget at two entries;
+  // it is covered at one entry here and stays an open item for state
+  // hashing (see ROADMAP).
+  const topology::Tree tree = topology::Tree::line(3);
+  for (const proto::Algorithm& algo : baselines::all_algorithms()) {
+    if (algo.name == "Lamport") continue;
+    const ExplorerResult result = check(algo, tree, 1, 2);
+    EXPECT_TRUE(result.ok) << algo.name << ": " << result.violation;
+    EXPECT_GT(result.states, 100u) << algo.name;
+  }
+}
+
+// ---- Seeded-bug configurations must be caught, with traces -----------------
+
+TEST(SeededBug, DuplicatedNeilsenPrivilegeCaughtWithTrace) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  const topology::Tree tree = topology::Tree::line(2);
+  ExplorerConfig config;
+  config.algorithm = &algo;
+  config.n = 2;
+  config.tree = &tree;
+  config.requests_per_node = 1;
+  config.duplicate_message_kinds = {"PRIVILEGE"};
+  const ExplorerResult result = explore(config);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.violation.empty());
+  ASSERT_FALSE(result.counterexample.empty());
+  // The trace must actually exercise the duplication fault.
+  bool has_dup = false;
+  for (const Action& action : result.counterexample) {
+    has_dup |= action.type == Action::Type::kDeliverDup;
+  }
+  EXPECT_TRUE(has_dup) << result.violation;
+}
+
+TEST(SeededBug, DuplicatedRaymondPrivilegeCaughtWithTrace) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Raymond");
+  const topology::Tree tree = topology::Tree::line(3);
+  ExplorerConfig config;
+  config.algorithm = &algo;
+  config.n = 3;
+  config.tree = &tree;
+  config.requests_per_node = 1;
+  config.duplicate_message_kinds = {"PRIVILEGE"};
+  const ExplorerResult result = explore(config);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.counterexample.empty());
+}
+
+TEST(SeededBug, DuplicatedSuzukiKasamiTokenCaughtWithTrace) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Suzuki-Kasami");
+  ExplorerConfig config;
+  config.algorithm = &algo;
+  config.n = 3;
+  config.requests_per_node = 1;
+  config.duplicate_message_kinds = {"TOKEN"};
+  const ExplorerResult result = explore(config);
+  EXPECT_FALSE(result.ok);
+  ASSERT_FALSE(result.counterexample.empty());
+}
+
+TEST(SeededBug, ForgedSecondTokenDetectedInInitialState) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  const topology::Tree tree = topology::Tree::line(3);
+  ExplorerConfig config;
+  config.algorithm = &algo;
+  config.n = 3;
+  config.tree = &tree;
+  config.requests_per_node = 1;
+  config.mutate_initial =
+      [](std::vector<std::unique_ptr<proto::MutexNode>>& nodes) {
+        // Forge a second resident token at node 3.
+        const core::NeilsenNode forged = core::NeilsenNode::restore(
+            /*holding=*/true, kNilNode, kNilNode,
+            core::NeilsenNode::CsStatus::kIdle);
+        nodes[3]->restore(forged.snapshot());
+      };
+  const ExplorerResult result = explore(config);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("token count 2"), std::string::npos)
+      << result.violation;
+  // Corrupt from the start: the counterexample is the empty trace.
+  EXPECT_TRUE(result.counterexample.empty());
+}
+
+TEST(SeededBug, ExtraInvariantHookViolationCarriesTrace) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  const topology::Tree tree = topology::Tree::line(2);
+  ExplorerConfig config;
+  config.algorithm = &algo;
+  config.n = 2;
+  config.tree = &tree;
+  config.requests_per_node = 1;
+  config.extra_invariant = [](const StateView& view) -> std::string {
+    return view.phase(2) == CsPhase::kInCs ? "node 2 reached its CS" : "";
+  };
+  const ExplorerResult result = explore(config);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.violation, "node 2 reached its CS");
+  // Node 2 must request, the request must reach node 1, and the PRIVILEGE
+  // must come back: at least three actions.
+  EXPECT_GE(result.counterexample.size(), 3u);
+}
+
+// ---- Mechanics -------------------------------------------------------------
+
+TEST(ModelCheck, StateBudgetTruncationIsReported) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  const topology::Tree tree = topology::Tree::star(4, 1);
+  const ExplorerResult result = check(algo, tree, 1, 2, /*max_states=*/50);
   EXPECT_FALSE(result.ok);
   EXPECT_TRUE(result.truncated);
   EXPECT_NE(result.violation.find("inconclusive"), std::string::npos);
@@ -78,98 +278,26 @@ TEST(ModelCheck, StateBudgetTruncationIsReported) {
 TEST(ModelCheck, ActionRendering) {
   Action request{Action::Type::kRequest, 3, kNilNode};
   Action deliver{Action::Type::kDeliver, 2, 5};
+  Action dup{Action::Type::kDeliverDup, 2, 5};
   EXPECT_EQ(request.to_string(), "request(3)");
   EXPECT_EQ(deliver.to_string(), "deliver(5 -> 2)");
+  EXPECT_EQ(dup.to_string(), "deliver+dup(5 -> 2)");
 }
 
-TEST(ModelCheck, RejectsOversizedConfigurations) {
-  const topology::Tree tree = topology::Tree::line(9);
-  ExplorerConfig config;
-  config.n = 9;
-  config.tree = &tree;
+TEST(ModelCheck, RejectsInvalidConfigurations) {
+  ExplorerConfig config;  // algorithm missing
   EXPECT_THROW(explore(config), std::logic_error);
-}
 
-}  // namespace
-}  // namespace dmx::modelcheck
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  config.algorithm = &algo;
+  config.n = 3;
+  config.tree = nullptr;  // tree required for Neilsen
+  EXPECT_THROW(explore(config), std::logic_error);
 
-// ---- Raymond explorer ------------------------------------------------------
-// (appended suite: the baseline verified with the same rigor as the core)
-
-#include "modelcheck/raymond_explorer.hpp"
-
-namespace dmx::modelcheck {
-namespace {
-
-ExplorerResult check_raymond(const topology::Tree& tree, NodeId holder,
-                             int requests_per_node) {
-  ExplorerConfig config;
-  config.n = tree.size();
-  config.initial_token_holder = holder;
-  config.tree = &tree;
-  config.requests_per_node = requests_per_node;
-  return explore_raymond(config);
-}
-
-TEST(RaymondModelCheck, TwoNodesManyEntries) {
-  const topology::Tree tree = topology::Tree::line(2);
-  const ExplorerResult result = check_raymond(tree, 1, 4);
-  EXPECT_TRUE(result.ok) << result.violation;
-  EXPECT_GT(result.states, 10u);
-}
-
-TEST(RaymondModelCheck, LineOfThreeTwoEntriesEach) {
   const topology::Tree tree = topology::Tree::line(3);
-  for (NodeId holder : {1, 2}) {
-    const ExplorerResult result = check_raymond(tree, holder, 2);
-    EXPECT_TRUE(result.ok) << "holder " << holder << ": "
-                           << result.violation;
-    EXPECT_GT(result.states, 100u);
-  }
-}
-
-TEST(RaymondModelCheck, StarOfFour) {
-  const topology::Tree tree = topology::Tree::star(4, 1);
-  for (int requests : {1, 2}) {
-    const ExplorerResult result = check_raymond(tree, 2, requests);
-    EXPECT_TRUE(result.ok) << result.violation;
-  }
-}
-
-TEST(RaymondModelCheck, RandomTreesOfFive) {
-  for (std::uint64_t seed = 0; seed < 3; ++seed) {
-    const topology::Tree tree = topology::Tree::random_tree(5, seed);
-    const ExplorerResult result = check_raymond(tree, 2, 1);
-    EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
-  }
-}
-
-}  // namespace
-}  // namespace dmx::modelcheck
-
-// ---- additional shapes -------------------------------------------------------
-
-namespace dmx::modelcheck {
-namespace {
-
-TEST(ModelCheck, BinaryTreeOfFive) {
-  const topology::Tree tree = topology::Tree::kary(5, 2);
-  const ExplorerResult result = check(tree, 1, 1);
-  EXPECT_TRUE(result.ok) << result.violation;
-}
-
-TEST(ModelCheck, StarOfFiveSingleEntries) {
-  const topology::Tree tree = topology::Tree::star(5, 1);
-  for (NodeId holder : {1, 3}) {
-    const ExplorerResult result = check(tree, holder, 1);
-    EXPECT_TRUE(result.ok) << result.violation;
-  }
-}
-
-TEST(RaymondModelCheck, BinaryTreeOfFive) {
-  const topology::Tree tree = topology::Tree::kary(5, 2);
-  const ExplorerResult result = check_raymond(tree, 1, 1);
-  EXPECT_TRUE(result.ok) << result.violation;
+  config.tree = &tree;
+  config.requests_per_node = 300;  // budget must fit a byte
+  EXPECT_THROW(explore(config), std::logic_error);
 }
 
 }  // namespace

@@ -19,6 +19,9 @@ class TestMessage final : public Message {
       : Message(MessageKind::of(kind)), value_(value) {}
   int value() const { return value_; }
   std::size_t payload_bytes() const override { return sizeof(int); }
+  MessagePtr clone() const override {
+    return std::make_unique<TestMessage>(*this);
+  }
 
  private:
   int value_;

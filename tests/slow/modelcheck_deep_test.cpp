@@ -1,0 +1,102 @@
+// Deeper exhaustive configurations — the `slow` ctest tier. Everything
+// here is the same generic explorer as tests/modelcheck_test.cpp, pushed
+// to larger N / more entries per node. Broadcast algorithms with O(N)
+// per-node state (Lamport, Ricart-Agrawala, Carvalho-Roucairol) exceed
+// the 5M-state budget beyond N=3 / two entries; pushing them further
+// needs state hashing or symmetry reduction (ROADMAP open item).
+#include <gtest/gtest.h>
+
+#include "baselines/registry.hpp"
+#include "modelcheck/explorer.hpp"
+#include "topology/tree.hpp"
+
+namespace dmx::modelcheck {
+namespace {
+
+ExplorerResult check(const proto::Algorithm& algo, const topology::Tree& tree,
+                     NodeId holder, int requests_per_node) {
+  ExplorerConfig config;
+  config.algorithm = &algo;
+  config.n = tree.size();
+  config.initial_token_holder = holder;
+  config.tree = &tree;
+  config.requests_per_node = requests_per_node;
+  return explore(config);
+}
+
+TEST(DeepModelCheck, NeilsenStarOfSix) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  const topology::Tree tree = topology::Tree::star(6, 1);
+  const ExplorerResult result = check(algo, tree, 2, 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_GT(result.states, 100'000u);
+}
+
+TEST(DeepModelCheck, NeilsenLineOfFiveTwoEntries) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  const topology::Tree tree = topology::Tree::line(5);
+  const ExplorerResult result = check(algo, tree, 1, 2);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(DeepModelCheck, NeilsenRandomTreesOfFiveTwoEntries) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  for (std::uint64_t seed = 0; seed < 2; ++seed) {
+    const topology::Tree tree = topology::Tree::random_tree(5, seed);
+    const ExplorerResult result = check(algo, tree, 1, 2);
+    EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.violation;
+  }
+}
+
+TEST(DeepModelCheck, RaymondStarOfSix) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Raymond");
+  const topology::Tree tree = topology::Tree::star(6, 1);
+  const ExplorerResult result = check(algo, tree, 2, 1);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(DeepModelCheck, RaymondRandomTreesOfFiveTwoEntries) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Raymond");
+  const topology::Tree tree = topology::Tree::random_tree(5, 1);
+  const ExplorerResult result = check(algo, tree, 1, 2);
+  EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(DeepModelCheck, RegistryStarOfFour) {
+  // The whole registry at N=4, minus the state-space-explosive broadcast
+  // trio (see file comment).
+  const topology::Tree tree = topology::Tree::star(4, 1);
+  for (const proto::Algorithm& algo : baselines::all_algorithms()) {
+    if (algo.name == "Lamport" || algo.name == "Ricart-Agrawala" ||
+        algo.name == "Carvalho-Roucairol") {
+      continue;
+    }
+    const ExplorerResult result = check(algo, tree, 1, 1);
+    EXPECT_TRUE(result.ok) << algo.name << ": " << result.violation;
+  }
+}
+
+TEST(DeepModelCheck, SinghalThreeEntriesEach) {
+  const proto::Algorithm algo = baselines::algorithm_by_name("Singhal");
+  const topology::Tree tree = topology::Tree::line(3);
+  const ExplorerResult result = check(algo, tree, 1, 3);
+  EXPECT_TRUE(result.ok) << result.violation;
+  EXPECT_GT(result.states, 500'000u);
+}
+
+TEST(DeepModelCheck, SuzukiKasamiLineOfFourDuplicatedTokenCaught) {
+  // Fault exploration at depth: every schedule with one duplicated TOKEN
+  // delivery must end in a detected violation, never silent mis-running.
+  const proto::Algorithm algo = baselines::algorithm_by_name("Suzuki-Kasami");
+  ExplorerConfig config;
+  config.algorithm = &algo;
+  config.n = 4;
+  config.requests_per_node = 1;
+  config.duplicate_message_kinds = {"TOKEN"};
+  const ExplorerResult result = explore(config);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.counterexample.empty());
+}
+
+}  // namespace
+}  // namespace dmx::modelcheck

@@ -49,6 +49,9 @@ class PingMessage final : public net::Message {
  public:
   PingMessage() : net::Message(ping_kind()) {}
   std::size_t payload_bytes() const override { return 0; }
+  net::MessagePtr clone() const override {
+    return std::make_unique<PingMessage>(*this);
+  }
 
  private:
   static net::MessageKind ping_kind() {
