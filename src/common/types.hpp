@@ -13,6 +13,14 @@ using NodeId = std::int32_t;
 /// The nil node id (the paper's "0" value for NEXT and FOLLOW).
 inline constexpr NodeId kNilNode = 0;
 
+/// Identifier of a named resource served by a multi-resource LockSpace
+/// (src/service). Ids are dense, 0-based, assigned in open() order; the
+/// single-resource substrates implicitly use resource 0.
+using ResourceId = std::int32_t;
+
+/// "No resource" value for directory lookups of unknown names.
+inline constexpr ResourceId kNilResource = -1;
+
 /// Virtual time in the discrete-event simulator, in abstract ticks.
 /// Benches use a fixed per-hop latency so tick deltas convert directly to
 /// message-hop counts (the unit Chapter 6 reports results in).

@@ -25,7 +25,8 @@ class Cluster::NodeContext final : public proto::Context {
 };
 
 Cluster::Cluster(const proto::Algorithm& algorithm, ClusterConfig config)
-    : algorithm_(algorithm), config_(std::move(config)) {
+    : algorithm_(algorithm), config_(std::move(config)),
+      sim_(config_.wheel_span) {
   DMX_CHECK(config_.n >= 1);
   token_kinds_.reserve(algorithm_.token_message_kinds.size());
   for (const std::string& kind : algorithm_.token_message_kinds) {

@@ -36,6 +36,10 @@ struct ClusterConfig {
   /// Optional custom latency model (overrides fixed_latency).
   std::unique_ptr<net::LatencyModel> latency_model;
   std::uint64_t seed = 1;
+  /// Timing-wheel span for the simulator (power of two >= 64). Size it
+  /// past the latency model's mean so deliveries stay on the O(1) wheel
+  /// path instead of spilling into the overflow heap.
+  std::size_t wheel_span = sim::Simulator::kDefaultWheelSpan;
 };
 
 /// Application-level critical-section events, for delay analyses.

@@ -10,6 +10,8 @@
 #include "modelcheck/invariants.hpp"
 #include "net/latency.hpp"
 #include "net/network.hpp"
+#include "service/lock_space.hpp"
+#include "service/space_workload.hpp"
 #include "topology/tree.hpp"
 #include "workload/workload.hpp"
 
@@ -28,6 +30,40 @@ class SwarmTraceHasher final : public net::NetworkObserver {
   void mix(char tag, const net::Envelope& env) {
     byte(static_cast<unsigned char>(tag));
     u64(env.id);
+    u64(static_cast<std::uint64_t>(env.from));
+    u64(static_cast<std::uint64_t>(env.to));
+    u64(static_cast<std::uint64_t>(env.sent_at));
+    u64(static_cast<std::uint64_t>(env.deliver_at));
+    for (const char c : env.message->describe()) {
+      byte(static_cast<unsigned char>(c));
+    }
+  }
+  void byte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 1099511628211ULL;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+
+  std::uint64_t hash_ = 14695981039346656037ULL;
+};
+
+/// Multi-resource variant: the resource id joins the hash (two runs that
+/// route the same bytes to different resources must differ). Kept separate
+/// from SwarmTraceHasher so the single-resource pinned goldens are
+/// untouched.
+class SpaceTraceHasher final : public net::NetworkObserver {
+ public:
+  void on_send(const net::Envelope& env) override { mix('S', env); }
+  void on_deliver(const net::Envelope& env) override { mix('D', env); }
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  void mix(char tag, const net::Envelope& env) {
+    byte(static_cast<unsigned char>(tag));
+    u64(env.id);
+    u64(static_cast<std::uint64_t>(env.resource));
     u64(static_cast<std::uint64_t>(env.from));
     u64(static_cast<std::uint64_t>(env.to));
     u64(static_cast<std::uint64_t>(env.sent_at));
@@ -80,6 +116,107 @@ StateView make_view(harness::Cluster& cluster) {
   return view;
 }
 
+/// StateView of one resource of a LockSpace: the per-algorithm structural
+/// hooks (NEXT forest, HOLDER walk, ...) run unchanged against each
+/// resource's protocol instances, with in-flight traffic filtered to that
+/// resource.
+StateView make_space_view(service::LockSpace& space, ResourceId r) {
+  StateView view;
+  view.n = space.nodes();
+  view.node = [&space, r](NodeId v) -> const proto::MutexNode& {
+    return space.node(r, v);
+  };
+  view.phase = [&space, r](NodeId v) {
+    if (space.is_in_cs(r, v)) return CsPhase::kInCs;
+    return space.is_waiting(r, v) ? CsPhase::kWaiting : CsPhase::kIdle;
+  };
+  view.for_each_in_flight =
+      [&space, r](const std::function<void(NodeId, NodeId,
+                                           const net::Message&)>& fn) {
+        space.network().for_each_in_flight(
+            [&fn, r](const net::Envelope& env) {
+              if (env.resource == r) fn(env.from, env.to, *env.message);
+            });
+      };
+  return view;
+}
+
+/// Multi-resource swarm schedule: one LockSpace, `config.resources` named
+/// resources, a Zipf-skewed workload, and the full per-event invariant
+/// stack applied to the resource each event touched.
+SwarmResult run_swarm_space(const SwarmConfig& config) {
+  service::LockSpaceConfig space_config;
+  space_config.n = config.n;
+  space_config.algorithm = *config.algorithm;
+  if (config.algorithm->needs_tree) {
+    space_config.tree = make_tree(config);
+  }
+  space_config.latency_model =
+      std::make_unique<net::UniformLatency>(config.latency_lo,
+                                            config.latency_hi);
+  space_config.seed = config.seed;
+
+  SwarmResult result;
+  service::LockSpace space(std::move(space_config));
+
+  SpaceTraceHasher hasher;
+  space.network().set_observer(&hasher);
+
+  const InvariantHook hook = invariant_hook_for(*config.algorithm);
+  if (hook != nullptr) {
+    space.set_post_event_hook([hook](service::LockSpace& s, ResourceId r) {
+      const std::string violation = hook(make_space_view(s, r));
+      if (!violation.empty()) throw std::logic_error(violation);
+    });
+  }
+
+  for (int i = 1; i <= config.resources; ++i) {
+    space.open("swarm/res-" + std::to_string(i));
+  }
+
+  if (config.drop_probability > 0.0) {
+    space.network().set_drop_probability(config.drop_probability);
+  }
+  if (!config.duplicate_next_kind.empty()) {
+    space.network().duplicate_next(config.duplicate_next_kind);
+  }
+
+  service::SpaceWorkloadConfig wl;
+  wl.target_entries = config.target_entries;
+  wl.clients_per_node = config.clients_per_node;
+  wl.zipf_s = config.zipf_s;
+  wl.mean_think_ticks = config.mean_think_ticks;
+  wl.hold_lo = config.hold_lo;
+  wl.hold_hi = config.hold_hi;
+  wl.seed = config.seed * 0x9e3779b97f4a7c15ULL + 1;
+
+  try {
+    const service::SpaceWorkloadResult run =
+        service::run_space_workload(space, wl);
+    result.entries = run.entries;
+    result.makespan = run.makespan;
+  } catch (const std::logic_error& error) {
+    result.violation = error.what();
+  }
+  result.messages = space.network().stats().total_sent;
+  result.trace_hash = hasher.digest();
+
+  if (result.violation.empty()) {
+    for (ResourceId r = 0; r < space.resource_count(); ++r) {
+      for (NodeId v = 1; v <= config.n && result.violation.empty(); ++v) {
+        if (space.is_waiting(r, v)) {
+          result.violation = "node " + std::to_string(v) +
+                             " still waiting on " + space.name(r) +
+                             " after quiescence";
+        }
+      }
+    }
+  }
+  result.ok = result.violation.empty();
+  space.network().set_observer(nullptr);
+  return result;
+}
+
 }  // namespace
 
 SwarmResult run_swarm(const SwarmConfig& config) {
@@ -87,6 +224,10 @@ SwarmResult run_swarm(const SwarmConfig& config) {
                 "SwarmConfig::algorithm is required");
   DMX_CHECK(config.n >= 2);
   DMX_CHECK(config.latency_lo >= 1 && config.latency_lo <= config.latency_hi);
+  DMX_CHECK(config.resources >= 1);
+  if (config.resources > 1) {
+    return run_swarm_space(config);
+  }
 
   harness::ClusterConfig cluster_config;
   cluster_config.n = config.n;

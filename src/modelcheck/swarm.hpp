@@ -50,6 +50,18 @@ struct SwarmConfig {
   double drop_probability = 0.0;
   /// One-shot duplication of the next message of this kind ("" = off).
   std::string duplicate_next_kind;
+  /// Multi-resource mode: > 1 runs the schedule against a service::
+  /// LockSpace serving this many named resources over one network, with
+  /// CS exclusivity and token uniqueness checked PER RESOURCE (plus the
+  /// per-algorithm structural hooks, per resource) after every event.
+  /// Cross-resource interleavings — envelopes of many resources racing on
+  /// the same channels — are exactly what single-resource swarms can
+  /// never explore.
+  int resources = 1;
+  /// Zipf skew of resource popularity in multi-resource mode (0=uniform).
+  double zipf_s = 0.0;
+  /// Client loops per node in multi-resource mode.
+  int clients_per_node = 1;
 };
 
 struct SwarmResult {

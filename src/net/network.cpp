@@ -50,6 +50,12 @@ std::uint32_t Network::acquire_slot() {
 }
 
 void Network::send(NodeId from, NodeId to, MessagePtr message) {
+  send(ResourceId{0}, from, to, std::move(message));
+}
+
+void Network::send(ResourceId resource, NodeId from, NodeId to,
+                   MessagePtr message) {
+  DMX_CHECK_MSG(resource >= 0, "bad resource " << resource);
   DMX_CHECK_MSG(from >= 1 && from <= n_, "bad sender " << from);
   DMX_CHECK_MSG(to >= 1 && to <= n_, "bad recipient " << to);
   DMX_CHECK_MSG(from != to, "node " << from << " sending to itself");
@@ -62,15 +68,28 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
     stats_.sent_by_kind_id.resize(kind.id() + 1, 0);  // warms once per kind
   }
   stats_.sent_by_kind_id[kind.id()] += 1;
+  if (static_cast<std::size_t>(resource) >= resource_stats_.size()) {
+    resource_stats_.resize(static_cast<std::size_t>(resource) + 1);
+    in_flight_by_resource_.resize(static_cast<std::size_t>(resource) + 1);
+  }
+  MessageStats& rstats = resource_stats_[static_cast<std::size_t>(resource)];
+  rstats.total_sent += 1;
+  rstats.total_payload_bytes += message->payload_bytes();
+  if (kind.id() >= rstats.sent_by_kind_id.size()) {
+    rstats.sent_by_kind_id.resize(kind.id() + 1, 0);
+  }
+  rstats.sent_by_kind_id[kind.id()] += 1;
 
   // Failure injection: the message is counted as sent but vanishes.
   if (drop_next_kind_.valid() && kind == drop_next_kind_) {
     drop_next_kind_ = MessageKind();
     stats_.total_dropped += 1;
+    rstats.total_dropped += 1;
     return;
   }
   if (drop_probability_ > 0.0 && rng_.chance(drop_probability_)) {
     stats_.total_dropped += 1;
+    rstats.total_dropped += 1;
     return;
   }
 
@@ -90,6 +109,7 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
   const std::uint32_t slot = acquire_slot();
   Envelope& env = slots_[slot].env;
   env.id = next_envelope_id_++;
+  env.resource = resource;
   env.from = from;
   env.to = to;
   env.sent_at = now;
@@ -101,6 +121,12 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
     in_flight_by_kind_.resize(kind.id() + 1, 0);  // warms once per kind
   }
   ++in_flight_by_kind_[kind.id()];
+  auto& resource_kinds =
+      in_flight_by_resource_[static_cast<std::size_t>(resource)];
+  if (kind.id() >= resource_kinds.size()) {
+    resource_kinds.resize(kind.id() + 1, 0);
+  }
+  ++resource_kinds[kind.id()];
   if (observer_ != nullptr) {
     observer_->on_send(env);
   }
@@ -112,7 +138,7 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
   if (duplicate_next_kind_.valid() && kind == duplicate_next_kind_) {
     duplicate_next_kind_ = MessageKind();
     stats_.total_duplicated += 1;
-    send(from, to, slots_[slot].env.message->clone());
+    send(resource, from, to, slots_[slot].env.message->clone());
   }
 }
 
@@ -127,6 +153,8 @@ void Network::deliver(std::uint32_t slot_index) {
   free_head_ = slot_index;
   --in_flight_count_;
   --in_flight_by_kind_[env.message->kind_id().id()];
+  --in_flight_by_resource_[static_cast<std::size_t>(env.resource)]
+                          [env.message->kind_id().id()];
   if (observer_ != nullptr) {
     observer_->on_deliver(env);
   }
@@ -134,7 +162,19 @@ void Network::deliver(std::uint32_t slot_index) {
   handler_(env);
 }
 
-void Network::reset_stats() { stats_ = MessageStats{}; }
+void Network::reset_stats() {
+  stats_ = MessageStats{};
+  for (MessageStats& rstats : resource_stats_) rstats = MessageStats{};
+}
+
+const MessageStats& Network::stats(ResourceId resource) const {
+  static const MessageStats kEmpty;
+  if (resource < 0 ||
+      static_cast<std::size_t>(resource) >= resource_stats_.size()) {
+    return kEmpty;
+  }
+  return resource_stats_[static_cast<std::size_t>(resource)];
+}
 
 void Network::set_drop_probability(double p) {
   DMX_CHECK(p >= 0.0 && p <= 1.0);
@@ -158,6 +198,17 @@ std::size_t Network::in_flight_count(MessageKind kind) const {
 
 std::size_t Network::in_flight_count(std::string_view kind) const {
   return in_flight_count(MessageKind::lookup(kind));
+}
+
+std::size_t Network::in_flight_count(ResourceId resource,
+                                     MessageKind kind) const {
+  if (resource < 0 ||
+      static_cast<std::size_t>(resource) >= in_flight_by_resource_.size()) {
+    return 0;
+  }
+  const auto& kinds = in_flight_by_resource_[static_cast<std::size_t>(resource)];
+  if (!kind.valid() || kind.id() >= kinds.size()) return 0;
+  return kinds[kind.id()];
 }
 
 void Network::for_each_in_flight(

@@ -36,9 +36,13 @@
 
 namespace dmx::net {
 
-/// A message in flight or being delivered.
+/// A message in flight or being delivered. One network carries every
+/// resource of a multi-resource LockSpace: the resource id demultiplexes
+/// deliveries into per-resource protocol instances. Single-resource
+/// substrates leave it at 0.
 struct Envelope {
   std::uint64_t id = 0;
+  ResourceId resource = 0;
   NodeId from = kNilNode;
   NodeId to = kNilNode;
   Tick sent_at = 0;
@@ -90,8 +94,14 @@ class Network {
 
   /// Sends `message` from `from` to `to` (both in 1..n, from != to).
   /// Delivery is scheduled on the simulator; the handler fires at the
-  /// delivery tick.
+  /// delivery tick. Equivalent to send(0, from, to, message).
   void send(NodeId from, NodeId to, MessagePtr message);
+
+  /// Resource-tagged send: the envelope carries `resource` so the delivery
+  /// handler can route it to the right protocol instance, and per-resource
+  /// counters are maintained. FIFO is still per ordered (from, to) channel
+  /// across all resources (one physical link per node pair).
+  void send(ResourceId resource, NodeId from, NodeId to, MessagePtr message);
 
   /// Installs the delivery handler (the harness). Must be set before the
   /// first delivery fires.
@@ -101,6 +111,9 @@ class Network {
   void set_observer(NetworkObserver* observer) { observer_ = observer; }
 
   const MessageStats& stats() const { return stats_; }
+
+  /// Per-resource send counters (zeros for a resource never sent on).
+  const MessageStats& stats(ResourceId resource) const;
 
   /// Resets counters (not in-flight messages); used between measurement
   /// epochs so each probe counts only its own traffic.
@@ -138,6 +151,11 @@ class Network {
   std::size_t in_flight_count(MessageKind kind) const;
   std::size_t in_flight_count(std::string_view kind) const;
 
+  /// Number of in-flight messages of one kind on one resource. O(1): the
+  /// per-resource LockSpace re-checks token uniqueness for the delivered
+  /// envelope's resource after every event.
+  std::size_t in_flight_count(ResourceId resource, MessageKind kind) const;
+
   /// Visits every in-flight envelope (order unspecified).
   void for_each_in_flight(
       const std::function<void(const Envelope&)>& fn) const;
@@ -174,6 +192,11 @@ class Network {
   std::size_t in_flight_count_ = 0;
   // In-flight messages per kind id (missing entries mean zero).
   std::vector<std::size_t> in_flight_by_kind_;
+  // Per-resource layers of the same counters, indexed by resource id then
+  // kind id. Grown on first use of a resource/kind; steady state is
+  // allocation-free once every (resource, kind) pair has been seen.
+  std::vector<std::vector<std::size_t>> in_flight_by_resource_;
+  std::vector<MessageStats> resource_stats_;
 };
 
 }  // namespace dmx::net

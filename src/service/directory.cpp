@@ -1,0 +1,85 @@
+#include "service/directory.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dmx::service {
+namespace {
+
+/// FNV-1a 64-bit, the repo's standard content hash (determinism tests,
+/// swarm trace hashes use the same construction).
+std::uint64_t fnv1a(std::string_view data, std::uint64_t hash) {
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  // SplitMix64 finalizer: decorrelates sequential (node, vnode) indices.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Directory::Directory(int n, int vnodes_per_node, std::uint64_t seed) : n_(n) {
+  DMX_CHECK(n >= 1);
+  DMX_CHECK(vnodes_per_node >= 1);
+  ring_.reserve(static_cast<std::size_t>(n) *
+                static_cast<std::size_t>(vnodes_per_node));
+  for (NodeId v = 1; v <= n; ++v) {
+    for (int k = 0; k < vnodes_per_node; ++k) {
+      const std::uint64_t point =
+          mix64(seed ^ mix64((static_cast<std::uint64_t>(v) << 32) |
+                             static_cast<std::uint64_t>(k)));
+      ring_.emplace_back(point, v);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+NodeId Directory::place(std::string_view name) const {
+  // FNV-1a alone clusters short sequential names ("lock-1", "lock-2", ...)
+  // into one arc of the ring — its final multiply has weak high-bit
+  // avalanche. The SplitMix64 finalizer spreads them uniformly.
+  const std::uint64_t h = mix64(fnv1a(name, 14695981039346656037ULL));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, NodeId>& point, std::uint64_t key) {
+        return point.first < key;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->second;
+}
+
+ResourceId Directory::open(std::string_view name) {
+  const auto found = ids_.find(std::string(name));
+  if (found != ids_.end()) return found->second;
+  const auto id = static_cast<ResourceId>(names_.size());
+  ids_.emplace(std::string(name), id);
+  names_.emplace_back(name);
+  homes_.push_back(place(name));
+  return id;
+}
+
+ResourceId Directory::lookup(std::string_view name) const {
+  const auto found = ids_.find(std::string(name));
+  return found == ids_.end() ? kNilResource : found->second;
+}
+
+const std::string& Directory::name(ResourceId id) const {
+  DMX_CHECK(id >= 0 && static_cast<std::size_t>(id) < names_.size());
+  return names_[static_cast<std::size_t>(id)];
+}
+
+NodeId Directory::home_node(ResourceId id) const {
+  DMX_CHECK(id >= 0 && static_cast<std::size_t>(id) < homes_.size());
+  return homes_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace dmx::service

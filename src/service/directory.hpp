@@ -1,0 +1,67 @@
+// Consistent-hash resource directory: lock names -> dense ResourceIds ->
+// home nodes.
+//
+// A LockSpace serves M named resources over N nodes. Placement must be
+// deterministic (every client computes the same home for a name, with no
+// coordination) and stable: opening new resources never moves existing
+// ones, and growing the node set moves only ~1/N of the names (the
+// classic consistent-hashing guarantee, via a ring of virtual node
+// points). The home node is where the resource's token starts — for tree
+// algorithms it is the root the initial NEXT/HOLDER orientation points
+// toward, cf. the per-resource token instances in token-based DME surveys
+// (arXiv:2502.04708).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dmx::service {
+
+class Directory {
+ public:
+  /// `n` nodes (1..n) each contribute `vnodes_per_node` virtual points to
+  /// the hash ring; more points smooth the name distribution. `seed`
+  /// perturbs the point hashes so distinct spaces can shard differently.
+  explicit Directory(int n, int vnodes_per_node = 16, std::uint64_t seed = 1);
+
+  int nodes() const { return n_; }
+  int resource_count() const { return static_cast<int>(names_.size()); }
+
+  /// Interns `name`, assigning the next dense ResourceId on first sight.
+  /// Re-opening an existing name returns its original id (and home).
+  ResourceId open(std::string_view name);
+
+  /// The id previously assigned to `name`, or kNilResource.
+  ResourceId lookup(std::string_view name) const;
+
+  const std::string& name(ResourceId id) const;
+
+  /// Home node of an opened resource: the ring successor of the name's
+  /// hash. Captured at open() time, so it is stable for the life of the
+  /// directory regardless of later openings.
+  NodeId home_node(ResourceId id) const;
+
+  /// Ring placement for an arbitrary name (without interning it) — what
+  /// home_node would be if the name were opened now.
+  NodeId place(std::string_view name) const;
+
+  /// Home nodes of every opened resource, indexed by ResourceId.
+  const std::vector<NodeId>& homes() const { return homes_; }
+
+ private:
+  int n_;
+  /// Ring of (point hash, node) sorted by hash; place() takes the first
+  /// point at or after the name hash (wrapping).
+  std::vector<std::pair<std::uint64_t, NodeId>> ring_;
+  std::unordered_map<std::string, ResourceId> ids_;
+  std::vector<std::string> names_;  // indexed by ResourceId
+  std::vector<NodeId> homes_;       // indexed by ResourceId
+};
+
+}  // namespace dmx::service

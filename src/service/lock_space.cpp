@@ -1,0 +1,248 @@
+#include "service/lock_space.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dmx::service {
+
+/// The protocol's window to the world for one (resource, node) pair: sends
+/// are tagged with the resource so the shared network can demultiplex.
+class LockSpace::ResourceContext final : public proto::Context {
+ public:
+  ResourceContext(LockSpace& space, ResourceId resource, NodeId self)
+      : space_(space), resource_(resource), self_(self) {}
+
+  NodeId self() const override { return self_; }
+  int cluster_size() const override { return space_.nodes(); }
+  void send(NodeId to, net::MessagePtr message) override {
+    space_.network_->send(resource_, self_, to, std::move(message));
+  }
+  void grant() override { space_.on_grant(resource_, self_); }
+
+ private:
+  LockSpace& space_;
+  ResourceId resource_;
+  NodeId self_;
+};
+
+LockSpace::LockSpace(LockSpaceConfig config)
+    : config_(std::move(config)),
+      directory_(config_.n, config_.directory_vnodes, config_.seed),
+      sim_(config_.wheel_span) {
+  DMX_CHECK(config_.n >= 1);
+  std::unique_ptr<net::LatencyModel> latency =
+      config_.latency_model
+          ? std::move(config_.latency_model)
+          : std::make_unique<net::FixedLatency>(config_.fixed_latency);
+  network_ = std::make_unique<net::Network>(sim_, config_.n,
+                                            std::move(latency), config_.seed);
+  network_->set_delivery_handler(
+      [this](const net::Envelope& env) { deliver(env); });
+}
+
+LockSpace::~LockSpace() = default;
+
+void LockSpace::ensure_tree() {
+  if (!config_.tree.has_value()) {
+    config_.tree = topology::Tree::star(config_.n, 1);
+  }
+  DMX_CHECK(config_.tree->size() == config_.n);
+}
+
+ResourceId LockSpace::open(std::string_view name) {
+  return open(name, config_.algorithm);
+}
+
+ResourceId LockSpace::open(std::string_view name,
+                           const proto::Algorithm& algorithm) {
+  const ResourceId existing = directory_.lookup(name);
+  if (existing != kNilResource) {
+    DMX_CHECK_MSG(resource(existing).algorithm.name == algorithm.name,
+                  "resource " << name << " already open with algorithm "
+                              << resource(existing).algorithm.name);
+    return existing;
+  }
+
+  const ResourceId id = directory_.open(name);
+  auto res = std::make_unique<Resource>();
+  res->algorithm = algorithm;
+  res->token_kinds.reserve(algorithm.token_message_kinds.size());
+  for (const std::string& kind : algorithm.token_message_kinds) {
+    res->token_kinds.push_back(net::MessageKind::of(kind));
+  }
+  res->home = directory_.home_node(id);
+
+  proto::ClusterSpec spec;
+  spec.n = config_.n;
+  // Singhal's staircase initialization pins the token to node 1; every
+  // other algorithm parks the resource's token at its home node.
+  spec.initial_token_holder = algorithm.name == "Singhal" ? 1 : res->home;
+  if (algorithm.needs_tree) {
+    ensure_tree();
+    spec.tree = &*config_.tree;
+  }
+  spec.seed = config_.seed;
+  res->nodes = algorithm.factory(spec);
+  DMX_CHECK_MSG(res->nodes.size() == static_cast<std::size_t>(config_.n) + 1,
+                "factory must return n+1 slots (index 0 unused)");
+  res->contexts.reserve(static_cast<std::size_t>(config_.n));
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    DMX_CHECK(res->nodes[static_cast<std::size_t>(v)] != nullptr);
+    res->contexts.push_back(std::make_unique<ResourceContext>(*this, id, v));
+  }
+  res->app_state.assign(static_cast<std::size_t>(config_.n) + 1,
+                        AppState::kIdle);
+  res->grant_callbacks.assign(static_cast<std::size_t>(config_.n) + 1,
+                              nullptr);
+  res->tickets.assign(static_cast<std::size_t>(config_.n) + 1, nullptr);
+  resources_.push_back(std::move(res));
+  check_invariants(id);
+  return id;
+}
+
+LockSpace::Resource& LockSpace::resource(ResourceId r) {
+  DMX_CHECK(r >= 0 && static_cast<std::size_t>(r) < resources_.size());
+  return *resources_[static_cast<std::size_t>(r)];
+}
+
+const LockSpace::Resource& LockSpace::resource(ResourceId r) const {
+  DMX_CHECK(r >= 0 && static_cast<std::size_t>(r) < resources_.size());
+  return *resources_[static_cast<std::size_t>(r)];
+}
+
+const proto::Algorithm& LockSpace::algorithm(ResourceId r) const {
+  return resource(r).algorithm;
+}
+
+proto::MutexNode& LockSpace::node(ResourceId r, NodeId v) {
+  Resource& res = resource(r);
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  return *res.nodes[static_cast<std::size_t>(v)];
+}
+
+Ticket LockSpace::acquire(ResourceId r, NodeId v, GrantCallback on_grant) {
+  Resource& res = resource(r);
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  DMX_CHECK_MSG(res.app_state[static_cast<std::size_t>(v)] == AppState::kIdle,
+                "node " << v << " already requesting or in CS of resource "
+                        << directory_.name(r));
+  res.app_state[static_cast<std::size_t>(v)] = AppState::kWaiting;
+  res.grant_callbacks[static_cast<std::size_t>(v)] = std::move(on_grant);
+  auto ticket = std::make_shared<Acquisition>();
+  res.tickets[static_cast<std::size_t>(v)] = ticket;
+  res.nodes[static_cast<std::size_t>(v)]->request_cs(
+      *res.contexts[static_cast<std::size_t>(v) - 1]);
+  check_invariants(r);
+  if (post_event_hook_) post_event_hook_(*this, r);
+  return ticket;
+}
+
+Ticket LockSpace::acquire(std::string_view name, NodeId v,
+                          GrantCallback on_grant) {
+  // Reuse an existing resource regardless of which algorithm it was
+  // opened with; only a miss opens under the space default.
+  const ResourceId r = directory_.lookup(name);
+  return acquire(r == kNilResource ? open(name) : r, v, std::move(on_grant));
+}
+
+void LockSpace::on_grant(ResourceId r, NodeId v) {
+  Resource& res = resource(r);
+  DMX_CHECK_MSG(res.app_state[static_cast<std::size_t>(v)] ==
+                    AppState::kWaiting,
+                "grant for node " << v << " which is not waiting on "
+                                  << directory_.name(r));
+  DMX_CHECK_MSG(res.occupant == kNilNode,
+                "mutual exclusion violated on resource "
+                    << directory_.name(r) << ": node " << v
+                    << " granted while node " << res.occupant
+                    << " is inside its critical section");
+  res.app_state[static_cast<std::size_t>(v)] = AppState::kInCs;
+  res.occupant = v;
+  ++res.entries;
+  ++total_entries_;
+  if (auto& ticket = res.tickets[static_cast<std::size_t>(v)]) {
+    ticket->granted = true;
+    ticket->granted_at = sim_.now();
+    ticket = nullptr;
+  }
+  // Take the callback by move so a new acquire from within it is safe.
+  auto callback = std::move(res.grant_callbacks[static_cast<std::size_t>(v)]);
+  res.grant_callbacks[static_cast<std::size_t>(v)] = nullptr;
+  if (callback) callback(r, v);
+}
+
+void LockSpace::release(ResourceId r, NodeId v) {
+  Resource& res = resource(r);
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  DMX_CHECK_MSG(res.occupant == v, "release of " << directory_.name(r)
+                                                 << " by node " << v
+                                                 << " but occupant is "
+                                                 << res.occupant);
+  res.app_state[static_cast<std::size_t>(v)] = AppState::kIdle;
+  res.occupant = kNilNode;
+  res.nodes[static_cast<std::size_t>(v)]->release_cs(
+      *res.contexts[static_cast<std::size_t>(v) - 1]);
+  check_invariants(r);
+  if (post_event_hook_) post_event_hook_(*this, r);
+}
+
+bool LockSpace::is_idle(ResourceId r, NodeId v) const {
+  return resource(r).app_state[static_cast<std::size_t>(v)] ==
+         AppState::kIdle;
+}
+
+bool LockSpace::is_waiting(ResourceId r, NodeId v) const {
+  return resource(r).app_state[static_cast<std::size_t>(v)] ==
+         AppState::kWaiting;
+}
+
+bool LockSpace::is_in_cs(ResourceId r, NodeId v) const {
+  return resource(r).app_state[static_cast<std::size_t>(v)] ==
+         AppState::kInCs;
+}
+
+NodeId LockSpace::occupant(ResourceId r) const { return resource(r).occupant; }
+
+std::uint64_t LockSpace::entries(ResourceId r) const {
+  return resource(r).entries;
+}
+
+void LockSpace::check_invariants(ResourceId r) {
+  // CS exclusivity per resource is structural (on_grant checks). Verify
+  // per-resource token uniqueness: resident tokens plus in-flight token
+  // messages of THIS resource (O(1) per kind via the network's
+  // per-resource counters).
+  Resource& res = resource(r);
+  if (!res.algorithm.token_based) return;
+  std::size_t tokens = 0;
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    if (res.nodes[static_cast<std::size_t>(v)]->has_token()) ++tokens;
+  }
+  for (const net::MessageKind kind : res.token_kinds) {
+    tokens += network_->in_flight_count(r, kind);
+  }
+  DMX_CHECK_MSG(tokens == 1, "resource " << directory_.name(r)
+                                         << " token count is " << tokens
+                                         << " (must be exactly 1)");
+}
+
+void LockSpace::check_all_invariants() {
+  for (ResourceId r = 0; r < resource_count(); ++r) check_invariants(r);
+}
+
+void LockSpace::set_post_event_hook(PostEventHook hook) {
+  post_event_hook_ = std::move(hook);
+}
+
+void LockSpace::deliver(const net::Envelope& env) {
+  DMX_CHECK(env.to >= 1 && env.to <= config_.n);
+  Resource& res = resource(env.resource);
+  res.nodes[static_cast<std::size_t>(env.to)]->on_message(
+      *res.contexts[static_cast<std::size_t>(env.to) - 1], env.from,
+      *env.message);
+  check_invariants(env.resource);
+  if (post_event_hook_) post_event_hook_(*this, env.resource);
+}
+
+}  // namespace dmx::service

@@ -1,0 +1,167 @@
+// Sharded multi-resource lock service over the deterministic simulator.
+//
+// A LockSpace manages M named resources across N nodes. Every resource is
+// backed by its own protocol instance from the registry (per-resource
+// algorithm selection allowed), yet ONE net::Network carries all of them:
+// envelopes are tagged with a dense ResourceId and deliveries demultiplex
+// into the resource's node instances. Placement is a consistent-hash
+// Directory (lock name -> home node = initial token holder / tree root),
+// so it is deterministic and stable as resources are added.
+//
+// Invariants are per resource and re-checked after every event, exactly
+// as harness::Cluster does for its single critical section:
+//  * at most one node inside resource r's critical section;
+//  * for token-based algorithms, exactly one token PER RESOURCE, counting
+//    resident tokens and in-flight token messages — an O(1) query against
+//    the network's per-resource in-flight counters.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+#include "service/directory.hpp"
+#include "sim/simulator.hpp"
+#include "topology/tree.hpp"
+
+namespace dmx::service {
+
+struct LockSpaceConfig {
+  int n = 0;
+  /// Default protocol for resources opened without an explicit algorithm.
+  proto::Algorithm algorithm;
+  /// Shared logical tree for path-forwarding algorithms. If any opened
+  /// resource's algorithm needs a tree and none is given, a star centered
+  /// on node 1 is used (the paper's best topology; every home is <= 2 hops
+  /// from every requester).
+  std::optional<topology::Tree> tree;
+  Tick fixed_latency = 1;
+  /// Optional custom latency model (overrides fixed_latency).
+  std::unique_ptr<net::LatencyModel> latency_model;
+  std::uint64_t seed = 1;
+  /// Virtual points per node on the directory's consistent-hash ring.
+  int directory_vnodes = 16;
+  /// Timing-wheel span for the underlying simulator.
+  std::size_t wheel_span = sim::Simulator::kDefaultWheelSpan;
+};
+
+/// Completion handle for an async acquire. The space sets `granted` (and
+/// `granted_at`) when the node enters the resource's critical section —
+/// possibly synchronously from within acquire().
+struct Acquisition {
+  bool granted = false;
+  Tick granted_at = -1;
+};
+using Ticket = std::shared_ptr<const Acquisition>;
+
+class LockSpace {
+ public:
+  /// Fires on CS entry: (resource, node).
+  using GrantCallback = std::function<void(ResourceId, NodeId)>;
+  /// Per-event invariant hook, called with the resource the event touched.
+  using PostEventHook = std::function<void(LockSpace&, ResourceId)>;
+
+  explicit LockSpace(LockSpaceConfig config);
+  ~LockSpace();
+
+  LockSpace(const LockSpace&) = delete;
+  LockSpace& operator=(const LockSpace&) = delete;
+
+  int nodes() const { return config_.n; }
+  int resource_count() const { return static_cast<int>(resources_.size()); }
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *network_; }
+  const Directory& directory() const { return directory_; }
+
+  /// Opens (or finds) the named resource, instantiating its protocol nodes
+  /// with the token parked at the directory's home node. The two-argument
+  /// form selects a per-resource algorithm (e.g. Raymond for one shard,
+  /// Neilsen for the rest); it must agree with any previous open of the
+  /// same name.
+  ResourceId open(std::string_view name);
+  ResourceId open(std::string_view name, const proto::Algorithm& algorithm);
+
+  ResourceId lookup(std::string_view name) const {
+    return directory_.lookup(name);
+  }
+  const std::string& name(ResourceId r) const { return directory_.name(r); }
+  NodeId home_node(ResourceId r) const { return directory_.home_node(r); }
+  const proto::Algorithm& algorithm(ResourceId r) const;
+
+  /// Async acquire: node `v` requests resource `r`. Returns a completion
+  /// handle that flips to granted when the node enters the CS; `on_grant`
+  /// (optional) fires at the same moment. One outstanding request per
+  /// (resource, node) — the protocol's own precondition.
+  Ticket acquire(ResourceId r, NodeId v, GrantCallback on_grant = nullptr);
+  /// Name-based sugar: opens the resource on demand.
+  Ticket acquire(std::string_view name, NodeId v,
+                 GrantCallback on_grant = nullptr);
+
+  /// Node `v` leaves resource `r`'s critical section.
+  void release(ResourceId r, NodeId v);
+
+  bool is_idle(ResourceId r, NodeId v) const;
+  bool is_waiting(ResourceId r, NodeId v) const;
+  bool is_in_cs(ResourceId r, NodeId v) const;
+  /// Node inside resource `r`'s critical section, or kNilNode.
+  NodeId occupant(ResourceId r) const;
+
+  proto::MutexNode& node(ResourceId r, NodeId v);
+
+  std::uint64_t total_entries() const { return total_entries_; }
+  std::uint64_t entries(ResourceId r) const;
+
+  /// Runs the built-in per-resource invariant checks for one resource.
+  void check_invariants(ResourceId r);
+  /// ... and for every resource (used at quiescence and by tests; the
+  /// per-event path only checks the touched resource).
+  void check_all_invariants();
+
+  /// Extra per-event invariant hook (e.g. the swarm's per-algorithm
+  /// structural checks); runs after the built-in checks with the resource
+  /// the event touched.
+  void set_post_event_hook(PostEventHook hook);
+
+  /// Drains all pending simulator events.
+  void run_to_quiescence() { sim_.run(); }
+
+ private:
+  class ResourceContext;
+  enum class AppState : std::uint8_t { kIdle, kWaiting, kInCs };
+
+  struct Resource {
+    proto::Algorithm algorithm;
+    std::vector<net::MessageKind> token_kinds;
+    NodeId home = kNilNode;
+    std::vector<std::unique_ptr<proto::MutexNode>> nodes;      // 1..n
+    std::vector<std::unique_ptr<ResourceContext>> contexts;    // 0..n-1
+    std::vector<AppState> app_state;                           // 1..n
+    std::vector<GrantCallback> grant_callbacks;                // 1..n
+    std::vector<std::shared_ptr<Acquisition>> tickets;         // 1..n
+    NodeId occupant = kNilNode;
+    std::uint64_t entries = 0;
+  };
+
+  Resource& resource(ResourceId r);
+  const Resource& resource(ResourceId r) const;
+  void ensure_tree();
+  void on_grant(ResourceId r, NodeId v);
+  void deliver(const net::Envelope& env);
+
+  LockSpaceConfig config_;
+  Directory directory_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<Resource>> resources_;  // by ResourceId
+  std::uint64_t total_entries_ = 0;
+  PostEventHook post_event_hook_;
+};
+
+}  // namespace dmx::service

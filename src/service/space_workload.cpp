@@ -1,0 +1,147 @@
+#include "service/space_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace dmx::service {
+
+ZipfSampler::ZipfSampler(int m, double s) {
+  DMX_CHECK(m >= 1);
+  DMX_CHECK(s >= 0.0);
+  cdf_.resize(static_cast<std::size_t>(m));
+  double total = 0.0;
+  for (int k = 0; k < m; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[static_cast<std::size_t>(k)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+int ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it == cdf_.end() ? cdf_.size() - 1
+                                           : it - cdf_.begin());
+}
+
+namespace {
+
+/// Shared driver state across all client loops.
+struct Driver {
+  LockSpace& space;
+  SpaceWorkloadConfig config;
+  Rng rng;
+  ZipfSampler zipf;
+  std::uint64_t completed = 0;
+  bool stopped = false;
+  std::vector<std::uint64_t> entries_by_resource;
+
+  Driver(LockSpace& s, const SpaceWorkloadConfig& cfg)
+      : space(s), config(cfg), rng(cfg.seed),
+        zipf(s.resource_count(), cfg.zipf_s) {
+    entries_by_resource.assign(
+        static_cast<std::size_t>(space.resource_count()), 0);
+  }
+
+  Tick sample_hold() {
+    if (config.hold_hi <= config.hold_lo) return config.hold_lo;
+    return rng.uniform_int(config.hold_lo, config.hold_hi);
+  }
+
+  Tick sample_think() {
+    if (config.mean_think_ticks <= 0.0) return 1;
+    const auto t = static_cast<Tick>(rng.exponential(config.mean_think_ticks));
+    return std::max<Tick>(t, 1);
+  }
+
+  /// Zipf-draws a resource for node `v`; if the drawn resource already has
+  /// a request outstanding from `v` (one per (resource, node) is the
+  /// protocol's precondition), falls through to the next rank so the
+  /// client keeps working instead of double-requesting.
+  ResourceId pick(NodeId v) {
+    const int m = space.resource_count();
+    const int first = zipf.sample(rng);
+    for (int i = 0; i < m; ++i) {
+      const auto r = static_cast<ResourceId>((first + i) % m);
+      if (space.is_idle(r, v)) return r;
+    }
+    return kNilResource;  // every resource busy from this node
+  }
+
+  void issue(NodeId v) {
+    if (stopped) return;
+    const ResourceId r = pick(v);
+    if (r == kNilResource) {
+      // More clients on this node than resources; retry next tick.
+      space.simulator().schedule_after(1, [this, v] { issue(v); });
+      return;
+    }
+    space.acquire(r, v, [this](ResourceId res, NodeId entered) {
+      space.simulator().schedule_after(sample_hold(), [this, res, entered] {
+        space.release(res, entered);
+        ++entries_by_resource[static_cast<std::size_t>(res)];
+        ++completed;
+        if (completed >= config.target_entries) {
+          stopped = true;
+          return;
+        }
+        space.simulator().schedule_after(sample_think(), [this, entered] {
+          issue(entered);
+        });
+      });
+    });
+  }
+};
+
+}  // namespace
+
+SpaceWorkloadResult run_space_workload(LockSpace& space,
+                                       const SpaceWorkloadConfig& config) {
+  DMX_CHECK(config.target_entries >= 1);
+  DMX_CHECK(config.clients_per_node >= 1);
+  DMX_CHECK_MSG(space.resource_count() >= 1,
+                "open resources before running the workload");
+  space.run_to_quiescence();
+  space.network().reset_stats();
+
+  auto driver = std::make_unique<Driver>(space, config);
+  const Tick started_at = space.simulator().now();
+  const std::uint64_t entries_before = space.total_entries();
+
+  // Stagger initial arrivals by the think-time distribution (saturation
+  // starts the herd at once, deliberately).
+  for (NodeId v = 1; v <= space.nodes(); ++v) {
+    for (int c = 0; c < config.clients_per_node; ++c) {
+      const Tick offset =
+          config.mean_think_ticks > 0.0 ? driver->sample_think() : 0;
+      space.simulator().schedule_after(
+          offset, [d = driver.get(), v] { d->issue(v); });
+    }
+  }
+  space.run_to_quiescence();
+  DMX_CHECK_MSG(driver->completed >= config.target_entries,
+                "space workload stalled at " << driver->completed << " of "
+                                             << config.target_entries
+                                             << " entries (liveness bug?)");
+  space.check_all_invariants();
+
+  SpaceWorkloadResult result;
+  result.entries = space.total_entries() - entries_before;
+  result.messages = space.network().stats().total_sent;
+  result.messages_per_entry =
+      static_cast<double>(result.messages) /
+      static_cast<double>(std::max<std::uint64_t>(result.entries, 1));
+  result.makespan = space.simulator().now() - started_at;
+  result.entries_per_kilotick =
+      result.makespan > 0
+          ? 1000.0 * static_cast<double>(result.entries) /
+                static_cast<double>(result.makespan)
+          : 0.0;
+  result.entries_by_resource = std::move(driver->entries_by_resource);
+  return result;
+}
+
+}  // namespace dmx::service

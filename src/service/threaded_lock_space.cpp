@@ -1,0 +1,347 @@
+#include "service/threaded_lock_space.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dmx::service {
+
+/// One node: a mailbox, an event-loop thread, and one protocol state
+/// machine PER RESOURCE. The loop is the paper's "local mutual exclusion"
+/// generalized: every handler of this node — for any resource — runs on
+/// this thread, one at a time, so per-resource instances need no locking
+/// among themselves.
+class ThreadedLockSpace::NodeActor {
+ public:
+  NodeActor(ThreadedLockSpace& space, NodeId self, int n, int resources,
+            unsigned jitter_us, std::uint64_t seed)
+      : space_(space), self_(self), n_(n), jitter_us_(jitter_us), rng_(seed) {
+    nodes_.resize(static_cast<std::size_t>(resources));
+    contexts_.reserve(static_cast<std::size_t>(resources));
+    for (ResourceId r = 0; r < resources; ++r) {
+      contexts_.push_back(std::make_unique<ResourceContext>(*this, r));
+    }
+    client_.resize(static_cast<std::size_t>(resources));
+  }
+
+  ~NodeActor() { stop_and_join(); }
+
+  /// Installs resource `r`'s protocol instance; before start() only.
+  void adopt(ResourceId r, std::unique_ptr<proto::MutexNode> node) {
+    nodes_[static_cast<std::size_t>(r)] = std::move(node);
+  }
+
+  void start() {
+    thread_ = std::thread([this] { run_loop(); });
+  }
+
+  void stop_and_join() {
+    {
+      std::lock_guard<std::mutex> guard(mailbox_mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    mailbox_cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  void post_message(ResourceId r, NodeId from, net::MessagePtr message) {
+    post(Item{ItemKind::kDeliver, r, from, std::move(message)});
+  }
+
+  // --- Blocking client API (application threads) -------------------------
+
+  void lock(ResourceId r) {
+    std::unique_lock<std::mutex> guard(client_mutex_);
+    ClientState& cs = client_[static_cast<std::size_t>(r)];
+    ++cs.waiting;
+    // One protocol request at a time per (resource, node): the first local
+    // waiter requests; later waiters ride local hand-off (unlock posts the
+    // next request once the current holder leaves).
+    if (!cs.requested && !cs.held) {
+      cs.requested = true;
+      post(Item{ItemKind::kRequest, r, kNilNode, nullptr});
+    }
+    client_cv_.wait(guard, [&cs, this] { return cs.granted || failed_; });
+    if (failed_ && !cs.granted) {
+      // The loop thread died on a protocol error; waiting for a grant
+      // would hang forever. Surface the failure to the caller (details in
+      // ThreadedLockSpace::first_error()).
+      --cs.waiting;
+      DMX_CHECK_MSG(false, "lock service node " << self_
+                               << " failed; see first_error()");
+    }
+    cs.granted = false;
+    cs.requested = false;
+    --cs.waiting;
+    cs.held = true;
+  }
+
+  /// `before_release` runs under client_mutex_ after the held-check passes
+  /// and before the release item is posted — the only window where the
+  /// space can retire its occupancy witness without racing the next grant.
+  void unlock(ResourceId r, const std::function<void()>& before_release) {
+    std::lock_guard<std::mutex> guard(client_mutex_);
+    ClientState& cs = client_[static_cast<std::size_t>(r)];
+    DMX_CHECK_MSG(cs.held, "unlock of resource " << r << " on node " << self_
+                                                 << " which does not hold it");
+    cs.held = false;
+    before_release();
+    // Mailbox FIFO orders the release ahead of the follow-up request, and
+    // posting under client_mutex_ keeps a racing lock() on another thread
+    // from slipping its request in between.
+    post(Item{ItemKind::kRelease, r, kNilNode, nullptr});
+    if (cs.waiting > 0 && !cs.requested) {
+      cs.requested = true;
+      post(Item{ItemKind::kRequest, r, kNilNode, nullptr});
+    }
+  }
+
+ private:
+  friend class ThreadedLockSpace;
+
+  /// proto::Context for one (node, resource) pair; used only from this
+  /// actor's loop thread.
+  class ResourceContext final : public proto::Context {
+   public:
+    ResourceContext(NodeActor& actor, ResourceId r)
+        : actor_(actor), resource_(r) {}
+    NodeId self() const override { return actor_.self_; }
+    int cluster_size() const override { return actor_.n_; }
+    void send(NodeId to, net::MessagePtr message) override {
+      actor_.space_.route(resource_, actor_.self_, to, std::move(message));
+    }
+    void grant() override { actor_.on_grant(resource_); }
+
+   private:
+    NodeActor& actor_;
+    ResourceId resource_;
+  };
+
+  enum class ItemKind { kDeliver, kRequest, kRelease };
+  struct Item {
+    ItemKind kind;
+    ResourceId resource;
+    NodeId from;
+    net::MessagePtr message;
+  };
+
+  /// Local waiters and grant hand-off for one resource; client_mutex_
+  /// guards every field.
+  struct ClientState {
+    int waiting = 0;
+    bool requested = false;
+    bool granted = false;
+    bool held = false;
+  };
+
+  void post(Item item) {
+    {
+      std::lock_guard<std::mutex> guard(mailbox_mutex_);
+      mailbox_.push_back(std::move(item));
+    }
+    mailbox_cv_.notify_all();
+  }
+
+  void on_grant(ResourceId r) {
+    {
+      std::lock_guard<std::mutex> guard(client_mutex_);
+      client_[static_cast<std::size_t>(r)].granted = true;
+    }
+    client_cv_.notify_all();
+  }
+
+  void run_loop() {
+    for (;;) {
+      Item item{ItemKind::kDeliver, 0, kNilNode, nullptr};
+      {
+        std::unique_lock<std::mutex> guard(mailbox_mutex_);
+        mailbox_cv_.wait(guard,
+                         [this] { return stopping_ || !mailbox_.empty(); });
+        if (stopping_ && mailbox_.empty()) return;
+        item = std::move(mailbox_.front());
+        mailbox_.pop_front();
+      }
+      proto::MutexNode& node =
+          *nodes_[static_cast<std::size_t>(item.resource)];
+      proto::Context& ctx =
+          *contexts_[static_cast<std::size_t>(item.resource)];
+      try {
+        switch (item.kind) {
+          case ItemKind::kDeliver:
+            maybe_jitter();
+            node.on_message(ctx, item.from, *item.message);
+            break;
+          case ItemKind::kRequest:
+            node.request_cs(ctx);
+            break;
+          case ItemKind::kRelease:
+            node.release_cs(ctx);
+            break;
+        }
+      } catch (const std::exception& e) {
+        space_.record_error(e.what());
+        // Unblock application threads parked in lock(): no grant is ever
+        // coming from this node again.
+        {
+          std::lock_guard<std::mutex> guard(client_mutex_);
+          failed_ = true;
+        }
+        client_cv_.notify_all();
+        return;
+      }
+    }
+  }
+
+  void maybe_jitter() {
+    if (jitter_us_ == 0) return;
+    const auto us = static_cast<unsigned>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(jitter_us_)));
+    if (us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+
+  ThreadedLockSpace& space_;
+  NodeId self_;
+  int n_;
+  unsigned jitter_us_;
+  Rng rng_;  // only touched from the loop thread
+  std::vector<std::unique_ptr<proto::MutexNode>> nodes_;     // by ResourceId
+  std::vector<std::unique_ptr<ResourceContext>> contexts_;   // by ResourceId
+
+  std::thread thread_;
+  std::mutex mailbox_mutex_;
+  std::condition_variable mailbox_cv_;
+  std::deque<Item> mailbox_;
+  bool stopping_ = false;
+
+  std::mutex client_mutex_;
+  std::condition_variable client_cv_;
+  std::vector<ClientState> client_;  // by ResourceId
+  bool failed_ = false;              // loop thread died on a protocol error
+};
+
+ThreadedLockSpace::ThreadedLockSpace(ThreadedLockSpaceConfig config)
+    : config_(std::move(config)),
+      directory_(config_.n, config_.directory_vnodes, config_.seed) {
+  DMX_CHECK(config_.n >= 1);
+  DMX_CHECK_MSG(!config_.resources.empty(),
+                "a ThreadedLockSpace needs at least one resource");
+  if (config_.algorithm.needs_tree && !config_.tree.has_value()) {
+    config_.tree = topology::Tree::star(config_.n, 1);
+  }
+
+  const int m = static_cast<int>(config_.resources.size());
+  occupancy_ = std::make_unique<std::atomic<int>[]>(
+      static_cast<std::size_t>(m));
+  entries_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    occupancy_[static_cast<std::size_t>(r)].store(0);
+    entries_[static_cast<std::size_t>(r)].store(0);
+  }
+
+  actors_.resize(static_cast<std::size_t>(config_.n) + 1);
+  Rng seeder(config_.seed);
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    actors_[static_cast<std::size_t>(v)] = std::make_unique<NodeActor>(
+        *this, v, config_.n, m, config_.jitter_us, seeder.next());
+  }
+
+  // Instantiate each resource's protocol nodes with the token parked at
+  // the directory's home node, then deal node v of resource r to actor v.
+  for (const std::string& name : config_.resources) {
+    const ResourceId r = directory_.open(name);
+    proto::ClusterSpec spec;
+    spec.n = config_.n;
+    spec.initial_token_holder = config_.algorithm.name == "Singhal"
+                                    ? 1
+                                    : directory_.home_node(r);
+    spec.tree = config_.tree.has_value() ? &*config_.tree : nullptr;
+    spec.seed = config_.seed;
+    auto nodes = config_.algorithm.factory(spec);
+    DMX_CHECK(nodes.size() == static_cast<std::size_t>(config_.n) + 1);
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      actors_[static_cast<std::size_t>(v)]->adopt(
+          r, std::move(nodes[static_cast<std::size_t>(v)]));
+    }
+  }
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    actors_[static_cast<std::size_t>(v)]->start();
+  }
+}
+
+ThreadedLockSpace::~ThreadedLockSpace() {
+  for (auto& actor : actors_) {
+    if (actor) actor->stop_and_join();
+  }
+}
+
+void ThreadedLockSpace::lock(ResourceId r, NodeId v) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  DMX_CHECK(r >= 0 && r < resource_count());
+  actors_[static_cast<std::size_t>(v)]->lock(r);
+  // Exclusivity witness: the grant we just consumed must be the only
+  // occupancy of this resource anywhere in the space.
+  const int prev = occupancy_[static_cast<std::size_t>(r)].fetch_add(1);
+  if (prev != 0) {
+    record_error("mutual exclusion violated on resource " + name(r) +
+                 ": node " + std::to_string(v) +
+                 " entered while occupancy was " + std::to_string(prev));
+  }
+  entries_[static_cast<std::size_t>(r)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+}
+
+void ThreadedLockSpace::unlock(ResourceId r, NodeId v) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  DMX_CHECK(r >= 0 && r < resource_count());
+  // The witness retires only once the actor has validated the caller
+  // actually holds the resource (a bogus unlock must not drive the
+  // counter negative), yet still before the release reaches the protocol
+  // — after that the next grant may already be incrementing it.
+  actors_[static_cast<std::size_t>(v)]->unlock(r, [this, r] {
+    occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
+  });
+}
+
+std::uint64_t ThreadedLockSpace::total_entries() const {
+  std::uint64_t sum = 0;
+  for (int r = 0; r < resource_count(); ++r) {
+    sum += entries_[static_cast<std::size_t>(r)].load(
+        std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t ThreadedLockSpace::entries(ResourceId r) const {
+  DMX_CHECK(r >= 0 && r < resource_count());
+  return entries_[static_cast<std::size_t>(r)].load(
+      std::memory_order_relaxed);
+}
+
+std::optional<std::string> ThreadedLockSpace::first_error() const {
+  std::lock_guard<std::mutex> guard(error_mutex_);
+  return first_error_;
+}
+
+void ThreadedLockSpace::route(ResourceId r, NodeId from, NodeId to,
+                              net::MessagePtr message) {
+  DMX_CHECK(to >= 1 && to <= config_.n && to != from);
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  actors_[static_cast<std::size_t>(to)]->post_message(r, from,
+                                                      std::move(message));
+}
+
+void ThreadedLockSpace::record_error(const std::string& what) {
+  std::lock_guard<std::mutex> guard(error_mutex_);
+  if (!first_error_.has_value()) first_error_ = what;
+}
+
+}  // namespace dmx::service

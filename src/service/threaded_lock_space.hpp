@@ -1,0 +1,137 @@
+// Multi-resource lock service on the multi-threaded runtime.
+//
+// One mailbox-driven event-loop thread per NODE carries every resource:
+// mailbox items are tagged with a dense ResourceId and demultiplex into
+// the node's per-resource protocol instances, so M resources cost M state
+// machines but still only N threads — the same architecture the
+// deterministic LockSpace uses over one net::Network. Protocol code is
+// identical on both substrates.
+//
+// The client API is blocking: lock(r, v) parks the calling application
+// thread until node v holds resource r's critical section; ScopedLock is
+// the RAII sugar. Multiple application threads may contend for the same
+// (resource, node) pair — local waiters queue behind one protocol request
+// at a time (the paper's one-outstanding-request precondition), and the
+// resource hands off locally before the next protocol round trip.
+//
+// Safety instrumentation: per-resource occupancy counters assert that no
+// two nodes are ever inside one resource's critical section (violations
+// surface through first_error()), the cross-thread analogue of the
+// simulator harness's per-event exclusivity check.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "proto/algorithm.hpp"
+#include "proto/mutex_node.hpp"
+#include "service/directory.hpp"
+#include "topology/tree.hpp"
+
+namespace dmx::service {
+
+struct ThreadedLockSpaceConfig {
+  int n = 0;
+  /// Protocol backing every resource (per-resource selection is a sim-
+  /// substrate feature; the threaded service keeps one algorithm).
+  proto::Algorithm algorithm;
+  /// Names of the resources to serve; fixed at construction (the actor
+  /// threads own the protocol instances, so the set cannot grow live).
+  std::vector<std::string> resources;
+  /// Shared logical tree for path-forwarding algorithms; defaults to a
+  /// star centered on node 1 when required and absent.
+  std::optional<topology::Tree> tree;
+  /// Artificial per-message delivery delay bound in microseconds (0 = no
+  /// delay); shakes out schedule-dependent bugs in stress tests.
+  unsigned jitter_us = 0;
+  std::uint64_t seed = 1;
+  int directory_vnodes = 16;
+};
+
+class ThreadedLockSpace {
+ public:
+  explicit ThreadedLockSpace(ThreadedLockSpaceConfig config);
+  ~ThreadedLockSpace();
+
+  ThreadedLockSpace(const ThreadedLockSpace&) = delete;
+  ThreadedLockSpace& operator=(const ThreadedLockSpace&) = delete;
+
+  int nodes() const { return config_.n; }
+  int resource_count() const { return directory_.resource_count(); }
+  const Directory& directory() const { return directory_; }
+
+  ResourceId lookup(std::string_view name) const {
+    return directory_.lookup(name);
+  }
+  const std::string& name(ResourceId r) const { return directory_.name(r); }
+  NodeId home_node(ResourceId r) const { return directory_.home_node(r); }
+
+  /// Blocks until node `v` holds resource `r`'s critical section.
+  void lock(ResourceId r, NodeId v);
+  /// Leaves the critical section; must be called by the holder.
+  void unlock(ResourceId r, NodeId v);
+
+  std::uint64_t total_entries() const;
+  std::uint64_t entries(ResourceId r) const;
+  std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+
+  /// First protocol or exclusivity error observed on any thread, if any.
+  std::optional<std::string> first_error() const;
+
+ private:
+  class NodeActor;
+
+  void route(ResourceId r, NodeId from, NodeId to, net::MessagePtr message);
+  void record_error(const std::string& what);
+
+  ThreadedLockSpaceConfig config_;
+  Directory directory_;
+  std::vector<std::unique_ptr<NodeActor>> actors_;  // index 0 unused
+  /// Per-resource occupancy (0 or 1 when exclusion holds) and entry
+  /// counts, indexed by ResourceId.
+  std::unique_ptr<std::atomic<int>[]> occupancy_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> entries_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+
+  mutable std::mutex error_mutex_;
+  std::optional<std::string> first_error_;
+};
+
+/// RAII holder: locks on construction, unlocks on destruction. Move-only.
+class ScopedLock {
+ public:
+  ScopedLock(ThreadedLockSpace& space, ResourceId r, NodeId v)
+      : space_(&space), resource_(r), node_(v) {
+    space_->lock(resource_, node_);
+  }
+  ScopedLock(ThreadedLockSpace& space, std::string_view name, NodeId v)
+      : ScopedLock(space, space.lookup(name), v) {}
+
+  ScopedLock(ScopedLock&& other) noexcept
+      : space_(other.space_), resource_(other.resource_),
+        node_(other.node_) {
+    other.space_ = nullptr;
+  }
+  ScopedLock& operator=(ScopedLock&&) = delete;
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+  ~ScopedLock() {
+    if (space_ != nullptr) space_->unlock(resource_, node_);
+  }
+
+ private:
+  ThreadedLockSpace* space_;
+  ResourceId resource_;
+  NodeId node_;
+};
+
+}  // namespace dmx::service

@@ -9,9 +9,17 @@ namespace {
 constexpr std::size_t kArity = 4;
 }  // namespace
 
-Simulator::Simulator() {
-  bucket_head_.fill(kNpos);
-  bucket_tail_.fill(kNpos);
+Simulator::Simulator(std::size_t wheel_span)
+    : wheel_size_(wheel_span),
+      wheel_mask_(wheel_span - 1),
+      wheel_words_(wheel_span / 64),
+      wheel_span_(static_cast<Tick>(wheel_span)) {
+  DMX_CHECK_MSG(wheel_span >= 64 && (wheel_span & (wheel_span - 1)) == 0,
+                "wheel span must be a power of two >= 64, got "
+                    << wheel_span);
+  bucket_head_.assign(wheel_size_, kNpos);
+  bucket_tail_.assign(wheel_size_, kNpos);
+  occupied_.assign(wheel_words_, 0);
 }
 
 std::uint32_t Simulator::acquire_slot() {
@@ -45,7 +53,7 @@ void Simulator::release_slot(std::uint32_t slot) {
 void Simulator::wheel_append(std::uint32_t slot) {
   EventRecord& rec = record(slot);
   const std::size_t bucket =
-      static_cast<std::size_t>(rec.at) & kWheelMask;
+      static_cast<std::size_t>(rec.at) & wheel_mask_;
   rec.state = SlotState::kWheel;
   rec.next = kNpos;
   rec.prev = bucket_tail_[bucket];
@@ -62,7 +70,7 @@ void Simulator::wheel_append(std::uint32_t slot) {
 void Simulator::wheel_unlink(std::uint32_t slot) {
   EventRecord& rec = record(slot);
   const std::size_t bucket =
-      static_cast<std::size_t>(rec.at) & kWheelMask;
+      static_cast<std::size_t>(rec.at) & wheel_mask_;
   if (rec.prev != kNpos) {
     record(rec.prev).next = rec.next;
   } else {
@@ -83,16 +91,16 @@ std::size_t Simulator::wheel_min_bucket() const {
   // Every pending wheel event has at in [now_, now_ + span), so the
   // circular distance from now_'s bucket equals at - now_: the first
   // occupied bucket scanning circularly from now_ holds the minimum tick.
-  const std::size_t start = static_cast<std::size_t>(now_) & kWheelMask;
+  const std::size_t start = static_cast<std::size_t>(now_) & wheel_mask_;
   std::size_t word_index = start >> 6;
   std::uint64_t word = occupied_[word_index] & (~std::uint64_t{0}
                                                << (start & 63));
-  for (std::size_t i = 0; i <= kWheelWords; ++i) {
+  for (std::size_t i = 0; i <= wheel_words_; ++i) {
     if (word != 0) {
       return (word_index << 6) +
              static_cast<std::size_t>(std::countr_zero(word));
     }
-    word_index = (word_index + 1) & (kWheelWords - 1);
+    word_index = (word_index + 1) & (wheel_words_ - 1);
     word = occupied_[word_index];
   }
   DMX_CHECK_MSG(false, "wheel_min_bucket on empty wheel");
@@ -104,7 +112,7 @@ void Simulator::migrate_overflow() {
   // at >= now_ + span. It is restored after every advance of now_ and
   // BEFORE any user callback runs, so a callback scheduling a same-tick
   // event always appends behind the earlier-scheduled (migrated) one.
-  while (!heap_.empty() && heap_[0].at - now_ < kWheelSpan) {
+  while (!heap_.empty() && heap_[0].at - now_ < wheel_span_) {
     const std::uint32_t slot = heap_[0].slot;
     heap_pop_root();  // pops in (at, seq) order, preserving bucket FIFO
     wheel_append(slot);
@@ -175,7 +183,7 @@ EventId Simulator::schedule_at(Tick at, Callback cb) {
   EventRecord& rec = record(slot);
   rec.cb = std::move(cb);
   rec.at = at;
-  if (at - now_ < kWheelSpan) {
+  if (at - now_ < wheel_span_) {
     wheel_append(slot);
   } else {
     rec.state = SlotState::kHeap;

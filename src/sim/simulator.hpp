@@ -58,9 +58,23 @@ class Simulator {
  public:
   using Callback = InlineCallback;
 
-  Simulator();
+  /// Default timing-wheel span in ticks (events further out than the span
+  /// overflow into the min-heap).
+  static constexpr std::size_t kDefaultWheelSpan = 1024;
+
+  /// `wheel_span` sizes the timing wheel: events within `wheel_span` ticks
+  /// of now() take the O(1) wheel path; everything further overflows into
+  /// the heap. Must be a power of two >= 64 (the occupancy bitmap works in
+  /// 64-bit words). Latency models with means well beyond the default 1024
+  /// should pass a larger span so deliveries stay on the O(1) path; the
+  /// event *order* is identical for every span (the determinism contract
+  /// does not depend on it).
+  explicit Simulator(std::size_t wheel_span = kDefaultWheelSpan);
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// The wheel span this simulator was constructed with, in ticks.
+  std::size_t wheel_span() const { return wheel_size_; }
 
   /// Current virtual time. Starts at 0.
   Tick now() const { return now_; }
@@ -101,12 +115,6 @@ class Simulator {
  private:
   static constexpr std::uint32_t kNpos =
       std::numeric_limits<std::uint32_t>::max();
-  static constexpr std::size_t kWheelBits = 10;
-  static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
-  static constexpr std::size_t kWheelMask = kWheelSize - 1;
-  static constexpr std::size_t kWheelWords = kWheelSize / 64;
-  /// Events with at - now() < kWheelSpan take the O(1) wheel path.
-  static constexpr Tick kWheelSpan = static_cast<Tick>(kWheelSize);
 
   enum class SlotState : std::uint8_t { kFree, kWheel, kHeap };
 
@@ -183,10 +191,18 @@ class Simulator {
   std::size_t slot_count_ = 0;  // records handed out so far
   std::uint32_t free_head_ = kNpos;
 
+  // Timing wheel geometry, fixed at construction. wheel_size_ is a power
+  // of two >= 64; events with at - now() < wheel_span_ take the O(1)
+  // wheel path.
+  std::size_t wheel_size_;
+  std::size_t wheel_mask_;
+  std::size_t wheel_words_;
+  Tick wheel_span_;
+
   // Timing wheel: per-tick FIFO bucket lists plus an occupancy bitmap.
-  std::array<std::uint32_t, kWheelSize> bucket_head_;
-  std::array<std::uint32_t, kWheelSize> bucket_tail_;
-  std::array<std::uint64_t, kWheelWords> occupied_ = {};
+  std::vector<std::uint32_t> bucket_head_;
+  std::vector<std::uint32_t> bucket_tail_;
+  std::vector<std::uint64_t> occupied_;
   std::size_t wheel_count_ = 0;
 
   // Overflow: 4-ary min-heap keyed by (at, seq) for far-future events.

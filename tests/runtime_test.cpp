@@ -125,6 +125,36 @@ TEST(Runtime, TryLockForTimesOutWhileBlocked) {
       << *cluster.first_error();
 }
 
+TEST(Runtime, TryLockForTimeoutThenLockCompletesSameRequest) {
+  // Follow-up semantics of a timed-out try_lock_for: the protocol request
+  // stays outstanding (requests cannot be cancelled), and a later lock()
+  // must complete THAT request — exactly one entry, no double-posted
+  // request, no lost wakeup even when the grant lands while no thread is
+  // waiting on it.
+  LockCluster cluster(baselines::algorithm_by_name("Neilsen"),
+                      make_config(3));
+  DistributedMutex holder = cluster.mutex(1);
+  holder.lock();
+  DistributedMutex blocked = cluster.mutex(2);
+  EXPECT_FALSE(blocked.try_lock_for(std::chrono::milliseconds(50)));
+  // Release while node 2 is NOT blocked in a wait: the grant must be
+  // latched, not lost.
+  holder.unlock();
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  blocked.lock();  // completes the outstanding request (no new one posted)
+  EXPECT_EQ(cluster.total_entries(), 2u);  // holder's + exactly one for 2
+  blocked.unlock();
+  // The outstanding-request bookkeeping is fully reset: a fresh cycle
+  // issues a new request and completes.
+  blocked.lock();
+  blocked.unlock();
+  EXPECT_EQ(cluster.total_entries(), 3u);
+  // A double-posted request would trip the protocol's one-outstanding-
+  // request precondition on the actor thread and surface here.
+  EXPECT_FALSE(cluster.first_error().has_value())
+      << *cluster.first_error();
+}
+
 TEST(Runtime, ManyNodesLineTopology) {
   LockClusterConfig config;
   config.n = 12;

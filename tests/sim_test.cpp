@@ -257,5 +257,80 @@ TEST(Simulator, RunUntilHandlesFarFutureBoundary) {
   EXPECT_EQ(fired, 2);
 }
 
+// ---- Configurable wheel span ------------------------------------------------
+// The span only moves the wheel/overflow-heap boundary; the dispatch
+// contract — (timestamp, insertion-sequence) order — is span-independent.
+
+TEST(SimulatorWheelSpan, DefaultsTo1024) {
+  Simulator sim;
+  EXPECT_EQ(sim.wheel_span(), 1024u);
+}
+
+TEST(SimulatorWheelSpan, RejectsNonPowerOfTwoAndTooSmall) {
+  EXPECT_THROW(Simulator(100), std::logic_error);
+  EXPECT_THROW(Simulator(1000), std::logic_error);
+  EXPECT_THROW(Simulator(32), std::logic_error);   // below one bitmap word
+  EXPECT_THROW(Simulator(0), std::logic_error);
+  EXPECT_NO_THROW(Simulator(64));
+  EXPECT_NO_THROW(Simulator(1u << 16));
+}
+
+TEST(SimulatorWheelSpan, OrderingIsIdenticalAcrossSpans) {
+  // The same schedule — a latency-model-like spread far beyond a small
+  // span — must execute in the same order whether events sat in the wheel
+  // or in the overflow heap.
+  auto run_schedule = [](std::size_t span) {
+    Simulator sim(span);
+    std::vector<int> order;
+    int tag = 0;
+    for (const Tick at : {5000, 12, 5000, 700, 90, 63, 64, 4096, 65, 5000}) {
+      sim.schedule_at(at, [&order, tag] { order.push_back(tag); });
+      ++tag;
+    }
+    sim.run();
+    return order;
+  };
+  const std::vector<int> small = run_schedule(64);
+  const std::vector<int> large = run_schedule(1u << 14);
+  EXPECT_EQ(small, run_schedule(1024));
+  EXPECT_EQ(small, large);
+  // Ties at 5000 preserve insertion order regardless of which structure
+  // held them.
+  EXPECT_EQ(small, (std::vector<int>{1, 5, 6, 8, 4, 3, 7, 0, 2, 9}));
+}
+
+TEST(SimulatorWheelSpan, TinySpanSurvivesCancellationAndCascades) {
+  // Span 64 pushes nearly everything through the overflow heap: exercise
+  // migration, cancellation in both structures, and events scheduling
+  // events across the boundary.
+  Simulator sim(64);
+  std::vector<Tick> fired;
+  const EventId doomed = sim.schedule_at(500, [&] { fired.push_back(-1); });
+  sim.schedule_at(10, [&] {
+    sim.schedule_at(300, [&] { fired.push_back(300); });
+  });
+  sim.schedule_at(200, [&] { fired.push_back(200); });
+  sim.schedule_at(1000, [&] { fired.push_back(1000); });
+  EXPECT_TRUE(sim.cancel(doomed));
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<Tick>{200, 300, 1000}));
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorWheelSpan, LargeSpanKeepsLongLatenciesOnTheWheel) {
+  // A span sized past the latency mean (the ROADMAP's long-latency case):
+  // everything lands in wheel buckets, and order still holds.
+  Simulator sim(1u << 13);  // 8192-tick window
+  std::vector<Tick> fired;
+  for (Tick at = 8000; at >= 1000; at -= 1000) {
+    sim.schedule_at(at, [&fired, at] { fired.push_back(at); });
+  }
+  sim.run();
+  EXPECT_EQ(fired,
+            (std::vector<Tick>{1000, 2000, 3000, 4000, 5000, 6000, 7000,
+                               8000}));
+}
+
 }  // namespace
 }  // namespace dmx::sim
