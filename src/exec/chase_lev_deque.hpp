@@ -1,0 +1,142 @@
+// Chase–Lev work-stealing deque (dynamic circular array).
+//
+// One owner thread pushes and pops at the bottom (LIFO); any number of
+// thief threads steal from the top (FIFO). The only cross-thread
+// contention is the single compare-exchange on `top` when the deque is
+// down to its last element or a steal races another thief.
+//
+// Memory-order notes: this is the C11 formulation of Lê, Pop, Cohen &
+// Zappa Nardelli, "Correct and Efficient Work-Stealing for Weakly Ordered
+// Memory Models" (PPoPP 2013), with one deliberate strengthening — the
+// owner's store-to-bottom / load-from-top conflict in pop() uses seq_cst
+// *operations* instead of relaxed accesses around a seq_cst fence.
+// ThreadSanitizer does not model standalone fences, so the fence-based
+// variant reports false races; the operation-based variant is tsan-clean
+// and costs one xchg on x86 (which the fence needed anyway).
+//
+// Elements are raw pointers; the deque never owns them. Buffer growth
+// retires old arrays to a list freed on destruction, because a concurrent
+// thief may still be reading a retired array's slots (its CAS on `top`
+// decides whether that read is used).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dmx::exec {
+
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : buffer_(new Buffer(checked_capacity(initial_capacity))) {}
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() { delete buffer_.load(std::memory_order_relaxed); }
+
+  /// Owner only: pushes at the bottom, growing the array if full.
+  void push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->slot(b).store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pops the most recently pushed element, or nullptr.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    T* item = nullptr;
+    if (t <= b) {
+      item = buf->slot(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          item = nullptr;  // a thief won
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);  // was empty
+    }
+    return item;
+  }
+
+  /// Any thread: steals the oldest element, or returns nullptr when the
+  /// deque looks empty or the steal lost a race (caller just moves on).
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    // Read the element before claiming it: after a successful CAS the
+    // owner may immediately reuse the slot.
+    T* item = buf->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  /// Approximate; safe from any thread.
+  bool empty_hint() const {
+    return bottom_.load(std::memory_order_relaxed) <=
+           top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t checked_capacity(std::size_t capacity) {
+    DMX_CHECK(capacity >= 1 && (capacity & (capacity - 1)) == 0);
+    return capacity;
+  }
+
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(std::make_unique<std::atomic<T*>[]>(cap)) {}
+    std::atomic<T*>& slot(std::int64_t index) {
+      return slots[static_cast<std::size_t>(index) & mask];
+    }
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T*>[]> slots;
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto fresh = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      fresh->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    Buffer* raw = fresh.get();
+    buffer_.store(raw, std::memory_order_release);
+    // A thief that loaded `old` before the swap may still read its slots;
+    // keep it alive until the deque dies.
+    retired_.emplace_back(old);
+    fresh.release();
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only
+};
+
+}  // namespace dmx::exec

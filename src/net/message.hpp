@@ -12,9 +12,10 @@
 // failure injection, token-uniqueness checks — are integer compares; the
 // kind *string* is only materialized for reporting and traces.
 //
-// Allocation contract: messages allocate from the thread-local
+// Allocation contract: messages allocate from the calling thread's
 // MessagePool, so make_unique<SomeMessage>() recycles storage and the
-// steady-state send/deliver path never touches the heap. Classes with
+// steady-state send/deliver path never touches the heap — freeing is
+// legal from any thread (owner-return free lists). Classes with
 // heap-owning members (vectors, strings) still pay for those members;
 // keep token payloads preallocated where throughput matters.
 #pragma once
@@ -66,15 +67,15 @@ class Message {
   /// two messages with equal encode() must be behaviorally identical.
   virtual std::string encode() const { return describe(); }
 
-  // Route all message storage through the recycling pool. The sized
-  // operator delete receives the dynamic type's size (the deleting
-  // destructor passes it), so blocks return to the right size class even
-  // when deleted through a Message*.
+  // Route all message storage through the recycling pool. A block carries
+  // its owner pool and size class in a header, so deletion works from any
+  // thread (a message allocated on one pool worker and delivered on
+  // another returns to its owner's free lists) and through a Message*.
   static void* operator new(std::size_t size) {
     return MessagePool::local().allocate(size);
   }
-  static void operator delete(void* p, std::size_t size) noexcept {
-    MessagePool::local().deallocate(p, size);
+  static void operator delete(void* p, std::size_t) noexcept {
+    MessagePool::free_block(p);
   }
 
  private:

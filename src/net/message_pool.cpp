@@ -1,56 +1,165 @@
 #include "net/message_pool.hpp"
 
+#include <mutex>
 #include <new>
+#include <vector>
 
 namespace dmx::net {
 
+namespace {
+
+/// Fast owner identity for free_block(): null until this thread first
+/// leases a pool, null again after its lease is returned — both states
+/// correctly route frees through the cross-thread path.
+thread_local MessagePool* tl_pool = nullptr;
+
+/// Parked pools whose threads exited, awaiting adoption. Heap-allocated
+/// and never destroyed: blocks freed during static destruction must still
+/// find their owner pools alive.
+struct Registry {
+  std::mutex mutex;
+  std::vector<MessagePool*> parked;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry;
+  return *instance;
+}
+
+/// Thread-local lease: parks the pool (instead of destroying it) when the
+/// thread exits, so outstanding blocks keep a live owner for their
+/// cross-thread return stack.
+struct Lease {
+  MessagePool* pool = nullptr;
+  ~Lease() {
+    if (pool == nullptr) return;
+    tl_pool = nullptr;
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> guard(reg.mutex);
+    reg.parked.push_back(pool);
+  }
+};
+thread_local Lease tl_lease;
+
+}  // namespace
+
 MessagePool& MessagePool::local() {
-  static thread_local MessagePool pool;
-  return pool;
+  if (tl_pool == nullptr) {
+    Registry& reg = registry();
+    MessagePool* pool = nullptr;
+    {
+      std::lock_guard<std::mutex> guard(reg.mutex);
+      if (!reg.parked.empty()) {
+        pool = reg.parked.back();
+        reg.parked.pop_back();
+      }
+    }
+    if (pool == nullptr) pool = new MessagePool;
+    tl_lease.pool = pool;
+    tl_pool = pool;
+  }
+  return *tl_pool;
 }
 
 MessagePool::~MessagePool() { trim(); }
 
 void* MessagePool::allocate(std::size_t size) {
   if (size == 0) size = 1;
+  ++allocated_;
   if (size > kMaxPooledSize) {
-    ++stats_.oversize_allocations;
-    ++stats_.outstanding;
-    return ::operator new(size);
+    ++oversize_allocations_;
+    void* raw = ::operator new(sizeof(Header) + size);
+    Header* header = new (raw) Header{this, kOversizeBucket};
+    return payload_of(header);
   }
   const std::size_t bucket = bucket_of(size);
-  if (FreeBlock* block = free_[bucket]) {
+  FreeBlock* block = free_[bucket];
+  if (block == nullptr) {
+    drain_remote();
+    block = free_[bucket];
+  }
+  if (block != nullptr) {
     free_[bucket] = block->next;
-    ++stats_.pool_hits;
-    ++stats_.outstanding;
+    ++pool_hits_;
     return block;
   }
-  ++stats_.fresh_allocations;
-  ++stats_.outstanding;
+  ++fresh_allocations_;
   // Allocate the bucket's full granule span so the block is reusable by
   // any size in the class.
-  return ::operator new((bucket + 1) * kGranule);
+  void* raw = ::operator new(sizeof(Header) + (bucket + 1) * kGranule);
+  Header* header = new (raw) Header{this, static_cast<std::uint32_t>(bucket)};
+  return payload_of(header);
 }
 
-void MessagePool::deallocate(void* p, std::size_t size) noexcept {
+void MessagePool::free_block(void* p) noexcept {
   if (p == nullptr) return;
-  if (size == 0) size = 1;
-  --stats_.outstanding;
-  if (size > kMaxPooledSize) {
-    ::operator delete(p);
+  Header* header = header_of(p);
+  MessagePool* owner = header->owner;
+  if (owner == tl_pool) {
+    owner->free_local(header, p);
+  } else {
+    owner->free_remote(header, p);
+  }
+}
+
+void MessagePool::deallocate(void* p, std::size_t /*size*/) noexcept {
+  free_block(p);
+}
+
+void MessagePool::free_local(Header* header, void* payload) noexcept {
+  ++freed_local_;
+  if (header->bucket == kOversizeBucket) {
+    ::operator delete(header);
     return;
   }
-  const std::size_t bucket = bucket_of(size);
-  auto* block = static_cast<FreeBlock*>(p);
-  block->next = free_[bucket];
-  free_[bucket] = block;
+  auto* block = static_cast<FreeBlock*>(payload);
+  block->next = free_[header->bucket];
+  free_[header->bucket] = block;
+}
+
+void MessagePool::free_remote(Header* header, void* payload) noexcept {
+  if (header->bucket == kOversizeBucket) {
+    ::operator delete(header);
+    freed_remote_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto* block = static_cast<FreeBlock*>(payload);
+  FreeBlock* head = remote_head_.load(std::memory_order_relaxed);
+  do {
+    block->next = head;
+  } while (!remote_head_.compare_exchange_weak(head, block,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+  freed_remote_.fetch_add(1, std::memory_order_release);
+}
+
+void MessagePool::drain_remote() noexcept {
+  FreeBlock* list = remote_head_.exchange(nullptr, std::memory_order_acquire);
+  while (list != nullptr) {
+    FreeBlock* next = list->next;
+    Header* header = header_of(list);
+    list->next = free_[header->bucket];
+    free_[header->bucket] = list;
+    list = next;
+  }
+}
+
+MessagePool::Stats MessagePool::stats() const {
+  Stats stats;
+  stats.fresh_allocations = fresh_allocations_;
+  stats.pool_hits = pool_hits_;
+  stats.oversize_allocations = oversize_allocations_;
+  stats.remote_frees = freed_remote_.load(std::memory_order_acquire);
+  stats.outstanding = allocated_ - freed_local_ - stats.remote_frees;
+  return stats;
 }
 
 void MessagePool::trim() noexcept {
+  drain_remote();
   for (FreeBlock*& head : free_) {
     while (head != nullptr) {
       FreeBlock* next = head->next;
-      ::operator delete(head);
+      ::operator delete(header_of(head));
       head = next;
     }
   }

@@ -1,24 +1,35 @@
 // Recycling arena for protocol message (and other fixed-size) storage.
 //
-// Every simulated send allocates a Message and every delivery frees it;
-// under saturation that is millions of malloc/free pairs per experiment.
-// The pool intercepts Message::operator new/delete and recycles blocks
+// Every send allocates a Message and every delivery frees it; under
+// saturation that is millions of malloc/free pairs per experiment. The
+// pool intercepts Message::operator new/delete and recycles blocks
 // through per-size-class free lists: after a short warm-up, steady-state
 // send/deliver traffic touches the heap zero times.
 //
-// Size classes are 16-byte granules up to 256 bytes. Each message kind has
-// a fixed concrete type and therefore a fixed size, so bucketing by size
-// class recycles storage "per kind" exactly, while also letting kinds of
-// equal size share a free list. Oversized blocks (> 256 bytes) pass
-// through to the global heap and are counted separately.
+// Size classes are 16-byte granules up to 256 bytes. Each message kind
+// has a fixed concrete type and therefore a fixed size, so bucketing by
+// size class recycles storage "per kind" exactly, while also letting
+// kinds of equal size share a free list. Oversized blocks (> 256 bytes)
+// pass through to the global heap and are counted separately.
 //
-// The pool is thread-local: the simulator is single-threaded, and a
-// thread-local free list needs no locking. A block must be freed on the
-// thread that allocated it (true for all simulation code; asserted by the
-// outstanding counter staying balanced in tests).
+// Threading (the executor substrate's contract): allocation always comes
+// from the calling thread's pool and is lock-free. Every block carries a
+// 16-byte header naming its owner pool and size class, so a block may be
+// freed on ANY thread: a local free pushes straight onto the owner's
+// per-class free list (no atomics), a cross-thread free pushes onto the
+// owner's lock-free return stack (one CAS), and the owner reclaims the
+// returned blocks in bulk on its next allocation miss. This is what lets
+// a worker pool allocate a message on worker A and free it on worker B
+// without either heap traffic or a lock.
+//
+// Pools outlive threads: local() hands out pools leased from a global
+// registry, and a finished thread parks its pool there (to be adopted by
+// a future thread) instead of destroying it — so a block freed after its
+// allocating thread exited still finds a live owner for its return stack.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -27,17 +38,22 @@ namespace dmx::net {
 class MessagePool {
  public:
   struct Stats {
-    std::uint64_t fresh_allocations = 0;   // blocks obtained from the heap
-    std::uint64_t pool_hits = 0;           // blocks served from a free list
+    std::uint64_t fresh_allocations = 0;  // blocks obtained from the heap
+    std::uint64_t pool_hits = 0;          // blocks served from a free list
     std::uint64_t oversize_allocations = 0;  // > kMaxPooledSize, passthrough
-    std::uint64_t outstanding = 0;         // live blocks right now
+    std::uint64_t outstanding = 0;        // live blocks right now
+    std::uint64_t remote_frees = 0;       // frees arriving from other threads
   };
 
   static constexpr std::size_t kGranule = 16;
   static constexpr std::size_t kMaxPooledSize = 256;
 
-  /// This thread's pool.
+  /// This thread's pool (leased from the global registry on first use).
   static MessagePool& local();
+
+  /// Frees a block allocated by any thread's pool; routes to the owner's
+  /// local free list or its cross-thread return stack as appropriate.
+  static void free_block(void* p) noexcept;
 
   MessagePool() = default;
   MessagePool(const MessagePool&) = delete;
@@ -45,16 +61,29 @@ class MessagePool {
   ~MessagePool();
 
   void* allocate(std::size_t size);
+  /// Instance-form free; equivalent to free_block(p) (the owner is read
+  /// from the block header, not assumed to be this pool).
   void deallocate(void* p, std::size_t size) noexcept;
 
-  const Stats& stats() const { return stats_; }
+  /// Consistent snapshot of this pool's counters as seen by the owning
+  /// thread (remote frees are folded in from the atomic side).
+  Stats stats() const;
 
-  /// Releases all cached free blocks back to the heap (outstanding blocks
-  /// are untouched). Used by tests to isolate measurements.
+  /// Releases all cached free blocks — including any parked on the
+  /// cross-thread return stack — back to the heap (outstanding blocks are
+  /// untouched). Used by tests to isolate measurements.
   void trim() noexcept;
 
  private:
   static constexpr std::size_t kBuckets = kMaxPooledSize / kGranule;
+  static constexpr std::uint32_t kOversizeBucket = 0xffffffffu;
+
+  /// Prefixed to every block. 16 bytes keeps the payload on the same
+  /// alignment ::operator new provided.
+  struct alignas(16) Header {
+    MessagePool* owner;
+    std::uint32_t bucket;
+  };
 
   struct FreeBlock {
     FreeBlock* next;
@@ -63,9 +92,30 @@ class MessagePool {
   static std::size_t bucket_of(std::size_t size) {
     return (size - 1) / kGranule;  // size >= 1 (operator new contract)
   }
+  static Header* header_of(void* payload) {
+    return reinterpret_cast<Header*>(static_cast<char*>(payload) -
+                                     sizeof(Header));
+  }
+  static void* payload_of(Header* header) {
+    return reinterpret_cast<char*>(header) + sizeof(Header);
+  }
+
+  void free_local(Header* header, void* payload) noexcept;
+  void free_remote(Header* header, void* payload) noexcept;
+  /// Pulls everything off the return stack into the local free lists.
+  void drain_remote() noexcept;
 
   std::array<FreeBlock*, kBuckets> free_ = {};
-  Stats stats_;
+  // Owner-thread counters (plain; pool adoption hands over via the
+  // registry mutex).
+  std::uint64_t fresh_allocations_ = 0;
+  std::uint64_t pool_hits_ = 0;
+  std::uint64_t oversize_allocations_ = 0;
+  std::uint64_t allocated_ = 0;
+  std::uint64_t freed_local_ = 0;
+  // Cross-thread side: Treiber stack of returned blocks + fold counter.
+  std::atomic<FreeBlock*> remote_head_{nullptr};
+  std::atomic<std::uint64_t> freed_remote_{0};
 };
 
 }  // namespace dmx::net

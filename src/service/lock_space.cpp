@@ -96,6 +96,17 @@ ResourceId LockSpace::open(std::string_view name,
   res->grant_callbacks.assign(static_cast<std::size_t>(config_.n) + 1,
                               nullptr);
   res->tickets.assign(static_cast<std::size_t>(config_.n) + 1, nullptr);
+  // Seed the resident-token mirror with one full scan; every subsequent
+  // event reconciles just the node it mutated.
+  if (res->algorithm.token_based) {
+    res->token_at.assign(static_cast<std::size_t>(config_.n) + 1, 0);
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      if (res->nodes[static_cast<std::size_t>(v)]->has_token()) {
+        res->token_at[static_cast<std::size_t>(v)] = 1;
+        ++res->resident_tokens;
+      }
+    }
+  }
   resources_.push_back(std::move(res));
   check_invariants(id);
   return id;
@@ -133,6 +144,7 @@ Ticket LockSpace::acquire(ResourceId r, NodeId v, GrantCallback on_grant) {
   res.tickets[static_cast<std::size_t>(v)] = ticket;
   res.nodes[static_cast<std::size_t>(v)]->request_cs(
       *res.contexts[static_cast<std::size_t>(v) - 1]);
+  sync_resident_token(res, v);
   check_invariants(r);
   if (post_event_hook_) post_event_hook_(*this, r);
   return ticket;
@@ -183,6 +195,7 @@ void LockSpace::release(ResourceId r, NodeId v) {
   res.occupant = kNilNode;
   res.nodes[static_cast<std::size_t>(v)]->release_cs(
       *res.contexts[static_cast<std::size_t>(v) - 1]);
+  sync_resident_token(res, v);
   check_invariants(r);
   if (post_event_hook_) post_event_hook_(*this, r);
 }
@@ -208,17 +221,21 @@ std::uint64_t LockSpace::entries(ResourceId r) const {
   return resource(r).entries;
 }
 
+int LockSpace::resident_tokens(ResourceId r) const {
+  return resource(r).resident_tokens;
+}
+
 void LockSpace::check_invariants(ResourceId r) {
   // CS exclusivity per resource is structural (on_grant checks). Verify
-  // per-resource token uniqueness: resident tokens plus in-flight token
-  // messages of THIS resource (O(1) per kind via the network's
-  // per-resource counters).
+  // per-resource token uniqueness: the harness-maintained resident-token
+  // counter plus in-flight token messages of THIS resource — O(1) on both
+  // sides (the former replaced an O(N) has_token() scan per event).
   Resource& res = resource(r);
   if (!res.algorithm.token_based) return;
-  std::size_t tokens = 0;
-  for (NodeId v = 1; v <= config_.n; ++v) {
-    if (res.nodes[static_cast<std::size_t>(v)]->has_token()) ++tokens;
-  }
+  DMX_CHECK_MSG(res.resident_tokens >= 0,
+                "resource " << directory_.name(r)
+                            << " resident-token counter went negative");
+  std::size_t tokens = static_cast<std::size_t>(res.resident_tokens);
   for (const net::MessageKind kind : res.token_kinds) {
     tokens += network_->in_flight_count(r, kind);
   }
@@ -241,8 +258,18 @@ void LockSpace::deliver(const net::Envelope& env) {
   res.nodes[static_cast<std::size_t>(env.to)]->on_message(
       *res.contexts[static_cast<std::size_t>(env.to) - 1], env.from,
       *env.message);
+  sync_resident_token(res, env.to);
   check_invariants(env.resource);
   if (post_event_hook_) post_event_hook_(*this, env.resource);
+}
+
+void LockSpace::sync_resident_token(Resource& res, NodeId v) {
+  if (!res.algorithm.token_based) return;
+  const bool has = res.nodes[static_cast<std::size_t>(v)]->has_token();
+  res.resident_tokens +=
+      static_cast<int>(has) -
+      static_cast<int>(res.token_at[static_cast<std::size_t>(v)]);
+  res.token_at[static_cast<std::size_t>(v)] = has ? 1 : 0;
 }
 
 }  // namespace dmx::service

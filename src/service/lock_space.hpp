@@ -12,8 +12,12 @@
 // as harness::Cluster does for its single critical section:
 //  * at most one node inside resource r's critical section;
 //  * for token-based algorithms, exactly one token PER RESOURCE, counting
-//    resident tokens and in-flight token messages — an O(1) query against
-//    the network's per-resource in-flight counters.
+//    resident tokens and in-flight token messages. Both sides are O(1):
+//    in-flight tokens query the network's per-resource counters, and
+//    resident tokens are a harness-maintained counter — each handler
+//    mutates exactly one node's protocol instance, so the harness
+//    reconciles that node's has_token() against a per-node mirror after
+//    the handler instead of scanning all N nodes after every event.
 #pragma once
 
 #include <functional>
@@ -118,6 +122,11 @@ class LockSpace {
   std::uint64_t total_entries() const { return total_entries_; }
   std::uint64_t entries(ResourceId r) const;
 
+  /// Harness-maintained count of resource `r`'s tokens resident at nodes
+  /// (excluding in-flight token messages). 0 for non-token algorithms.
+  /// Tests cross-check it against an explicit has_token() scan.
+  int resident_tokens(ResourceId r) const;
+
   /// Runs the built-in per-resource invariant checks for one resource.
   void check_invariants(ResourceId r);
   /// ... and for every resource (used at quiescence and by tests; the
@@ -147,6 +156,14 @@ class LockSpace {
     std::vector<std::shared_ptr<Acquisition>> tickets;         // 1..n
     NodeId occupant = kNilNode;
     std::uint64_t entries = 0;
+    /// Tokens resident at nodes, maintained incrementally: `token_at` is
+    /// a per-node mirror of has_token(), reconciled against the one node
+    /// each handler mutates. Reconciling (rather than diffing a snapshot
+    /// taken before the handler) keeps the counter exact even when a
+    /// grant callback re-enters release()/acquire() mid-event. Keeps the
+    /// per-event uniqueness check O(#token_kinds).
+    int resident_tokens = 0;
+    std::vector<std::uint8_t> token_at;  // 1..n, token-based only
   };
 
   Resource& resource(ResourceId r);
@@ -154,6 +171,9 @@ class LockSpace {
   void ensure_tree();
   void on_grant(ResourceId r, NodeId v);
   void deliver(const net::Envelope& env);
+  /// Reconciles node `v`'s entry of the resident-token mirror after a
+  /// handler ran on it.
+  static void sync_resident_token(Resource& res, NodeId v);
 
   LockSpaceConfig config_;
   Directory directory_;

@@ -1,239 +1,137 @@
 #include "service/threaded_lock_space.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <condition_variable>
-#include <deque>
-#include <functional>
-#include <mutex>
 #include <thread>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "exec/strand.hpp"
 
 namespace dmx::service {
 
-/// One node: a mailbox, an event-loop thread, and one protocol state
-/// machine PER RESOURCE. The loop is the paper's "local mutual exclusion"
-/// generalized: every handler of this node — for any resource — runs on
-/// this thread, one at a time, so per-resource instances need no locking
-/// among themselves.
-class ThreadedLockSpace::NodeActor {
- public:
-  NodeActor(ThreadedLockSpace& space, NodeId self, int n, int resources,
-            unsigned jitter_us, std::uint64_t seed)
-      : space_(space), self_(self), n_(n), jitter_us_(jitter_us), rng_(seed) {
-    nodes_.resize(static_cast<std::size_t>(resources));
-    contexts_.reserve(static_cast<std::size_t>(resources));
-    for (ResourceId r = 0; r < resources; ++r) {
-      contexts_.push_back(std::make_unique<ResourceContext>(*this, r));
-    }
-    client_.resize(static_cast<std::size_t>(resources));
-  }
+/// One (resource, node) protocol state machine with its strand. Protocol
+/// state (`node`, `rng`) is strand-confined: only strand tasks touch it,
+/// and the strand's serialization publishes task i's writes to task i+1.
+/// The client-side gate (`waiting`/`requested`/`granted`/`held`) bridges
+/// application threads and strand tasks under `client_mutex`.
+struct ThreadedLockSpace::ResourceNode {
+  ResourceNode(ThreadedLockSpace& space, ResourceId resource, NodeId self,
+               std::uint64_t seed)
+      : space(space), resource(resource), self(self),
+        strand(space.executor_), rng(seed), context(*this) {}
 
-  ~NodeActor() { stop_and_join(); }
-
-  /// Installs resource `r`'s protocol instance; before start() only.
-  void adopt(ResourceId r, std::unique_ptr<proto::MutexNode> node) {
-    nodes_[static_cast<std::size_t>(r)] = std::move(node);
-  }
-
-  void start() {
-    thread_ = std::thread([this] { run_loop(); });
-  }
-
-  void stop_and_join() {
-    {
-      std::lock_guard<std::mutex> guard(mailbox_mutex_);
-      if (stopping_) return;
-      stopping_ = true;
-    }
-    mailbox_cv_.notify_all();
-    if (thread_.joinable()) thread_.join();
-  }
-
-  void post_message(ResourceId r, NodeId from, net::MessagePtr message) {
-    post(Item{ItemKind::kDeliver, r, from, std::move(message)});
-  }
-
-  // --- Blocking client API (application threads) -------------------------
-
-  void lock(ResourceId r) {
-    std::unique_lock<std::mutex> guard(client_mutex_);
-    ClientState& cs = client_[static_cast<std::size_t>(r)];
-    ++cs.waiting;
-    // One protocol request at a time per (resource, node): the first local
-    // waiter requests; later waiters ride local hand-off (unlock posts the
-    // next request once the current holder leaves).
-    if (!cs.requested && !cs.held) {
-      cs.requested = true;
-      post(Item{ItemKind::kRequest, r, kNilNode, nullptr});
-    }
-    client_cv_.wait(guard, [&cs, this] { return cs.granted || failed_; });
-    if (failed_ && !cs.granted) {
-      // The loop thread died on a protocol error; waiting for a grant
-      // would hang forever. Surface the failure to the caller (details in
-      // ThreadedLockSpace::first_error()).
-      --cs.waiting;
-      DMX_CHECK_MSG(false, "lock service node " << self_
-                               << " failed; see first_error()");
-    }
-    cs.granted = false;
-    cs.requested = false;
-    --cs.waiting;
-    cs.held = true;
-  }
-
-  /// `before_release` runs under client_mutex_ after the held-check passes
-  /// and before the release item is posted — the only window where the
-  /// space can retire its occupancy witness without racing the next grant.
-  void unlock(ResourceId r, const std::function<void()>& before_release) {
-    std::lock_guard<std::mutex> guard(client_mutex_);
-    ClientState& cs = client_[static_cast<std::size_t>(r)];
-    DMX_CHECK_MSG(cs.held, "unlock of resource " << r << " on node " << self_
-                                                 << " which does not hold it");
-    cs.held = false;
-    before_release();
-    // Mailbox FIFO orders the release ahead of the follow-up request, and
-    // posting under client_mutex_ keeps a racing lock() on another thread
-    // from slipping its request in between.
-    post(Item{ItemKind::kRelease, r, kNilNode, nullptr});
-    if (cs.waiting > 0 && !cs.requested) {
-      cs.requested = true;
-      post(Item{ItemKind::kRequest, r, kNilNode, nullptr});
-    }
-  }
-
- private:
-  friend class ThreadedLockSpace;
-
-  /// proto::Context for one (node, resource) pair; used only from this
-  /// actor's loop thread.
-  class ResourceContext final : public proto::Context {
+  /// proto::Context for this state machine; used only from strand tasks.
+  class Context final : public proto::Context {
    public:
-    ResourceContext(NodeActor& actor, ResourceId r)
-        : actor_(actor), resource_(r) {}
-    NodeId self() const override { return actor_.self_; }
-    int cluster_size() const override { return actor_.n_; }
+    explicit Context(ResourceNode& rn) : rn_(rn) {}
+    NodeId self() const override { return rn_.self; }
+    int cluster_size() const override { return rn_.space.config_.n; }
     void send(NodeId to, net::MessagePtr message) override {
-      actor_.space_.route(resource_, actor_.self_, to, std::move(message));
+      rn_.space.route(rn_.resource, rn_.self, to, std::move(message));
     }
-    void grant() override { actor_.on_grant(resource_); }
+    void grant() override { rn_.on_grant(); }
 
    private:
-    NodeActor& actor_;
-    ResourceId resource_;
+    ResourceNode& rn_;
   };
 
-  enum class ItemKind { kDeliver, kRequest, kRelease };
-  struct Item {
-    ItemKind kind;
-    ResourceId resource;
-    NodeId from;
-    net::MessagePtr message;
-  };
+  // --- Strand tasks --------------------------------------------------------
 
-  /// Local waiters and grant hand-off for one resource; client_mutex_
-  /// guards every field.
-  struct ClientState {
-    int waiting = 0;
-    bool requested = false;
-    bool granted = false;
-    bool held = false;
-  };
-
-  void post(Item item) {
-    {
-      std::lock_guard<std::mutex> guard(mailbox_mutex_);
-      mailbox_.push_back(std::move(item));
+  void deliver(NodeId from, net::MessagePtr message) {
+    if (space.failed_.load(std::memory_order_relaxed)) return;
+    try {
+      maybe_jitter();
+      node->on_message(context, from, *message);
+    } catch (const std::exception& e) {
+      space.fail(e.what());
     }
-    mailbox_cv_.notify_all();
   }
 
-  void on_grant(ResourceId r) {
-    {
-      std::lock_guard<std::mutex> guard(client_mutex_);
-      client_[static_cast<std::size_t>(r)].granted = true;
+  void request() {
+    if (space.failed_.load(std::memory_order_relaxed)) return;
+    try {
+      node->request_cs(context);
+    } catch (const std::exception& e) {
+      space.fail(e.what());
     }
-    client_cv_.notify_all();
   }
 
-  void run_loop() {
-    for (;;) {
-      Item item{ItemKind::kDeliver, 0, kNilNode, nullptr};
-      {
-        std::unique_lock<std::mutex> guard(mailbox_mutex_);
-        mailbox_cv_.wait(guard,
-                         [this] { return stopping_ || !mailbox_.empty(); });
-        if (stopping_ && mailbox_.empty()) return;
-        item = std::move(mailbox_.front());
-        mailbox_.pop_front();
-      }
-      proto::MutexNode& node =
-          *nodes_[static_cast<std::size_t>(item.resource)];
-      proto::Context& ctx =
-          *contexts_[static_cast<std::size_t>(item.resource)];
-      try {
-        switch (item.kind) {
-          case ItemKind::kDeliver:
-            maybe_jitter();
-            node.on_message(ctx, item.from, *item.message);
-            break;
-          case ItemKind::kRequest:
-            node.request_cs(ctx);
-            break;
-          case ItemKind::kRelease:
-            node.release_cs(ctx);
-            break;
-        }
-      } catch (const std::exception& e) {
-        space_.record_error(e.what());
-        // Unblock application threads parked in lock(): no grant is ever
-        // coming from this node again.
-        {
-          std::lock_guard<std::mutex> guard(client_mutex_);
-          failed_ = true;
-        }
-        client_cv_.notify_all();
-        return;
-      }
+  void release() {
+    if (space.failed_.load(std::memory_order_relaxed)) return;
+    try {
+      node->release_cs(context);
+    } catch (const std::exception& e) {
+      space.fail(e.what());
     }
+  }
+
+  void on_grant() {
+    {
+      std::lock_guard<std::mutex> guard(client_mutex);
+      granted = true;
+    }
+    client_cv.notify_all();
   }
 
   void maybe_jitter() {
-    if (jitter_us_ == 0) return;
-    const auto us = static_cast<unsigned>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(jitter_us_)));
+    if (space.config_.jitter_us == 0) return;
+    const auto us = static_cast<unsigned>(rng.uniform_int(
+        0, static_cast<std::int64_t>(space.config_.jitter_us)));
     if (us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(us));
     }
   }
 
-  ThreadedLockSpace& space_;
-  NodeId self_;
-  int n_;
-  unsigned jitter_us_;
-  Rng rng_;  // only touched from the loop thread
-  std::vector<std::unique_ptr<proto::MutexNode>> nodes_;     // by ResourceId
-  std::vector<std::unique_ptr<ResourceContext>> contexts_;   // by ResourceId
+  ThreadedLockSpace& space;
+  ResourceId resource;
+  NodeId self;
+  exec::Strand strand;
+  std::unique_ptr<proto::MutexNode> node;  // strand-confined
+  Rng rng;                                 // strand-confined (jitter)
+  Context context;
 
-  std::thread thread_;
-  std::mutex mailbox_mutex_;
-  std::condition_variable mailbox_cv_;
-  std::deque<Item> mailbox_;
-  bool stopping_ = false;
-
-  std::mutex client_mutex_;
-  std::condition_variable client_cv_;
-  std::vector<ClientState> client_;  // by ResourceId
-  bool failed_ = false;              // loop thread died on a protocol error
+  /// Local waiters and grant hand-off; client_mutex guards every field.
+  std::mutex client_mutex;
+  std::condition_variable client_cv;
+  int waiting = 0;
+  bool requested = false;
+  bool granted = false;
+  bool held = false;
 };
 
 ThreadedLockSpace::ThreadedLockSpace(ThreadedLockSpaceConfig config)
     : config_(std::move(config)),
-      directory_(config_.n, config_.directory_vnodes, config_.seed) {
+      directory_(config_.n, config_.directory_vnodes, config_.seed),
+      executor_(exec::ExecutorConfig{config_.workers, config_.spin}) {
   DMX_CHECK(config_.n >= 1);
   DMX_CHECK_MSG(!config_.resources.empty(),
                 "a ThreadedLockSpace needs at least one resource");
-  if (config_.algorithm.needs_tree && !config_.tree.has_value()) {
+
+  // Resolve each resource's algorithm (default or per-name override).
+  algorithms_.reserve(config_.resources.size());
+  for (const std::string& name : config_.resources) {
+    const proto::Algorithm* algorithm = &config_.algorithm;
+    for (const auto& [override_name, override_algorithm] :
+         config_.resource_algorithms) {
+      if (override_name == name) algorithm = &override_algorithm;
+    }
+    algorithms_.push_back(*algorithm);
+  }
+  for (const auto& [override_name, override_algorithm] :
+       config_.resource_algorithms) {
+    DMX_CHECK_MSG(std::find(config_.resources.begin(),
+                            config_.resources.end(),
+                            override_name) != config_.resources.end(),
+                  "algorithm override for unknown resource "
+                      << override_name);
+  }
+  bool needs_tree = false;
+  for (const proto::Algorithm& algorithm : algorithms_) {
+    needs_tree = needs_tree || algorithm.needs_tree;
+  }
+  if (needs_tree && !config_.tree.has_value()) {
     config_.tree = topology::Tree::star(config_.n, 1);
   }
 
@@ -247,46 +145,83 @@ ThreadedLockSpace::ThreadedLockSpace(ThreadedLockSpaceConfig config)
     entries_[static_cast<std::size_t>(r)].store(0);
   }
 
-  actors_.resize(static_cast<std::size_t>(config_.n) + 1);
+  nodes_.reserve(static_cast<std::size_t>(m) *
+                 static_cast<std::size_t>(config_.n));
   Rng seeder(config_.seed);
-  for (NodeId v = 1; v <= config_.n; ++v) {
-    actors_[static_cast<std::size_t>(v)] = std::make_unique<NodeActor>(
-        *this, v, config_.n, m, config_.jitter_us, seeder.next());
-  }
-
-  // Instantiate each resource's protocol nodes with the token parked at
-  // the directory's home node, then deal node v of resource r to actor v.
   for (const std::string& name : config_.resources) {
     const ResourceId r = directory_.open(name);
+    const proto::Algorithm& algorithm =
+        algorithms_[static_cast<std::size_t>(r)];
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      nodes_.push_back(
+          std::make_unique<ResourceNode>(*this, r, v, seeder.next()));
+    }
     proto::ClusterSpec spec;
     spec.n = config_.n;
-    spec.initial_token_holder = config_.algorithm.name == "Singhal"
-                                    ? 1
-                                    : directory_.home_node(r);
+    spec.initial_token_holder =
+        algorithm.name == "Singhal" ? 1 : directory_.home_node(r);
     spec.tree = config_.tree.has_value() ? &*config_.tree : nullptr;
     spec.seed = config_.seed;
-    auto nodes = config_.algorithm.factory(spec);
-    DMX_CHECK(nodes.size() == static_cast<std::size_t>(config_.n) + 1);
+    auto protocol_nodes = algorithm.factory(spec);
+    DMX_CHECK(protocol_nodes.size() ==
+              static_cast<std::size_t>(config_.n) + 1);
     for (NodeId v = 1; v <= config_.n; ++v) {
-      actors_[static_cast<std::size_t>(v)]->adopt(
-          r, std::move(nodes[static_cast<std::size_t>(v)]));
+      rn(r, v).node = std::move(protocol_nodes[static_cast<std::size_t>(v)]);
     }
-  }
-  for (NodeId v = 1; v <= config_.n; ++v) {
-    actors_[static_cast<std::size_t>(v)]->start();
   }
 }
 
 ThreadedLockSpace::~ThreadedLockSpace() {
-  for (auto& actor : actors_) {
-    if (actor) actor->stop_and_join();
-  }
+  // Stop the pool first: workers finish their current task and queued
+  // strand tasks are destroyed unrun when the strands go away (their
+  // captured messages free cross-thread through the pool's owner-return
+  // path).
+  executor_.shutdown();
+}
+
+ThreadedLockSpace::ResourceNode& ThreadedLockSpace::rn(ResourceId r,
+                                                       NodeId v) {
+  return *nodes_[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(config_.n) +
+                 static_cast<std::size_t>(v) - 1];
+}
+
+const proto::Algorithm& ThreadedLockSpace::algorithm(ResourceId r) const {
+  DMX_CHECK(r >= 0 && r < resource_count());
+  return algorithms_[static_cast<std::size_t>(r)];
 }
 
 void ThreadedLockSpace::lock(ResourceId r, NodeId v) {
   DMX_CHECK(v >= 1 && v <= config_.n);
   DMX_CHECK(r >= 0 && r < resource_count());
-  actors_[static_cast<std::size_t>(v)]->lock(r);
+  ResourceNode& x = rn(r, v);
+  {
+    std::unique_lock<std::mutex> guard(x.client_mutex);
+    ++x.waiting;
+    // One protocol request at a time per (resource, node): the first local
+    // waiter requests; later waiters ride local hand-off (unlock posts the
+    // next request once the current holder leaves).
+    if (!x.requested && !x.held) {
+      x.requested = true;
+      x.strand.post([&x] { x.request(); });
+    }
+    x.client_cv.wait(guard, [this, &x] {
+      return x.granted || failed_.load(std::memory_order_relaxed);
+    });
+    if (!x.granted) {
+      // A protocol handler threw somewhere in the space; waiting for a
+      // grant would hang forever. Surface the failure to the caller
+      // (details in first_error()).
+      --x.waiting;
+      DMX_CHECK_MSG(false, "lock service failed while node "
+                               << v << " waited on resource " << name(r)
+                               << "; see first_error()");
+    }
+    x.granted = false;
+    x.requested = false;
+    --x.waiting;
+    x.held = true;
+  }
   // Exclusivity witness: the grant we just consumed must be the only
   // occupancy of this resource anywhere in the space.
   const int prev = occupancy_[static_cast<std::size_t>(r)].fetch_add(1);
@@ -302,13 +237,23 @@ void ThreadedLockSpace::lock(ResourceId r, NodeId v) {
 void ThreadedLockSpace::unlock(ResourceId r, NodeId v) {
   DMX_CHECK(v >= 1 && v <= config_.n);
   DMX_CHECK(r >= 0 && r < resource_count());
-  // The witness retires only once the actor has validated the caller
-  // actually holds the resource (a bogus unlock must not drive the
-  // counter negative), yet still before the release reaches the protocol
-  // — after that the next grant may already be incrementing it.
-  actors_[static_cast<std::size_t>(v)]->unlock(r, [this, r] {
-    occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
-  });
+  ResourceNode& x = rn(r, v);
+  std::lock_guard<std::mutex> guard(x.client_mutex);
+  DMX_CHECK_MSG(x.held, "unlock of resource " << name(r) << " on node " << v
+                                              << " which does not hold it");
+  x.held = false;
+  // The witness retires only after the held-check passed (a bogus unlock
+  // must not drive the counter negative), yet before the release reaches
+  // the protocol — after that the next grant may already increment it.
+  occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
+  // Strand FIFO orders the release ahead of the follow-up request, and
+  // posting under client_mutex keeps a racing lock() on another thread
+  // from slipping its request in between.
+  x.strand.post([&x] { x.release(); });
+  if (x.waiting > 0 && !x.requested) {
+    x.requested = true;
+    x.strand.post([&x] { x.request(); });
+  }
 }
 
 std::uint64_t ThreadedLockSpace::total_entries() const {
@@ -335,13 +280,26 @@ void ThreadedLockSpace::route(ResourceId r, NodeId from, NodeId to,
                               net::MessagePtr message) {
   DMX_CHECK(to >= 1 && to <= config_.n && to != from);
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
-  actors_[static_cast<std::size_t>(to)]->post_message(r, from,
-                                                      std::move(message));
+  ResourceNode& x = rn(r, to);
+  x.strand.post([&x, from, msg = std::move(message)]() mutable {
+    x.deliver(from, std::move(msg));
+  });
 }
 
 void ThreadedLockSpace::record_error(const std::string& what) {
   std::lock_guard<std::mutex> guard(error_mutex_);
   if (!first_error_.has_value()) first_error_ = what;
+}
+
+void ThreadedLockSpace::fail(const std::string& what) {
+  record_error(what);
+  failed_.store(true, std::memory_order_seq_cst);
+  for (auto& node : nodes_) {
+    // Lock/unlock pairs with each waiter's predicate check so the wake
+    // cannot slip between its check and its wait.
+    { std::lock_guard<std::mutex> guard(node->client_mutex); }
+    node->client_cv.notify_all();
+  }
 }
 
 }  // namespace dmx::service

@@ -1,11 +1,15 @@
 // Multi-resource lock service on the multi-threaded runtime.
 //
-// One mailbox-driven event-loop thread per NODE carries every resource:
-// mailbox items are tagged with a dense ResourceId and demultiplex into
-// the node's per-resource protocol instances, so M resources cost M state
-// machines but still only N threads — the same architecture the
-// deterministic LockSpace uses over one net::Network. Protocol code is
-// identical on both substrates.
+// Execution substrate: every (resource, node) protocol state machine owns
+// an exec::Strand — a serialized task queue — and all strands of all
+// nodes share ONE work-stealing worker pool (exec::Executor). Message
+// delivery, request and release are strand-enqueued tasks, so each state
+// machine keeps the paper's one-event-at-a-time semantics while
+// independent resources (even on the same node) run in parallel across
+// the pool. This replaces the PR-3 architecture of one mailbox event-loop
+// thread per node, which serialized every resource of a node behind one
+// thread and capped the service at ~1.6x a single resource no matter how
+// many resources it carried.
 //
 // The client API is blocking: lock(r, v) parks the calling application
 // thread until node v holds resource r's critical section; ScopedLock is
@@ -26,9 +30,11 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "exec/executor.hpp"
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 #include "service/directory.hpp"
@@ -38,12 +44,15 @@ namespace dmx::service {
 
 struct ThreadedLockSpaceConfig {
   int n = 0;
-  /// Protocol backing every resource (per-resource selection is a sim-
-  /// substrate feature; the threaded service keeps one algorithm).
+  /// Protocol backing every resource without an explicit override.
   proto::Algorithm algorithm;
-  /// Names of the resources to serve; fixed at construction (the actor
-  /// threads own the protocol instances, so the set cannot grow live).
+  /// Names of the resources to serve; fixed at construction (the strands
+  /// own the protocol instances, so the set cannot grow live).
   std::vector<std::string> resources;
+  /// Per-resource algorithm overrides, keyed by resource name — parity
+  /// with the sim LockSpace's open(name, algorithm). Every named resource
+  /// must appear in `resources`.
+  std::vector<std::pair<std::string, proto::Algorithm>> resource_algorithms;
   /// Shared logical tree for path-forwarding algorithms; defaults to a
   /// star centered on node 1 when required and absent.
   std::optional<topology::Tree> tree;
@@ -52,6 +61,10 @@ struct ThreadedLockSpaceConfig {
   unsigned jitter_us = 0;
   std::uint64_t seed = 1;
   int directory_vnodes = 16;
+  /// Worker threads in the shared pool; 0 = hardware concurrency.
+  int workers = 0;
+  /// Bounded spin rounds before an idle worker parks (see ExecutorConfig).
+  int spin = 64;
 };
 
 class ThreadedLockSpace {
@@ -64,6 +77,7 @@ class ThreadedLockSpace {
 
   int nodes() const { return config_.n; }
   int resource_count() const { return directory_.resource_count(); }
+  int workers() const { return executor_.workers(); }
   const Directory& directory() const { return directory_; }
 
   ResourceId lookup(std::string_view name) const {
@@ -71,6 +85,8 @@ class ThreadedLockSpace {
   }
   const std::string& name(ResourceId r) const { return directory_.name(r); }
   NodeId home_node(ResourceId r) const { return directory_.home_node(r); }
+  /// Algorithm backing resource `r` (the default or its override).
+  const proto::Algorithm& algorithm(ResourceId r) const;
 
   /// Blocks until node `v` holds resource `r`'s critical section.
   void lock(ResourceId r, NodeId v);
@@ -87,19 +103,28 @@ class ThreadedLockSpace {
   std::optional<std::string> first_error() const;
 
  private:
-  class NodeActor;
+  struct ResourceNode;
 
+  ResourceNode& rn(ResourceId r, NodeId v);
   void route(ResourceId r, NodeId from, NodeId to, net::MessagePtr message);
   void record_error(const std::string& what);
+  /// Records the error, then releases every parked application thread —
+  /// no grant is ever coming once a protocol handler has thrown.
+  void fail(const std::string& what);
 
   ThreadedLockSpaceConfig config_;
   Directory directory_;
-  std::vector<std::unique_ptr<NodeActor>> actors_;  // index 0 unused
+  exec::Executor executor_;
+  std::vector<proto::Algorithm> algorithms_;  // by ResourceId
+  /// (resource, node) state machines, indexed r * n + (v - 1). Destroyed
+  /// after the executor stops, which drops their queued tasks unrun.
+  std::vector<std::unique_ptr<ResourceNode>> nodes_;
   /// Per-resource occupancy (0 or 1 when exclusion holds) and entry
   /// counts, indexed by ResourceId.
   std::unique_ptr<std::atomic<int>[]> occupancy_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> entries_;
   std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<bool> failed_{false};
 
   mutable std::mutex error_mutex_;
   std::optional<std::string> first_error_;

@@ -1,0 +1,323 @@
+// Tests for the execution substrate: the Chase–Lev deque, the
+// work-stealing Executor, and Strand serialization.
+//
+// The strand property test is the load-bearing one: per-strand FIFO and
+// no-concurrent-execution are exactly the guarantees the threaded lock
+// service's protocol state machines rely on instead of locks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "exec/chase_lev_deque.hpp"
+#include "exec/executor.hpp"
+#include "exec/strand.hpp"
+
+namespace dmx::exec {
+namespace {
+
+TEST(ChaseLevDeque, OwnerLifoThiefFifoSingleThread) {
+  ChaseLevDeque<int> deque(4);  // forces growth
+  std::vector<int> items(10);
+  for (int i = 0; i < 10; ++i) {
+    items[static_cast<std::size_t>(i)] = i;
+    deque.push(&items[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(*deque.steal(), 0);  // oldest from the top
+  EXPECT_EQ(*deque.steal(), 1);
+  EXPECT_EQ(*deque.pop(), 9);  // newest from the bottom
+  EXPECT_EQ(*deque.pop(), 8);
+  int drained = 0;
+  while (deque.pop() != nullptr) ++drained;
+  EXPECT_EQ(drained, 6);
+  EXPECT_EQ(deque.pop(), nullptr);
+  EXPECT_EQ(deque.steal(), nullptr);
+  EXPECT_TRUE(deque.empty_hint());
+}
+
+TEST(ChaseLevDeque, ConcurrentStealsLoseNothingAndDuplicateNothing) {
+  // Owner pushes and pops while thieves hammer steal(): every pushed item
+  // must be claimed exactly once across owner and thieves.
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int> deque;
+  std::vector<int> items(kItems);
+  std::vector<std::atomic<int>> claimed(kItems);
+  for (auto& c : claimed) c.store(0);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> total_claimed{0};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (int* item = deque.steal()) {
+          claimed[static_cast<std::size_t>(*item)].fetch_add(1);
+          total_claimed.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < kItems; ++i) {
+    items[static_cast<std::size_t>(i)] = i;
+    deque.push(&items[static_cast<std::size_t>(i)]);
+    if (i % 3 == 0) {
+      if (int* item = deque.pop()) {
+        claimed[static_cast<std::size_t>(*item)].fetch_add(1);
+        total_claimed.fetch_add(1);
+      }
+    }
+  }
+  while (int* item = deque.pop()) {
+    claimed[static_cast<std::size_t>(*item)].fetch_add(1);
+    total_claimed.fetch_add(1);
+  }
+  // Let the thieves drain any leftovers they raced us for.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (total_claimed.load() < kItems &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& thief : thieves) thief.join();
+
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(claimed[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ExecutorTest, RunsSubmittedTasksAndShutsDownIdempotently) {
+  Executor executor(ExecutorConfig{4, 16});
+  EXPECT_EQ(executor.workers(), 4);
+
+  struct CountTask {
+    PoolTask pool_task;
+    std::atomic<int>* counter;
+  };
+  std::atomic<int> counter{0};
+  std::vector<CountTask> tasks(100);
+  for (auto& task : tasks) {
+    task.counter = &counter;
+    task.pool_task.context = &task;
+    task.pool_task.run = [](void* context) {
+      static_cast<CountTask*>(context)->counter->fetch_add(1);
+    };
+    executor.submit(&task.pool_task);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (counter.load() < 100 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(counter.load(), 100);
+  EXPECT_GE(executor.tasks_executed(), 100u);
+  executor.shutdown();
+  executor.shutdown();  // idempotent
+}
+
+TEST(ExecutorTest, WorkerLocalTasksAreStolenWhileTheOwnerIsBusy) {
+  // A task running on worker A submits subtasks (they land on A's own
+  // deque) and then blocks until one completes. Only a steal by another
+  // worker can complete a subtask while A is still inside its task, so
+  // observing a completion before A returns proves stealing works.
+  Executor executor(ExecutorConfig{4, 256});
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  int completed = 0;
+  std::thread::id owner_thread;
+  std::set<std::thread::id> subtask_threads;
+
+  struct SubTask {
+    PoolTask pool_task;
+    std::mutex* mutex;
+    std::condition_variable* cv;
+    int* completed;
+    std::set<std::thread::id>* threads;
+  };
+  std::vector<SubTask> subtasks(4);
+
+  struct RootTask {
+    PoolTask pool_task;
+    Executor* executor;
+    std::vector<SubTask>* subtasks;
+    std::mutex* mutex;
+    std::condition_variable* cv;
+    int* completed;
+    std::thread::id* owner_thread;
+    bool stolen_in_time = false;
+    bool root_done = false;
+  };
+  RootTask root;
+  root.executor = &executor;
+  root.subtasks = &subtasks;
+  root.mutex = &mutex;
+  root.cv = &cv;
+  root.completed = &completed;
+  root.owner_thread = &owner_thread;
+  root.pool_task.context = &root;
+  root.pool_task.run = [](void* context) {
+    auto& self = *static_cast<RootTask*>(context);
+    *self.owner_thread = std::this_thread::get_id();
+    for (auto& subtask : *self.subtasks) {
+      self.executor->submit(&subtask.pool_task);  // lands on OUR deque
+    }
+    std::unique_lock<std::mutex> guard(*self.mutex);
+    self.stolen_in_time = self.cv->wait_for(
+        guard, std::chrono::seconds(30),
+        [&self] { return *self.completed >= 1; });
+    self.root_done = true;
+    self.cv->notify_all();
+  };
+  for (auto& subtask : subtasks) {
+    subtask.mutex = &mutex;
+    subtask.cv = &cv;
+    subtask.completed = &completed;
+    subtask.threads = &subtask_threads;
+    subtask.pool_task.context = &subtask;
+    subtask.pool_task.run = [](void* context) {
+      auto& self = *static_cast<SubTask*>(context);
+      std::lock_guard<std::mutex> guard(*self.mutex);
+      ++*self.completed;
+      self.threads->insert(std::this_thread::get_id());
+      self.cv->notify_all();
+    };
+  }
+
+  executor.submit(&root.pool_task);
+  {
+    std::unique_lock<std::mutex> guard(mutex);
+    ASSERT_TRUE(cv.wait_for(guard, std::chrono::seconds(60), [&] {
+      return root.root_done && completed >= 4;
+    }));
+  }
+  executor.shutdown();
+  EXPECT_TRUE(root.stolen_in_time)
+      << "no subtask was stolen while the submitting worker was blocked";
+  EXPECT_GE(executor.steals(), 1u);
+  // At least one subtask ran off the submitting worker's thread.
+  bool other_thread = false;
+  for (const auto& id : subtask_threads) {
+    other_thread = other_thread || id != owner_thread;
+  }
+  EXPECT_TRUE(other_thread);
+}
+
+TEST(StrandTest, TasksRunInPostOrderWithoutOverlapUnderEightWorkers) {
+  // The property the lock service's state machines depend on: per-strand
+  // FIFO and never two tasks of one strand at once. Each strand appends
+  // sequence numbers to an unsynchronized vector (a lost or reordered
+  // update would corrupt it) and an entry/exit flag catches any overlap.
+  constexpr int kStrands = 12;
+  constexpr int kTasksPerStrand = 400;
+  Executor executor(ExecutorConfig{8, 16});
+
+  struct StrandState {
+    std::unique_ptr<Strand> strand;
+    std::vector<int> order;          // written only by strand tasks
+    std::atomic<int> in_flight{0};   // 1 while a task runs
+    std::atomic<int> overlaps{0};
+    std::atomic<int> executed{0};
+  };
+  std::vector<StrandState> strands(kStrands);
+  for (auto& state : strands) {
+    state.strand = std::make_unique<Strand>(executor);
+    state.order.reserve(kTasksPerStrand);
+  }
+
+  // Posts come from several app threads, each owning a disjoint strand
+  // subset so per-strand post order is well defined.
+  std::vector<std::thread> posters;
+  for (int p = 0; p < 4; ++p) {
+    posters.emplace_back([&strands, p] {
+      for (int i = 0; i < kTasksPerStrand; ++i) {
+        for (int s = p; s < kStrands; s += 4) {
+          StrandState& state = strands[static_cast<std::size_t>(s)];
+          state.strand->post([&state, i] {
+            if (state.in_flight.fetch_add(1) != 0) {
+              state.overlaps.fetch_add(1);
+            }
+            state.order.push_back(i);
+            state.in_flight.fetch_sub(1);
+            state.executed.fetch_add(1);
+          });
+        }
+      }
+    });
+  }
+  for (auto& poster : posters) poster.join();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  for (auto& state : strands) {
+    while (state.executed.load() < kTasksPerStrand &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  }
+  executor.shutdown();
+
+  for (int s = 0; s < kStrands; ++s) {
+    StrandState& state = strands[static_cast<std::size_t>(s)];
+    EXPECT_EQ(state.overlaps.load(), 0) << "strand " << s;
+    ASSERT_EQ(state.order.size(), static_cast<std::size_t>(kTasksPerStrand))
+        << "strand " << s;
+    for (int i = 0; i < kTasksPerStrand; ++i) {
+      ASSERT_EQ(state.order[static_cast<std::size_t>(i)], i)
+          << "strand " << s << " position " << i;
+    }
+  }
+}
+
+TEST(StrandTest, HotStrandCannotStarveItsNeighbours) {
+  // One strand receives far more tasks than the batch budget; tasks for
+  // other strands posted afterwards must still complete promptly because
+  // the hot strand requeues through the fair global queue.
+  Executor executor(ExecutorConfig{1, 8});  // single worker: worst case
+  Strand hot(executor);
+  Strand cold(executor);
+
+  std::atomic<int> hot_done{0};
+  std::atomic<int> hot_seen_by_cold{-1};
+  std::atomic<bool> cold_done{false};
+  std::atomic<bool> gate_open{false};
+  // Hold the only worker inside the hot strand's first task until every
+  // post below has happened, so the drain order is deterministic.
+  hot.post([&gate_open] {
+    while (!gate_open.load()) std::this_thread::yield();
+  });
+  for (int i = 0; i < 10000; ++i) {
+    hot.post([&hot_done] { hot_done.fetch_add(1); });
+  }
+  cold.post([&] {
+    hot_seen_by_cold.store(hot_done.load());
+    cold_done.store(true);
+  });
+  gate_open.store(true);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!cold_done.load() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(cold_done.load());
+  // The cold task must not have had to wait for the entire hot backlog.
+  EXPECT_LT(hot_seen_by_cold.load(), 10000);
+  while (hot_done.load() < 10000 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(hot_done.load(), 10000);
+  executor.shutdown();
+}
+
+}  // namespace
+}  // namespace dmx::exec

@@ -226,6 +226,51 @@ TEST(LockSpace, DuplicatedTokenOnOneResourceIsDetectedPerResource) {
   EXPECT_TRUE(detected);
 }
 
+TEST(LockSpace, ResidentTokenCounterMatchesScanOnEveryEvent) {
+  // check_invariants() now reads a harness-maintained per-resource
+  // resident-token counter instead of scanning all N nodes. Cross-check
+  // the counter against an explicit has_token() scan after every single
+  // event of a busy mixed-algorithm workload.
+  LockSpace space(space_config(5, /*seed=*/11));
+  space.open("tok/neilsen-0");
+  space.open("tok/raymond", baselines::algorithm_by_name("Raymond"));
+  space.open("tok/suzuki", baselines::algorithm_by_name("Suzuki-Kasami"));
+  space.open("tok/neilsen-1");
+  std::uint64_t checked = 0;
+  space.set_post_event_hook([&checked](LockSpace& s, ResourceId r) {
+    int scanned = 0;
+    for (NodeId v = 1; v <= s.nodes(); ++v) {
+      if (s.node(r, v).has_token()) ++scanned;
+    }
+    ASSERT_EQ(s.resident_tokens(r), scanned) << s.name(r);
+    ++checked;
+  });
+  SpaceWorkloadConfig wl;
+  wl.target_entries = 400;
+  wl.clients_per_node = 2;
+  wl.zipf_s = 0.5;
+  wl.seed = 11;
+  run_space_workload(space, wl);
+  EXPECT_GT(checked, 400u);
+  // Quiescent: every resource's token is resident somewhere, exactly once.
+  for (ResourceId r = 0; r < space.resource_count(); ++r) {
+    EXPECT_EQ(space.resident_tokens(r), 1) << space.name(r);
+  }
+}
+
+TEST(LockSpace, ResidentTokenCounterStaysZeroForNonTokenAlgorithms) {
+  LockSpaceConfig config = space_config(3);
+  config.algorithm = baselines::algorithm_by_name("Ricart-Agrawala");
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("quorumless");
+  const Ticket ticket = space.acquire(r, 2);
+  space.run_to_quiescence();
+  EXPECT_TRUE(ticket->granted);
+  space.release(r, 2);
+  space.run_to_quiescence();
+  EXPECT_EQ(space.resident_tokens(r), 0);
+}
+
 // ---- Space workload ---------------------------------------------------------
 
 TEST(SpaceWorkload, CompletesTargetAcrossResources) {

@@ -1,7 +1,8 @@
 // Tests for the threaded multi-resource lock service: real threads, real
-// blocking named locks, one mailbox set per node carrying every resource.
-// Per-resource unsynchronized counters are the mutual-exclusion witness —
-// lost updates would make a final count fall short.
+// blocking named locks, per-(resource, node) strands scheduled on one
+// shared work-stealing pool. Per-resource unsynchronized counters are the
+// mutual-exclusion witness — lost updates would make a final count fall
+// short.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -122,6 +123,111 @@ TEST(ThreadedLockSpace, BogusUnlockThrowsWithoutCorruptingTheWitness) {
     ScopedLock guard(space, ResourceId{0}, v);
   }
   EXPECT_EQ(space.entries(0), 3u);
+  EXPECT_FALSE(space.first_error().has_value()) << *space.first_error();
+}
+
+TEST(ThreadedLockSpace, PerResourceAlgorithmSelectionMixesProtocols) {
+  // Parity with the sim LockSpace: resources may run different protocols
+  // in one space. Two Raymond shards ride alongside two Neilsen shards
+  // and all four serve cross-node traffic on the shared pool.
+  ThreadedLockSpaceConfig config = make_config(4, 4, "Neilsen");
+  config.resource_algorithms.emplace_back(
+      "res/1", baselines::algorithm_by_name("Raymond"));
+  config.resource_algorithms.emplace_back(
+      "res/3", baselines::algorithm_by_name("Raymond"));
+  ThreadedLockSpace space(std::move(config));
+  EXPECT_EQ(space.algorithm(space.lookup("res/0")).name, "Neilsen");
+  EXPECT_EQ(space.algorithm(space.lookup("res/1")).name, "Raymond");
+  EXPECT_EQ(space.algorithm(space.lookup("res/3")).name, "Raymond");
+
+  std::vector<long long> counters(4, 0);
+  std::vector<std::thread> threads;
+  for (NodeId v = 1; v <= 4; ++v) {
+    threads.emplace_back([&space, &counters, v] {
+      for (int i = 0; i < 20; ++i) {
+        for (ResourceId r = 0; r < 4; ++r) {
+          ScopedLock guard(space, r, v);
+          const long long read = counters[static_cast<std::size_t>(r)];
+          std::this_thread::yield();
+          counters[static_cast<std::size_t>(r)] = read + 1;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (ResourceId r = 0; r < 4; ++r) {
+    EXPECT_EQ(counters[static_cast<std::size_t>(r)], 80) << space.name(r);
+  }
+  EXPECT_EQ(space.total_entries(), 320u);
+  EXPECT_FALSE(space.first_error().has_value()) << *space.first_error();
+}
+
+TEST(ThreadedLockSpace, UnknownResourceAlgorithmOverrideIsRejected) {
+  ThreadedLockSpaceConfig config = make_config(2, 2);
+  config.resource_algorithms.emplace_back(
+      "res/404", baselines::algorithm_by_name("Raymond"));
+  EXPECT_THROW(ThreadedLockSpace space(std::move(config)),
+               std::logic_error);
+}
+
+TEST(ThreadedLockSpace, ExplicitWorkerAndSpinKnobsAreHonored) {
+  ThreadedLockSpaceConfig config = make_config(3, 3);
+  config.workers = 2;
+  config.spin = 4;
+  ThreadedLockSpace space(std::move(config));
+  EXPECT_EQ(space.workers(), 2);
+  for (NodeId v = 1; v <= 3; ++v) {
+    ScopedLock guard(space, ResourceId{0}, v);
+  }
+  EXPECT_EQ(space.entries(0), 3u);
+  EXPECT_FALSE(space.first_error().has_value()) << *space.first_error();
+}
+
+TEST(ThreadedLockSpace, OversubscribedAppThreadsUnderJitterStayExclusive) {
+  // More application threads than cores, more pool workers than cores,
+  // and randomized delivery delays: the scheduler is free to interleave
+  // strand activations across workers in ugly ways, and the witness
+  // counters must still come out exact.
+  const int n = 4;
+  const int m = 8;
+  const int threads_per_node = 3;
+  const int rounds = 12;
+  ThreadedLockSpaceConfig config = make_config(n, m, "Neilsen",
+                                               /*jitter_us=*/200);
+  config.workers = 8;
+  config.spin = 8;  // park eagerly; the cores are oversubscribed
+  ThreadedLockSpace space(std::move(config));
+
+  std::vector<long long> counters(static_cast<std::size_t>(m), 0);
+  std::vector<std::thread> threads;
+  for (NodeId v = 1; v <= n; ++v) {
+    for (int t = 0; t < threads_per_node; ++t) {
+      threads.emplace_back([&space, &counters, v, t] {
+        Rng rng(static_cast<std::uint64_t>(v) * 977 +
+                static_cast<std::uint64_t>(t) * 131 + 1);
+        for (int i = 0; i < rounds; ++i) {
+          const auto r = static_cast<ResourceId>(
+              rng.uniform_int(0, static_cast<std::int64_t>(m) - 1));
+          ScopedLock guard(space, r, v);
+          const long long read = counters[static_cast<std::size_t>(r)];
+          std::this_thread::yield();
+          counters[static_cast<std::size_t>(r)] = read + 1;
+        }
+      });
+    }
+  }
+  for (auto& thread : threads) thread.join();
+
+  long long counted = 0;
+  for (ResourceId r = 0; r < m; ++r) {
+    counted += counters[static_cast<std::size_t>(r)];
+    EXPECT_EQ(counters[static_cast<std::size_t>(r)],
+              static_cast<long long>(space.entries(r)))
+        << space.name(r);
+  }
+  EXPECT_EQ(counted, static_cast<long long>(n) * threads_per_node * rounds);
+  EXPECT_EQ(space.total_entries(),
+            static_cast<std::uint64_t>(counted));
   EXPECT_FALSE(space.first_error().has_value()) << *space.first_error();
 }
 

@@ -10,9 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <new>
+#include <thread>
+#include <vector>
 
 #include "net/latency.hpp"
 #include "net/message_pool.hpp"
@@ -101,6 +105,72 @@ TEST(ZeroAlloc, SteadyStateSendDeliverDoesNotTouchTheHeap) {
             inline_fallbacks_before)
       << "a scheduler callback outgrew its inline storage";
   EXPECT_EQ(delivered, 600u * 6u);
+}
+
+TEST(ZeroAlloc, CrossThreadFreeRecyclesThroughTheOwnerPool) {
+  // The executor substrate's allocation pattern: a message allocated on
+  // one thread is freed on another. Freed blocks return to the owner
+  // pool's lock-free remote stack and are reclaimed on its next
+  // allocation miss — after one warm-up round the producer/consumer cycle
+  // must never touch the heap again.
+  constexpr int kBatch = 100;
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<net::MessagePtr> batch;
+  batch.reserve(kBatch);
+  bool ready = false;
+  bool done = false;
+  bool stop = false;
+
+  std::thread consumer([&] {
+    std::unique_lock<std::mutex> guard(mutex);
+    for (;;) {
+      cv.wait(guard, [&] { return ready || stop; });
+      if (stop) return;
+      batch.clear();  // frees on this thread -> owner's remote stack
+      ready = false;
+      done = true;
+      cv.notify_all();
+    }
+  });
+
+  const auto round = [&] {
+    std::unique_lock<std::mutex> guard(mutex);
+    for (int i = 0; i < kBatch; ++i) {
+      batch.push_back(std::make_unique<PingMessage>());
+    }
+    ready = true;
+    done = false;
+    cv.notify_all();
+    cv.wait(guard, [&] { return done; });
+  };
+
+  round();  // warm-up: fresh blocks enter the cycle
+  round();  // first full recycle through the remote stack
+  const std::uint64_t heap_before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  const net::MessagePool::Stats pool_before =
+      net::MessagePool::local().stats();
+
+  for (int i = 0; i < 5; ++i) round();
+
+  EXPECT_EQ(g_heap_allocations.load(std::memory_order_relaxed), heap_before)
+      << "cross-thread alloc/free cycle touched the heap";
+  const net::MessagePool::Stats pool_after =
+      net::MessagePool::local().stats();
+  EXPECT_EQ(pool_after.fresh_allocations, pool_before.fresh_allocations)
+      << "owner pool had to grow after warm-up";
+  EXPECT_GT(pool_after.pool_hits, pool_before.pool_hits);
+  EXPECT_GT(pool_after.remote_frees, pool_before.remote_frees)
+      << "frees did not actually take the cross-thread path";
+  EXPECT_EQ(pool_after.outstanding, 0u);
+
+  {
+    std::lock_guard<std::mutex> guard(mutex);
+    stop = true;
+  }
+  cv.notify_all();
+  consumer.join();
 }
 
 TEST(ZeroAlloc, ScheduleCancelRecyclesSlots) {
