@@ -1,0 +1,10 @@
+# Included by CTest (TEST_INCLUDE_FILES) after the gtest discovery file
+# for dagmx_fault_tests, which exports the discovered test names in
+# dagmx_fault_tests_TESTS. Multi-label lists cannot be forwarded through
+# gtest_discover_tests(PROPERTIES LABELS ...) — the semicolon is split at
+# several expansion layers before reaching set_tests_properties — so the
+# second label is applied here, where quoting works.
+foreach(dagmx_fault_test ${dagmx_fault_tests_TESTS})
+  set_tests_properties(${dagmx_fault_test} PROPERTIES LABELS "fast;fault")
+endforeach()
+unset(dagmx_fault_test)

@@ -26,4 +26,12 @@ inline constexpr ResourceId kNilResource = -1;
 /// message-hop counts (the unit Chapter 6 reports results in).
 using Tick = std::int64_t;
 
+/// Per-resource configuration generation. Epoch 0 is the initial
+/// membership; every crash-recovery structure repair (token regeneration,
+/// DAG/tree reinitialization among survivors) bumps it by one. Messages
+/// are stamped with their sender's epoch so a stale token — lost with a
+/// crashed holder and later found when that node recovers — is fenced at
+/// delivery instead of ever being granted.
+using Epoch = std::uint32_t;
+
 }  // namespace dmx

@@ -1,0 +1,54 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+
+namespace dmx::fault {
+
+void FaultPlan::insert(FaultEvent event) {
+  // Stable position: after every event with at <= event.at, so equal-tick
+  // events keep insertion order.
+  const auto pos = std::find_if(
+      events_.begin(), events_.end(),
+      [&event](const FaultEvent& e) { return e.at > event.at; });
+  events_.insert(pos, event);
+}
+
+std::string FaultPlan::validate(int n) const {
+  std::vector<std::uint8_t> up(static_cast<std::size_t>(n) + 1, 1);
+  for (const FaultEvent& event : events_) {
+    if (event.node < 1 || event.node > n) {
+      return "fault event names node " + std::to_string(event.node) +
+             " outside 1.." + std::to_string(n);
+    }
+    if (event.at < 0) return "fault event scheduled at negative time";
+    auto& alive = up[static_cast<std::size_t>(event.node)];
+    if (event.kind == FaultEvent::Kind::kCrash) {
+      if (!alive) {
+        return "node " + std::to_string(event.node) +
+               " crashed while already down";
+      }
+      alive = 0;
+    } else {
+      if (alive) {
+        return "node " + std::to_string(event.node) +
+               " recovered while already up";
+      }
+      alive = 1;
+    }
+  }
+  return "";
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const FaultEvent& event : events_) {
+    if (!out.empty()) out += ' ';
+    out += event.kind == FaultEvent::Kind::kCrash ? "crash " : "recover ";
+    out += std::to_string(event.node);
+    out += '@';
+    out += std::to_string(event.at);
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace dmx::fault

@@ -1,0 +1,73 @@
+// Crash-fault injection schedule shared by every substrate.
+//
+// The paper (Chapter 2) assumes a fixed, permanently live node set; a
+// crashed token holder therefore deadlocks every token algorithm in the
+// registry silently. A FaultPlan breaks that assumption on purpose and
+// deterministically: it is a sorted schedule of node crash/recovery
+// events that
+//  * the sim LockSpace applies in virtual time (each event is a
+//    simulator event, so the whole run stays a pure function of
+//    (code, seed, plan)),
+//  * the ThreadedLockSpace applies by wall-clock delay or by direct
+//    crash()/recover() calls (thread-kill-equivalent quiescing: the
+//    crashed node's strand tasks stop executing protocol handlers),
+//  * the exhaustive explorer mirrors with crash/regenerate transitions.
+//
+// Crash semantics: the node stops executing handlers, its resident
+// protocol state is frozen (NOT reset — recovery brings the old state
+// back, which is exactly the lost-then-found stale-token scenario epoch
+// fencing exists for), and the network drops all traffic addressed to it.
+// Recovery semantics: the node is reachable again but epoch-stale until
+// the next membership repair reintegrates it with fresh state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dmx::fault {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kCrash, kRecover };
+  /// Virtual tick (sim substrates) or microseconds from start (threaded
+  /// drivers) at which the event fires.
+  Tick at = 0;
+  NodeId node = kNilNode;
+  Kind kind = Kind::kCrash;
+};
+
+/// An ordered crash/recovery schedule. Build with crash()/recover(); the
+/// plan keeps events sorted by (at, insertion order) so application is
+/// deterministic.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& crash(Tick at, NodeId node) {
+    insert({at, node, FaultEvent::Kind::kCrash});
+    return *this;
+  }
+  FaultPlan& recover(Tick at, NodeId node) {
+    insert({at, node, FaultEvent::Kind::kRecover});
+    return *this;
+  }
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Validates the plan against an n-node system: ids in range, no crash
+  /// of an already-crashed node, no recovery of a live one. Returns an
+  /// empty string when well-formed, else the first problem.
+  std::string validate(int n) const;
+
+  /// One-line rendering for repro commands: "crash 3@50 recover 3@400".
+  std::string describe() const;
+
+ private:
+  void insert(FaultEvent event);
+
+  std::vector<FaultEvent> events_;  // sorted by (at, insertion order)
+};
+
+}  // namespace dmx::fault

@@ -1,0 +1,74 @@
+// Epoch membership: the compact renumbering of survivors that structure
+// repair runs protocols over.
+//
+// Every algorithm factory builds a cluster of nodes 1..k; after a crash
+// the survivor set is a sparse subset of the original ids, so repair
+// renumbers the k survivors densely (rank 1..k, ascending original id)
+// and instantiates a fresh k-node protocol world over the ranks. The
+// harness translates at the boundary: envelopes and application calls use
+// original ids, protocol handlers see ranks. Renumbering — rather than
+// instantiating n nodes and ignoring the dead — is what keeps broadcast
+// and quorum algorithms (reply counting, RN array sizing, committee
+// construction) correct among survivors with zero per-algorithm repair
+// code.
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dmx::fault {
+
+struct Membership {
+  /// Rank -> original id; index 0 unused, 1..k populated, ascending.
+  std::vector<NodeId> members;
+  /// Original id -> rank; 0 = not a member of this epoch.
+  std::vector<NodeId> rank;
+
+  int size() const { return static_cast<int>(members.size()) - 1; }
+  bool contains(NodeId original) const {
+    return original >= 1 &&
+           original < static_cast<NodeId>(rank.size()) &&
+           rank[static_cast<std::size_t>(original)] != kNilNode;
+  }
+  NodeId rank_of(NodeId original) const {
+    DMX_CHECK(contains(original));
+    return rank[static_cast<std::size_t>(original)];
+  }
+  NodeId original_of(NodeId r) const {
+    DMX_CHECK(r >= 1 && r <= size());
+    return members[static_cast<std::size_t>(r)];
+  }
+
+  /// All n nodes, rank == original id (epoch 0).
+  static Membership identity(int n) {
+    Membership m;
+    m.members.resize(static_cast<std::size_t>(n) + 1);
+    m.rank.resize(static_cast<std::size_t>(n) + 1);
+    for (NodeId v = 0; v <= n; ++v) {
+      m.members[static_cast<std::size_t>(v)] = v;
+      m.rank[static_cast<std::size_t>(v)] = v;
+    }
+    m.members[0] = kNilNode;
+    m.rank[0] = kNilNode;
+    return m;
+  }
+
+  /// Survivors of an n-node system: up[v] != 0 keeps node v.
+  static Membership survivors(int n, const std::vector<std::uint8_t>& up) {
+    DMX_CHECK(static_cast<int>(up.size()) >= n + 1);
+    Membership m;
+    m.members.assign(1, kNilNode);
+    m.rank.assign(static_cast<std::size_t>(n) + 1, kNilNode);
+    for (NodeId v = 1; v <= n; ++v) {
+      if (!up[static_cast<std::size_t>(v)]) continue;
+      m.members.push_back(v);
+      m.rank[static_cast<std::size_t>(v)] =
+          static_cast<NodeId>(m.members.size()) - 1;
+    }
+    return m;
+  }
+};
+
+}  // namespace dmx::fault

@@ -3,15 +3,18 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.hpp"
+#include "fault/membership.hpp"
 #include "net/message.hpp"
 #include "net/message_kind.hpp"
 #include "proto/mutex_node.hpp"
 #include "proto/snapshot.hpp"
+#include "quorum/election.hpp"
 
 namespace dmx::modelcheck {
 namespace {
@@ -29,9 +32,16 @@ struct SysState {
   std::vector<std::uint8_t> phase;      // index 1..n, CsPhase
   std::vector<std::uint8_t> budget;     // index 1..n
   std::map<std::pair<NodeId, NodeId>, std::vector<SharedMessage>> channels;
+  /// Crash epoch flags: the configured victim has crashed / the survivors
+  /// have regenerated. Post-regeneration, node_blob holds COMPACT-world
+  /// snapshots at the survivors' original indices.
+  std::uint8_t crashed = 0;
+  std::uint8_t regenerated = 0;
 
   std::string encode() const {
     proto::SnapshotWriter w;
+    w.u8(crashed);
+    w.u8(regenerated);
     for (std::size_t v = 1; v < node_blob.size(); ++v) {
       w.str(node_blob[v]);
       w.u8(phase[v]);
@@ -53,14 +63,28 @@ struct SysState {
 /// Context adapter capturing handler outputs into the successor state.
 class CaptureContext final : public proto::Context {
  public:
-  CaptureContext(NodeId self, int n, SysState& state)
-      : self_(self), n_(n), state_(state) {}
+  /// `self` is always an ORIGINAL node id. With a `membership`, the
+  /// handler lives in the regenerated compact world: self()/send() speak
+  /// ranks to it while channels stay keyed by original ids. `drop_to`
+  /// models the network discarding traffic to a dead node.
+  CaptureContext(NodeId self, int n, SysState& state,
+                 const fault::Membership* membership = nullptr,
+                 NodeId drop_to = kNilNode)
+      : self_(self), n_(n), state_(state), membership_(membership),
+        drop_to_(drop_to) {}
 
-  NodeId self() const override { return self_; }
-  int cluster_size() const override { return n_; }
+  NodeId self() const override {
+    return membership_ != nullptr ? membership_->rank_of(self_) : self_;
+  }
+  int cluster_size() const override {
+    return membership_ != nullptr ? membership_->size() : n_;
+  }
   void send(NodeId to, net::MessagePtr message) override {
-    DMX_CHECK(to >= 1 && to <= n_ && to != self_);
-    state_.channels[{self_, to}].emplace_back(std::move(message));
+    const NodeId to_orig =
+        membership_ != nullptr ? membership_->original_of(to) : to;
+    DMX_CHECK(to_orig >= 1 && to_orig <= n_ && to_orig != self_);
+    if (to_orig == drop_to_) return;  // dead destination: network drops it
+    state_.channels[{self_, to_orig}].emplace_back(std::move(message));
   }
   void grant() override {
     const auto v = static_cast<std::size_t>(self_);
@@ -75,6 +99,8 @@ class CaptureContext final : public proto::Context {
   NodeId self_;
   int n_;
   SysState& state_;
+  const fault::Membership* membership_;
+  NodeId drop_to_;
 };
 
 class Explorer {
@@ -107,6 +133,36 @@ class Explorer {
     nodes_ = config_.algorithm->factory(spec);
     DMX_CHECK(nodes_.size() == static_cast<std::size_t>(config_.n) + 1);
     if (config_.mutate_initial) config_.mutate_initial(nodes_);
+
+    if (config_.crash_node != kNilNode) {
+      DMX_CHECK(config_.crash_node >= 1 && config_.crash_node <= config_.n);
+      // The post-crash world is fully determined by (n, victim): survivors
+      // membership, quorum-elected regenerator and the fresh compact
+      // protocol instances can all be built once up front.
+      std::vector<std::uint8_t> up(static_cast<std::size_t>(config_.n) + 1,
+                                   1);
+      up[static_cast<std::size_t>(config_.crash_node)] = 0;
+      membership_ = fault::Membership::survivors(config_.n, up);
+      regen_winner_ = quorum::elect_regenerator(config_.n, up);
+      regen_enabled_ = config_.regeneration && regen_winner_ != kNilNode;
+      if (regen_enabled_) {
+        proto::ClusterSpec regen_spec;
+        regen_spec.n = membership_.size();
+        regen_spec.initial_token_holder = membership_.rank_of(regen_winner_);
+        regen_spec.epoch = 1;
+        if (config_.algorithm->needs_tree) {
+          regen_tree_ = topology::Tree::star(
+              regen_spec.n, regen_spec.initial_token_holder);
+          regen_spec.tree = &*regen_tree_;
+        }
+        regen_nodes_ = config_.algorithm->factory(regen_spec);
+        regen_init_blob_.assign(1, "");
+        for (NodeId r = 1; r <= membership_.size(); ++r) {
+          regen_init_blob_.push_back(
+              regen_nodes_[static_cast<std::size_t>(r)]->snapshot());
+        }
+      }
+    }
   }
 
   ExplorerResult run() {
@@ -213,6 +269,22 @@ class Explorer {
                            channel.first});
       }
     }
+    if (config_.crash_node != kNilNode && !state.crashed) {
+      actions.push_back({Action::Type::kCrash, config_.crash_node, kNilNode});
+    }
+    if (state.crashed && !state.regenerated && regen_enabled_) {
+      // Repair defers while a survivor is inside its CS (the LockSpace
+      // semantics): regeneration only fires on an unoccupied resource.
+      bool occupied = false;
+      for (NodeId v = 1; v <= config_.n; ++v) {
+        occupied |= state.phase[static_cast<std::size_t>(v)] ==
+                    static_cast<std::uint8_t>(CsPhase::kInCs);
+      }
+      if (!occupied) {
+        actions.push_back({Action::Type::kRegenerate, regen_winner_,
+                           kNilNode});
+      }
+    }
     return actions;
   }
 
@@ -225,10 +297,23 @@ class Explorer {
 
   SysState apply(const SysState& state, const Action& action) {
     SysState next = state;
+    if (action.type == Action::Type::kCrash) {
+      apply_crash(next);
+      return next;
+    }
+    if (action.type == Action::Type::kRegenerate) {
+      apply_regenerate(next);
+      return next;
+    }
     const auto i = static_cast<std::size_t>(action.node);
-    proto::MutexNode& node = *nodes_[i];
+    proto::MutexNode& node = state.regenerated
+                                 ? *regen_nodes_[static_cast<std::size_t>(
+                                       membership_.rank_of(action.node))]
+                                 : *nodes_[i];
     node.restore(state.node_blob[i]);
-    CaptureContext ctx(action.node, config_.n, next);
+    CaptureContext ctx(action.node, config_.n, next,
+                       state.regenerated ? &membership_ : nullptr,
+                       state.crashed ? config_.crash_node : kNilNode);
     switch (action.type) {
       case Action::Type::kRequest:
         DMX_CHECK(next.budget[i] > 0);
@@ -249,12 +334,63 @@ class Explorer {
           it->second.erase(it->second.begin());
           if (it->second.empty()) next.channels.erase(it);
         }
-        node.on_message(ctx, action.from, *message);
+        node.on_message(ctx,
+                        state.regenerated ? membership_.rank_of(action.from)
+                                          : action.from,
+                        *message);
         break;
       }
+      case Action::Type::kCrash:
+      case Action::Type::kRegenerate:
+        DMX_CHECK(false);  // handled above
     }
     next.node_blob[i] = node.snapshot();
     return next;
+  }
+
+  /// The victim dies in place: its CS (if any) is silently vacated, its
+  /// request budget voided, its state discarded and every message
+  /// addressed to it dropped (the network's dead-destination discard).
+  /// Messages it already sent stay in flight — survivors may still act on
+  /// a dead node's last words until the epoch fence.
+  void apply_crash(SysState& next) const {
+    const auto c = static_cast<std::size_t>(config_.crash_node);
+    next.crashed = 1;
+    next.phase[c] = static_cast<std::uint8_t>(CsPhase::kIdle);
+    next.budget[c] = 0;
+    next.node_blob[c].clear();
+    for (auto it = next.channels.begin(); it != next.channels.end();) {
+      it = it->first.second == config_.crash_node ? next.channels.erase(it)
+                                                  : std::next(it);
+    }
+  }
+
+  /// The elected winner regenerates: every pre-crash in-flight message is
+  /// fenced (the epoch bump makes them all stale), the survivors restart
+  /// from fresh compact-world instances with the token minted at the
+  /// winner, and every survivor still waiting re-issues its request in
+  /// ascending id order (the LockSpace repair semantics).
+  void apply_regenerate(SysState& next) {
+    next.regenerated = 1;
+    next.channels.clear();
+    for (NodeId r = 1; r <= membership_.size(); ++r) {
+      next.node_blob[static_cast<std::size_t>(membership_.original_of(r))] =
+          regen_init_blob_[static_cast<std::size_t>(r)];
+    }
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (!membership_.contains(v)) continue;
+      if (next.phase[i] != static_cast<std::uint8_t>(CsPhase::kWaiting)) {
+        continue;
+      }
+      proto::MutexNode& node =
+          *regen_nodes_[static_cast<std::size_t>(membership_.rank_of(v))];
+      node.restore(next.node_blob[i]);
+      CaptureContext ctx(v, config_.n, next, &membership_,
+                         config_.crash_node);
+      node.request_cs(ctx);
+      next.node_blob[i] = node.snapshot();
+    }
   }
 
   /// All safety checks; returns false (and records) on violation.
@@ -275,15 +411,15 @@ class Explorer {
                              config_.extra_invariant != nullptr;
     if (!needs_nodes) return true;
 
-    // Restore the live nodes to this state for has_token()/hook queries.
-    for (NodeId v = 1; v <= config_.n; ++v) {
-      nodes_[static_cast<std::size_t>(v)]->restore(
-          state.node_blob[static_cast<std::size_t>(v)]);
-    }
+    // Restore the live workers to this state for has_token()/hook queries.
+    // Post-regeneration the survivors' blobs are compact-world snapshots
+    // and live in regen_nodes_; a crashed node's blob is empty and dead.
+    restore_workers(state);
     if (config_.algorithm->token_based) {
       std::size_t tokens = 0;
       for (NodeId v = 1; v <= config_.n; ++v) {
-        if (nodes_[static_cast<std::size_t>(v)]->has_token()) ++tokens;
+        const proto::MutexNode* node = worker(state, v);
+        if (node != nullptr && node->has_token()) ++tokens;
       }
       for (const auto& [channel, fifo] : state.channels) {
         for (const SharedMessage& message : fifo) {
@@ -292,13 +428,29 @@ class Explorer {
           }
         }
       }
-      if (tokens != 1) {
+      const bool degraded = state.crashed && !state.regenerated;
+      if (degraded) {
+        // The token may have died with the victim (count 0, the loss the
+        // regeneration exists to repair) but must never be duplicated —
+        // and once regenerated, exactly one token must exist again, with
+        // every old-epoch token fenced out of existence.
+        if (tokens > 1) {
+          record_violation("token count " + std::to_string(tokens) +
+                               " (must be <= 1 while degraded)",
+                           key);
+          return false;
+        }
+      } else if (tokens != 1) {
         record_violation("token count " + std::to_string(tokens) +
                              " (must be 1)",
                          key);
         return false;
       }
     }
+    // Structural invariants are meaningless mid-degradation (the crash
+    // broke the structure by definition); they resume over the compact
+    // survivor world after regeneration.
+    if (state.crashed && !state.regenerated) return true;
     if (hook_ != nullptr || config_.extra_invariant != nullptr) {
       const StateView view = make_view(state);
       if (hook_ != nullptr) {
@@ -319,8 +471,53 @@ class Explorer {
     return true;
   }
 
+  /// Restores every live worker to `state` (no-op for the crashed node).
+  void restore_workers(const SysState& state) {
+    for (NodeId v = 1; v <= config_.n; ++v) {
+      proto::MutexNode* node = worker(state, v);
+      if (node == nullptr) continue;
+      node->restore(state.node_blob[static_cast<std::size_t>(v)]);
+    }
+  }
+
+  /// The worker instance carrying original node `v` in `state`'s world:
+  /// the pre-crash instance, the compact regenerated instance, or nullptr
+  /// for a dead node.
+  proto::MutexNode* worker(const SysState& state, NodeId v) const {
+    if (state.crashed && v == config_.crash_node) return nullptr;
+    if (state.regenerated) {
+      return regen_nodes_[static_cast<std::size_t>(membership_.rank_of(v))]
+          .get();
+    }
+    return nodes_[static_cast<std::size_t>(v)].get();
+  }
+
   StateView make_view(const SysState& state) {
     StateView view;
+    if (state.regenerated) {
+      // Compact survivor view: structural hooks (NEXT forest, HOLDER
+      // walk) run over ranks 1..k exactly as the fresh instances see the
+      // world.
+      view.n = membership_.size();
+      view.node = [this](NodeId r) -> const proto::MutexNode& {
+        return *regen_nodes_[static_cast<std::size_t>(r)];
+      };
+      view.phase = [this, &state](NodeId r) {
+        return static_cast<CsPhase>(state.phase[static_cast<std::size_t>(
+            membership_.original_of(r))]);
+      };
+      view.for_each_in_flight =
+          [this, &state](const std::function<void(NodeId, NodeId,
+                                                  const net::Message&)>& fn) {
+            for (const auto& [channel, fifo] : state.channels) {
+              for (const SharedMessage& message : fifo) {
+                fn(membership_.rank_of(channel.first),
+                   membership_.rank_of(channel.second), *message);
+              }
+            }
+          };
+      return view;
+    }
     view.n = config_.n;
     view.node = [this](NodeId v) -> const proto::MutexNode& {
       return *nodes_[static_cast<std::size_t>(v)];
@@ -361,9 +558,13 @@ class Explorer {
   void dump_node_states(const SysState& state) {
     result_.violating_node_states.assign(1, "");
     for (NodeId v = 1; v <= config_.n; ++v) {
-      proto::MutexNode& node = *nodes_[static_cast<std::size_t>(v)];
-      node.restore(state.node_blob[static_cast<std::size_t>(v)]);
-      result_.violating_node_states.push_back(node.debug_state());
+      proto::MutexNode* node = worker(state, v);
+      if (node == nullptr) {
+        result_.violating_node_states.push_back("(crashed)");
+        continue;
+      }
+      node->restore(state.node_blob[static_cast<std::size_t>(v)]);
+      result_.violating_node_states.push_back(node->debug_state());
     }
   }
 
@@ -378,6 +579,15 @@ class Explorer {
   std::vector<net::MessageKind> token_kinds_;
   std::vector<net::MessageKind> duplicate_kinds_;
   InvariantHook hook_;
+  /// Precomputed post-crash world (crash_node configured): survivor
+  /// renumbering, quorum-elected winner, fresh compact instances and
+  /// their initial snapshots (by rank).
+  fault::Membership membership_;
+  NodeId regen_winner_ = kNilNode;
+  bool regen_enabled_ = false;
+  std::optional<topology::Tree> regen_tree_;
+  std::vector<std::unique_ptr<proto::MutexNode>> regen_nodes_;
+  std::vector<std::string> regen_init_blob_;
   /// Live worker nodes, restored to whichever state is being expanded or
   /// checked; handlers only ever mutate the acting node.
   std::vector<std::unique_ptr<proto::MutexNode>> nodes_;
@@ -400,6 +610,10 @@ std::string Action::to_string() const {
     case Type::kDeliverDup:
       return "deliver+dup(" + std::to_string(from) + " -> " +
              std::to_string(node) + ")";
+    case Type::kCrash:
+      return "crash(" + std::to_string(node) + ")";
+    case Type::kRegenerate:
+      return "regenerate(winner=" + std::to_string(node) + ")";
   }
   return "?";
 }

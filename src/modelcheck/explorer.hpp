@@ -41,9 +41,16 @@ namespace dmx::modelcheck {
 
 /// One nondeterministic step, for counterexample traces.
 struct Action {
-  enum class Type { kRequest, kRelease, kDeliver, kDeliverDup };
+  enum class Type {
+    kRequest,
+    kRelease,
+    kDeliver,
+    kDeliverDup,
+    kCrash,
+    kRegenerate,
+  };
   Type type = Type::kRequest;
-  NodeId node = kNilNode;  // requester / releaser / recipient
+  NodeId node = kNilNode;  // requester / releaser / recipient / crash victim
   NodeId from = kNilNode;  // deliver: channel sender
   std::string to_string() const;
 };
@@ -67,6 +74,22 @@ struct ExplorerConfig {
   /// token kind seeds a token-uniqueness bug the checker must catch, with
   /// a minimal counterexample trace.
   std::vector<std::string> duplicate_message_kinds;
+  /// Crash fault at exploration level: when set, a kCrash action for this
+  /// node is enabled in every pre-crash state, so the crash is explored at
+  /// EVERY point of the protocol — including while the victim holds the
+  /// token or has it in flight. The crash silently vacates the victim's
+  /// CS, voids its budget and drops its inbound channels (the network's
+  /// dead-destination discard); messages the victim already sent stay
+  /// deliverable.
+  NodeId crash_node = kNilNode;
+  /// With a crash scheduled, enables the kRegenerate action in every
+  /// post-crash state: the survivors elect a regenerator by quorum
+  /// consent, all pre-crash in-flight messages are fenced (the epoch
+  /// bump), the protocol is rebuilt over the compact survivor world and
+  /// pending requests are re-issued. With this OFF a token-holder crash
+  /// must surface as a "terminal state leaves node waiting forever"
+  /// counterexample — the starvation the repair machinery exists to fix.
+  bool regeneration = true;
   /// Optional corruption of the initial node states (seeded-bug configs);
   /// runs right after the factory builds the nodes.
   std::function<void(std::vector<std::unique_ptr<proto::MutexNode>>&)>

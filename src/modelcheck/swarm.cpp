@@ -83,6 +83,33 @@ class SpaceTraceHasher final : public net::NetworkObserver {
   std::uint64_t hash_ = 14695981039346656037ULL;
 };
 
+std::string topology_name(const SwarmConfig& config) {
+  switch (config.topology) {
+    case SwarmConfig::Topology::kLine:
+      return "line";
+    case SwarmConfig::Topology::kStar:
+      return "star";
+    case SwarmConfig::Topology::kRandom:
+      break;
+  }
+  return "random";
+}
+
+/// One-line repro: everything that determines the run, in a form that can
+/// be copied out of a failing test log straight into a SwarmConfig.
+std::string make_repro(const SwarmConfig& config) {
+  std::string repro = "swarm algorithm=" + config.algorithm->name +
+                      " n=" + std::to_string(config.n) +
+                      " seed=" + std::to_string(config.seed) +
+                      " topology=" + topology_name(config) +
+                      " resources=" + std::to_string(config.resources);
+  if (!config.fault_plan.empty()) {
+    repro += " faults='" + config.fault_plan.describe() + "'";
+    repro += config.crash_recovery_enabled ? " recovery=on" : " recovery=off";
+  }
+  return repro;
+}
+
 topology::Tree make_tree(const SwarmConfig& config) {
   switch (config.topology) {
     case SwarmConfig::Topology::kLine:
@@ -119,23 +146,31 @@ StateView make_view(harness::Cluster& cluster) {
 /// StateView of one resource of a LockSpace: the per-algorithm structural
 /// hooks (NEXT forest, HOLDER walk, ...) run unchanged against each
 /// resource's protocol instances, with in-flight traffic filtered to that
-/// resource.
+/// resource. After a crash repair the structure lives in the compact
+/// survivor world, so the view is built over the current epoch's
+/// membership: node ids are ranks, in-flight endpoints are translated,
+/// and stale-epoch envelopes (already fenced, structurally meaningless)
+/// are excluded.
 StateView make_space_view(service::LockSpace& space, ResourceId r) {
+  const fault::Membership* m = &space.membership(r);
+  const Epoch epoch = space.epoch(r);
   StateView view;
-  view.n = space.nodes();
-  view.node = [&space, r](NodeId v) -> const proto::MutexNode& {
-    return space.node(r, v);
+  view.n = m->size();
+  view.node = [&space, r, m](NodeId v) -> const proto::MutexNode& {
+    return space.node(r, m->original_of(v));
   };
-  view.phase = [&space, r](NodeId v) {
-    if (space.is_in_cs(r, v)) return CsPhase::kInCs;
-    return space.is_waiting(r, v) ? CsPhase::kWaiting : CsPhase::kIdle;
+  view.phase = [&space, r, m](NodeId v) {
+    const NodeId original = m->original_of(v);
+    if (space.is_in_cs(r, original)) return CsPhase::kInCs;
+    return space.is_waiting(r, original) ? CsPhase::kWaiting : CsPhase::kIdle;
   };
   view.for_each_in_flight =
-      [&space, r](const std::function<void(NodeId, NodeId,
-                                           const net::Message&)>& fn) {
+      [&space, r, m, epoch](const std::function<void(NodeId, NodeId,
+                                                     const net::Message&)>& fn) {
         space.network().for_each_in_flight(
-            [&fn, r](const net::Envelope& env) {
-              if (env.resource == r) fn(env.from, env.to, *env.message);
+            [&fn, r, m, epoch](const net::Envelope& env) {
+              if (env.resource != r || env.epoch != epoch) return;
+              fn(m->rank_of(env.from), m->rank_of(env.to), *env.message);
             });
       };
   return view;
@@ -155,8 +190,12 @@ SwarmResult run_swarm_space(const SwarmConfig& config) {
       std::make_unique<net::UniformLatency>(config.latency_lo,
                                             config.latency_hi);
   space_config.seed = config.seed;
+  space_config.fault_plan = config.fault_plan;
+  space_config.recovery_enabled = config.crash_recovery_enabled;
+  space_config.detect_after = config.detect_after;
 
   SwarmResult result;
+  result.repro = make_repro(config);
   service::LockSpace space(std::move(space_config));
 
   SpaceTraceHasher hasher;
@@ -165,6 +204,10 @@ SwarmResult run_swarm_space(const SwarmConfig& config) {
   const InvariantHook hook = invariant_hook_for(*config.algorithm);
   if (hook != nullptr) {
     space.set_post_event_hook([hook](service::LockSpace& s, ResourceId r) {
+      // Between a fault and its repair the structure is legitimately
+      // broken (paths lead into the crashed node); structural checks
+      // resume on the repaired compact world.
+      if (s.is_degraded(r)) return;
       const std::string violation = hook(make_space_view(s, r));
       if (!violation.empty()) throw std::logic_error(violation);
     });
@@ -203,6 +246,9 @@ SwarmResult run_swarm_space(const SwarmConfig& config) {
 
   if (result.violation.empty()) {
     for (ResourceId r = 0; r < space.resource_count(); ++r) {
+      // A resource left degraded (no live majority, or recovery off) may
+      // legitimately strand waiters; anything else must have drained.
+      if (space.is_degraded(r)) continue;
       for (NodeId v = 1; v <= config.n && result.violation.empty(); ++v) {
         if (space.is_waiting(r, v)) {
           result.violation = "node " + std::to_string(v) +
@@ -213,6 +259,7 @@ SwarmResult run_swarm_space(const SwarmConfig& config) {
     }
   }
   result.ok = result.violation.empty();
+  if (!result.ok) result.violation += "\nrepro: " + result.repro;
   space.network().set_observer(nullptr);
   return result;
 }
@@ -225,7 +272,9 @@ SwarmResult run_swarm(const SwarmConfig& config) {
   DMX_CHECK(config.n >= 2);
   DMX_CHECK(config.latency_lo >= 1 && config.latency_lo <= config.latency_hi);
   DMX_CHECK(config.resources >= 1);
-  if (config.resources > 1) {
+  if (config.resources > 1 || !config.fault_plan.empty()) {
+    // Crash faults always run on the LockSpace substrate — that is where
+    // the detection/election/regeneration machinery lives.
     return run_swarm_space(config);
   }
 
@@ -241,6 +290,7 @@ SwarmResult run_swarm(const SwarmConfig& config) {
   cluster_config.seed = config.seed;
 
   SwarmResult result;
+  result.repro = make_repro(config);
   harness::Cluster cluster(*config.algorithm, std::move(cluster_config));
 
   SwarmTraceHasher hasher;
@@ -315,6 +365,7 @@ SwarmResult run_swarm(const SwarmConfig& config) {
     }
   }
   result.ok = result.violation.empty();
+  if (!result.ok) result.violation += "\nrepro: " + result.repro;
   cluster.network().set_observer(nullptr);
   return result;
 }

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "fault/fault_plan.hpp"
 #include "proto/algorithm.hpp"
 
 namespace dmx::modelcheck {
@@ -50,6 +51,16 @@ struct SwarmConfig {
   double drop_probability = 0.0;
   /// One-shot duplication of the next message of this kind ("" = off).
   std::string duplicate_next_kind;
+  /// Crash/recovery schedule in virtual time. A non-empty plan routes the
+  /// run through the LockSpace substrate (even single-resource) so the
+  /// crash-repair machinery — detection, election, regeneration, epoch
+  /// fencing — is under the swarm's per-event invariant microscope. With
+  /// `crash_recovery_enabled` the run must still complete green; with it
+  /// off, a token-holder crash must end in a DETECTED token loss.
+  fault::FaultPlan fault_plan;
+  bool crash_recovery_enabled = true;
+  /// Failure-detection timeout for crash repairs (virtual ticks).
+  Tick detect_after = 25;
   /// Multi-resource mode: > 1 runs the schedule against a service::
   /// LockSpace serving this many named resources over one network, with
   /// CS exclusivity and token uniqueness checked PER RESOURCE (plus the
@@ -79,6 +90,10 @@ struct SwarmResult {
   /// Longest request→grant wait observed — the bounded-waiting witness.
   Tick max_wait_ticks = 0;
   Tick makespan = 0;
+  /// One-line repro of this run (algorithm, n, seed, topology, fault
+  /// plan). Appended to `violation` on failure so a red swarm seed can be
+  /// replayed from the test log alone.
+  std::string repro;
 };
 
 /// Runs one seeded swarm schedule.

@@ -31,6 +31,8 @@ Network::Network(sim::Simulator& sim, int n,
   DMX_CHECK(latency_ != nullptr);
   channel_last_delivery_.assign(
       static_cast<std::size_t>(n_ + 1) * static_cast<std::size_t>(n_ + 1), 0);
+  node_down_.assign(static_cast<std::size_t>(n_ + 1), 0);
+  link_severed_.assign(channel_last_delivery_.size(), 0);
 }
 
 void Network::set_delivery_handler(DeliveryHandler handler) {
@@ -55,6 +57,11 @@ void Network::send(NodeId from, NodeId to, MessagePtr message) {
 
 void Network::send(ResourceId resource, NodeId from, NodeId to,
                    MessagePtr message) {
+  send(resource, from, to, std::move(message), resource_epoch(resource));
+}
+
+void Network::send(ResourceId resource, NodeId from, NodeId to,
+                   MessagePtr message, Epoch epoch) {
   DMX_CHECK_MSG(resource >= 0, "bad resource " << resource);
   DMX_CHECK_MSG(from >= 1 && from <= n_, "bad sender " << from);
   DMX_CHECK_MSG(to >= 1 && to <= n_, "bad recipient " << to);
@@ -79,6 +86,17 @@ void Network::send(ResourceId resource, NodeId from, NodeId to,
     rstats.sent_by_kind_id.resize(kind.id() + 1, 0);
   }
   rstats.sent_by_kind_id[kind.id()] += 1;
+
+  // Crash/partition faults: a dead endpoint or severed link eats the
+  // message at send time. Counted as sent (the sender did the work) and
+  // dropped, like the injection knobs below.
+  if (node_down_[static_cast<std::size_t>(from)] ||
+      node_down_[static_cast<std::size_t>(to)] ||
+      link_severed_[link_index(from, to)]) {
+    stats_.total_dropped += 1;
+    rstats.total_dropped += 1;
+    return;
+  }
 
   // Failure injection: the message is counted as sent but vanishes.
   if (drop_next_kind_.valid() && kind == drop_next_kind_) {
@@ -114,6 +132,7 @@ void Network::send(ResourceId resource, NodeId from, NodeId to,
   env.to = to;
   env.sent_at = now;
   env.deliver_at = deliver_at;
+  env.epoch = epoch;
   env.message = std::move(message);
   slots_[slot].active = true;
   ++in_flight_count_;
@@ -127,6 +146,18 @@ void Network::send(ResourceId resource, NodeId from, NodeId to,
     resource_kinds.resize(kind.id() + 1, 0);
   }
   ++resource_kinds[kind.id()];
+  if (static_cast<std::size_t>(resource) >= in_flight_by_epoch_.size()) {
+    in_flight_by_epoch_.resize(static_cast<std::size_t>(resource) + 1);
+  }
+  auto& epoch_layers = in_flight_by_epoch_[static_cast<std::size_t>(resource)];
+  if (epoch >= epoch_layers.size()) {
+    epoch_layers.resize(static_cast<std::size_t>(epoch) + 1);
+  }
+  auto& epoch_kinds = epoch_layers[static_cast<std::size_t>(epoch)];
+  if (kind.id() >= epoch_kinds.size()) {
+    epoch_kinds.resize(kind.id() + 1, 0);
+  }
+  ++epoch_kinds[kind.id()];
   if (observer_ != nullptr) {
     observer_->on_send(env);
   }
@@ -138,7 +169,7 @@ void Network::send(ResourceId resource, NodeId from, NodeId to,
   if (duplicate_next_kind_.valid() && kind == duplicate_next_kind_) {
     duplicate_next_kind_ = MessageKind();
     stats_.total_duplicated += 1;
-    send(resource, from, to, slots_[slot].env.message->clone());
+    send(resource, from, to, slots_[slot].env.message->clone(), epoch);
   }
 }
 
@@ -155,11 +186,39 @@ void Network::deliver(std::uint32_t slot_index) {
   --in_flight_by_kind_[env.message->kind_id().id()];
   --in_flight_by_resource_[static_cast<std::size_t>(env.resource)]
                           [env.message->kind_id().id()];
+  --in_flight_by_epoch_[static_cast<std::size_t>(env.resource)]
+                       [static_cast<std::size_t>(env.epoch)]
+                       [env.message->kind_id().id()];
+  // The destination crashed while this envelope was in transit: the wire
+  // delivers into a dead socket.
+  if (node_down_[static_cast<std::size_t>(env.to)]) {
+    discard(std::move(env), DiscardReason::kDeadDestination);
+    return;
+  }
+  // Epoch fence: an envelope from a pre-repair world never reaches a
+  // handler. This is where a lost-then-found stale token dies.
+  if (env.epoch != resource_epoch(env.resource)) {
+    discard(std::move(env), DiscardReason::kStaleEpoch);
+    return;
+  }
   if (observer_ != nullptr) {
     observer_->on_deliver(env);
   }
   DMX_CHECK_MSG(handler_ != nullptr, "no delivery handler installed");
   handler_(env);
+}
+
+void Network::discard(Envelope env, DiscardReason reason) {
+  MessageStats& rstats =
+      resource_stats_[static_cast<std::size_t>(env.resource)];
+  if (reason == DiscardReason::kStaleEpoch) {
+    stats_.total_fenced += 1;
+    rstats.total_fenced += 1;
+  } else {
+    stats_.total_dropped += 1;
+    rstats.total_dropped += 1;
+  }
+  if (discard_handler_) discard_handler_(env, reason);
 }
 
 void Network::reset_stats() {
@@ -191,6 +250,63 @@ void Network::duplicate_next(std::string_view kind) {
   duplicate_next_kind_ = MessageKind::of(kind);
 }
 
+void Network::set_node_down(NodeId v) {
+  DMX_CHECK_MSG(v >= 1 && v <= n_, "bad node " << v);
+  node_down_[static_cast<std::size_t>(v)] = 1;
+}
+
+void Network::set_node_up(NodeId v) {
+  DMX_CHECK_MSG(v >= 1 && v <= n_, "bad node " << v);
+  node_down_[static_cast<std::size_t>(v)] = 0;
+}
+
+bool Network::is_node_down(NodeId v) const {
+  DMX_CHECK_MSG(v >= 1 && v <= n_, "bad node " << v);
+  return node_down_[static_cast<std::size_t>(v)] != 0;
+}
+
+void Network::partition(NodeId a, NodeId b) {
+  DMX_CHECK_MSG(a >= 1 && a <= n_, "bad node " << a);
+  DMX_CHECK_MSG(b >= 1 && b <= n_, "bad node " << b);
+  DMX_CHECK_MSG(a != b, "cannot partition node " << a << " from itself");
+  link_severed_[link_index(a, b)] = 1;
+  link_severed_[link_index(b, a)] = 1;
+}
+
+void Network::heal(NodeId a, NodeId b) {
+  DMX_CHECK_MSG(a >= 1 && a <= n_, "bad node " << a);
+  DMX_CHECK_MSG(b >= 1 && b <= n_, "bad node " << b);
+  DMX_CHECK_MSG(a != b, "cannot heal node " << a << " with itself");
+  link_severed_[link_index(a, b)] = 0;
+  link_severed_[link_index(b, a)] = 0;
+}
+
+bool Network::is_partitioned(NodeId a, NodeId b) const {
+  DMX_CHECK_MSG(a >= 1 && a <= n_, "bad node " << a);
+  DMX_CHECK_MSG(b >= 1 && b <= n_, "bad node " << b);
+  return link_severed_[link_index(a, b)] != 0;
+}
+
+void Network::set_resource_epoch(ResourceId resource, Epoch epoch) {
+  DMX_CHECK_MSG(resource >= 0, "bad resource " << resource);
+  if (static_cast<std::size_t>(resource) >= resource_epoch_.size()) {
+    resource_epoch_.resize(static_cast<std::size_t>(resource) + 1, 0);
+  }
+  resource_epoch_[static_cast<std::size_t>(resource)] = epoch;
+}
+
+Epoch Network::resource_epoch(ResourceId resource) const {
+  if (resource < 0 ||
+      static_cast<std::size_t>(resource) >= resource_epoch_.size()) {
+    return 0;
+  }
+  return resource_epoch_[static_cast<std::size_t>(resource)];
+}
+
+void Network::set_discard_handler(DiscardHandler handler) {
+  discard_handler_ = std::move(handler);
+}
+
 std::size_t Network::in_flight_count(MessageKind kind) const {
   if (!kind.valid() || kind.id() >= in_flight_by_kind_.size()) return 0;
   return in_flight_by_kind_[kind.id()];
@@ -207,6 +323,19 @@ std::size_t Network::in_flight_count(ResourceId resource,
     return 0;
   }
   const auto& kinds = in_flight_by_resource_[static_cast<std::size_t>(resource)];
+  if (!kind.valid() || kind.id() >= kinds.size()) return 0;
+  return kinds[kind.id()];
+}
+
+std::size_t Network::in_flight_count(ResourceId resource, Epoch epoch,
+                                     MessageKind kind) const {
+  if (resource < 0 ||
+      static_cast<std::size_t>(resource) >= in_flight_by_epoch_.size()) {
+    return 0;
+  }
+  const auto& layers = in_flight_by_epoch_[static_cast<std::size_t>(resource)];
+  if (static_cast<std::size_t>(epoch) >= layers.size()) return 0;
+  const auto& kinds = layers[static_cast<std::size_t>(epoch)];
   if (!kind.valid() || kind.id() >= kinds.size()) return 0;
   return kinds[kind.id()];
 }

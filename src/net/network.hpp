@@ -47,6 +47,11 @@ struct Envelope {
   NodeId to = kNilNode;
   Tick sent_at = 0;
   Tick deliver_at = 0;
+  /// Sender's configuration epoch for this resource. The network fences
+  /// envelopes whose epoch trails the resource's current epoch (see
+  /// set_resource_epoch): a PRIVILEGE minted before a crash-repair must
+  /// never be delivered into the regenerated world.
+  Epoch epoch = 0;
   MessagePtr message;
 };
 
@@ -55,6 +60,9 @@ struct MessageStats {
   std::uint64_t total_sent = 0;
   std::uint64_t total_dropped = 0;
   std::uint64_t total_duplicated = 0;
+  /// Envelopes discarded at delivery because their epoch trailed the
+  /// resource's current epoch (stale-token fencing).
+  std::uint64_t total_fenced = 0;
   std::uint64_t total_payload_bytes = 0;
   /// Sends per kind, indexed by MessageKind::id(). May be shorter than
   /// MessageKind::registered_count(); missing entries mean zero.
@@ -100,8 +108,16 @@ class Network {
   /// Resource-tagged send: the envelope carries `resource` so the delivery
   /// handler can route it to the right protocol instance, and per-resource
   /// counters are maintained. FIFO is still per ordered (from, to) channel
-  /// across all resources (one physical link per node pair).
+  /// across all resources (one physical link per node pair). The envelope
+  /// is stamped with the resource's current epoch.
   void send(ResourceId resource, NodeId from, NodeId to, MessagePtr message);
+
+  /// Epoch-stamped send: as above but the envelope carries the sender's
+  /// own epoch, which may trail the resource's current one — a recovered
+  /// but not yet reintegrated node sends with its stale epoch, and those
+  /// envelopes are fenced at delivery.
+  void send(ResourceId resource, NodeId from, NodeId to, MessagePtr message,
+            Epoch epoch);
 
   /// Installs the delivery handler (the harness). Must be set before the
   /// first delivery fires.
@@ -142,6 +158,50 @@ class Network {
   /// (it does traverse the network) plus total_duplicated.
   void duplicate_next(std::string_view kind);
 
+  // --- Crash faults and link faults ---------------------------------------
+  // Node-level and link-level reachability state consumed by the fault
+  // substrate (src/fault). All O(1) per send/deliver: node state is a
+  // dense byte vector, link state a dense (n+1)^2 byte table.
+
+  /// Marks node `v` crashed: subsequent sends to or from it are dropped at
+  /// send, and envelopes already in flight toward it are discarded at
+  /// their delivery tick (the wire does not care that the plug was pulled
+  /// mid-transit). Dead drops count into total_dropped.
+  void set_node_down(NodeId v);
+
+  /// Marks node `v` reachable again. In-flight state is unaffected; the
+  /// node is epoch-stale until the harness reintegrates it.
+  void set_node_up(NodeId v);
+
+  bool is_node_down(NodeId v) const;
+
+  /// Severs the link between `a` and `b` symmetrically: sends either way
+  /// are dropped (counted into total_dropped) until heal(a, b).
+  void partition(NodeId a, NodeId b);
+
+  /// Restores the link between `a` and `b`.
+  void heal(NodeId a, NodeId b);
+
+  bool is_partitioned(NodeId a, NodeId b) const;
+
+  /// Sets the current epoch of `resource`. Envelopes whose stamped epoch
+  /// trails this are fenced at delivery: discarded, counted into
+  /// total_fenced, and reported to the discard handler — never delivered.
+  /// This is the wire half of "a stale token is never granted".
+  void set_resource_epoch(ResourceId resource, Epoch epoch);
+
+  Epoch resource_epoch(ResourceId resource) const;
+
+  /// Why an in-flight envelope was discarded instead of delivered.
+  enum class DiscardReason : std::uint8_t { kDeadDestination, kStaleEpoch };
+
+  /// Called at the delivery tick of every discarded envelope, after
+  /// counters are decremented. The LockSpace hooks this to re-check token
+  /// uniqueness exactly where token loss becomes observable. Pass nullptr
+  /// to clear.
+  using DiscardHandler = std::function<void(const Envelope&, DiscardReason)>;
+  void set_discard_handler(DiscardHandler handler);
+
   /// Number of messages currently in flight.
   std::size_t in_flight_count() const { return in_flight_count_; }
 
@@ -155,6 +215,14 @@ class Network {
   /// per-resource LockSpace re-checks token uniqueness for the delivered
   /// envelope's resource after every event.
   std::size_t in_flight_count(ResourceId resource, MessageKind kind) const;
+
+  /// Number of in-flight messages of one kind on one resource stamped
+  /// with exactly `epoch`. O(1). The fault-tolerant token-uniqueness
+  /// invariant counts only current-epoch tokens: a stale PRIVILEGE still
+  /// in flight is already dead (it will be fenced), so it must not make a
+  /// regenerated token look like a duplicate.
+  std::size_t in_flight_count(ResourceId resource, Epoch epoch,
+                              MessageKind kind) const;
 
   /// Visits every in-flight envelope (order unspecified).
   void for_each_in_flight(
@@ -170,7 +238,12 @@ class Network {
   };
 
   void deliver(std::uint32_t slot_index);
+  void discard(Envelope env, DiscardReason reason);
   std::uint32_t acquire_slot();
+  std::size_t link_index(NodeId a, NodeId b) const {
+    return static_cast<std::size_t>(a) * static_cast<std::size_t>(n_ + 1) +
+           static_cast<std::size_t>(b);
+  }
 
   sim::Simulator& sim_;
   int n_;
@@ -197,6 +270,13 @@ class Network {
   // allocation-free once every (resource, kind) pair has been seen.
   std::vector<std::vector<std::size_t>> in_flight_by_resource_;
   std::vector<MessageStats> resource_stats_;
+  // Fault state. Epochs stay tiny (one bump per repair), so the per-epoch
+  // counter layer [resource][epoch][kind] remains dense and O(1) to probe.
+  std::vector<std::uint8_t> node_down_;        // index 1..n, 1 = crashed
+  std::vector<std::uint8_t> link_severed_;     // dense (n+1)^2, symmetric
+  std::vector<Epoch> resource_epoch_;          // index by resource, 0 default
+  std::vector<std::vector<std::vector<std::size_t>>> in_flight_by_epoch_;
+  DiscardHandler discard_handler_;
 };
 
 }  // namespace dmx::net

@@ -26,6 +26,10 @@ struct ClusterSpec {
   /// Seed for any algorithm-internal randomness (none of the implemented
   /// protocols randomize, but the spec carries it for extensions).
   std::uint64_t seed = 1;
+  /// Configuration generation these instances belong to: 0 for the initial
+  /// membership, bumped by every crash-recovery structure repair. Snapshots
+  /// and repair logs use it to tell regenerated worlds apart.
+  Epoch epoch = 0;
 };
 
 /// Builds the N protocol nodes (index 0 unused, 1..n populated) in their

@@ -1,0 +1,49 @@
+#include "quorum/election.hpp"
+
+#include "common/check.hpp"
+#include "quorum/quorum.hpp"
+
+namespace dmx::quorum {
+
+NodeId elect_regenerator(int n, const std::vector<std::uint8_t>& up) {
+  DMX_CHECK(n >= 1);
+  DMX_CHECK(static_cast<int>(up.size()) >= n + 1);
+
+  int alive = 0;
+  for (NodeId v = 1; v <= n; ++v) {
+    if (up[static_cast<std::size_t>(v)]) ++alive;
+  }
+  if (alive * 2 <= n) return kNilNode;
+
+  const QuorumSet quorums = maekawa_quorums(n);
+
+  // Each live node consents to the smallest live candidate. A candidate
+  // wins iff every live member of its committee consents to it, i.e. no
+  // smaller live node exists — run the check smallest-first and take the
+  // first winner.
+  for (NodeId candidate = 1; candidate <= n; ++candidate) {
+    if (!up[static_cast<std::size_t>(candidate)]) continue;
+    bool consented = true;
+    for (NodeId member : quorums[static_cast<std::size_t>(candidate)]) {
+      if (!up[static_cast<std::size_t>(member)]) continue;  // dead: no vote
+      // `member` consents to its smallest known live candidate; since we
+      // scan candidates in ascending order, the current candidate is the
+      // smallest live node, so every live member consents.
+      NodeId smallest = kNilNode;
+      for (NodeId v = 1; v <= n; ++v) {
+        if (up[static_cast<std::size_t>(v)]) {
+          smallest = v;
+          break;
+        }
+      }
+      if (smallest != candidate) {
+        consented = false;
+        break;
+      }
+    }
+    if (consented) return candidate;
+  }
+  return kNilNode;
+}
+
+}  // namespace dmx::quorum

@@ -1,0 +1,31 @@
+// Quorum-consent election of the token regenerator.
+//
+// After token loss the survivors must agree on exactly one node to
+// reconstruct the token — two regenerators would mint two tokens and void
+// the safety property the service exists for. We reuse Maekawa's committee
+// construction (quorum.hpp): a candidate wins by collecting consent from
+// every live member of its committee, and each node consents only to the
+// smallest live candidate it knows of. Because committees pairwise
+// intersect, two simultaneous winners would need disjoint consenting sets,
+// which is impossible — so the winner is unique, and with the
+// lowest-candidate consent rule it is deterministically the smallest live
+// node. The deterministic fold below computes that fixpoint directly;
+// both substrates call it at repair time so sim, threaded, and explorer
+// repairs all pick the same regenerator for the same survivor set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dmx::quorum {
+
+/// Returns the unique election winner among live nodes of an n-node
+/// system (up[v] != 0 means node v is alive), or kNilNode when no winner
+/// exists. Regeneration additionally requires a strict majority of the
+/// FULL node set alive (alive * 2 > n): a minority partition must never
+/// mint a token the majority side could also regenerate.
+NodeId elect_regenerator(int n, const std::vector<std::uint8_t>& up);
+
+}  // namespace dmx::quorum

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/membership.hpp"
 #include "net/network.hpp"
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
@@ -54,6 +56,18 @@ struct LockSpaceConfig {
   int directory_vnodes = 16;
   /// Timing-wheel span for the underlying simulator.
   std::size_t wheel_span = sim::Simulator::kDefaultWheelSpan;
+  /// Crash/recovery schedule applied in virtual time (empty = no faults).
+  fault::FaultPlan fault_plan;
+  /// When true (the default), each crash or recovery schedules a structure
+  /// repair after `detect_after` ticks: survivors elect a regenerator
+  /// (src/quorum consent), the epoch bumps, and fresh protocol instances
+  /// are built over the compact survivor membership with the token minted
+  /// at the winner. When false, faults are injected but never repaired —
+  /// the configuration the token-loss counterexample tests run in.
+  bool recovery_enabled = true;
+  /// Failure-detection timeout: virtual ticks between a fault event and
+  /// the repair it triggers, modeling timeout-based detection.
+  Tick detect_after = 25;
 };
 
 /// Completion handle for an async acquire. The space sets `granted` (and
@@ -71,6 +85,11 @@ class LockSpace {
   using GrantCallback = std::function<void(ResourceId, NodeId)>;
   /// Per-event invariant hook, called with the resource the event touched.
   using PostEventHook = std::function<void(LockSpace&, ResourceId)>;
+  /// Fires when node membership changes: (node, up). `up == false` at the
+  /// moment of a crash; `up == true` when a recovered node is reintegrated
+  /// by a repair. Drivers use it to stop and restart per-node client
+  /// loops.
+  using MembershipHook = std::function<void(NodeId, bool)>;
 
   explicit LockSpace(LockSpaceConfig config);
   ~LockSpace();
@@ -138,6 +157,34 @@ class LockSpace {
   /// the event touched.
   void set_post_event_hook(PostEventHook hook);
 
+  void set_membership_hook(MembershipHook hook);
+
+  // --- Crash faults ---------------------------------------------------------
+  // The scheduled path applies config.fault_plan in virtual time; tests
+  // may also crash/recover nodes directly at the current tick.
+
+  /// Crashes node `v` now: its protocol state freezes (NOT reset — a later
+  /// recovery brings the stale state back), the network drops its traffic,
+  /// any CS occupancy or waiting tickets it holds are voided, and — with
+  /// recovery enabled — a repair is scheduled after `detect_after` ticks.
+  void crash(NodeId v);
+
+  /// Recovers node `v` now: reachable again but epoch-stale (its frozen
+  /// instances are fenced) until the scheduled repair reintegrates it.
+  void recover(NodeId v);
+
+  bool is_node_up(NodeId v) const;
+  /// Number of currently live nodes.
+  int alive_count() const;
+
+  /// Current configuration epoch of resource `r` (0 until first repair).
+  Epoch epoch(ResourceId r) const;
+  /// True between a fault hitting resource `r` and its repair; a degraded
+  /// token resource may transiently have zero live tokens.
+  bool is_degraded(ResourceId r) const;
+  /// Compact survivor membership of `r`'s current epoch.
+  const fault::Membership& membership(ResourceId r) const;
+
   /// Drains all pending simulator events.
   void run_to_quiescence() { sim_.run(); }
 
@@ -164,6 +211,19 @@ class LockSpace {
     /// per-event uniqueness check O(#token_kinds).
     int resident_tokens = 0;
     std::vector<std::uint8_t> token_at;  // 1..n, token-based only
+    /// Fault-tolerance state. Epoch 0 runs over the identity membership
+    /// (membership == nullptr) with zero overhead on the no-fault path.
+    Epoch epoch = 0;
+    std::vector<Epoch> node_epoch;  // 1..n: epoch of each node's instance
+    std::shared_ptr<const fault::Membership> membership;  // null = identity
+    /// Tree the current epoch's path-forwarding instances were built over
+    /// (kept alive because factories may retain structure derived from it).
+    std::optional<topology::Tree> repair_tree;
+    bool degraded = false;
+    /// Set when a repair arrived while a live node occupied the CS: the
+    /// repair runs inside that node's release() instead, which then skips
+    /// the protocol release (the old world is discarded wholesale).
+    bool repair_pending = false;
   };
 
   Resource& resource(ResourceId r);
@@ -171,6 +231,10 @@ class LockSpace {
   void ensure_tree();
   void on_grant(ResourceId r, NodeId v);
   void deliver(const net::Envelope& env);
+  void on_discard(const net::Envelope& env, net::Network::DiscardReason reason);
+  void apply_fault(const fault::FaultEvent& event);
+  void repair_all();
+  void repair_resource(ResourceId r);
   /// Reconciles node `v`'s entry of the resident-token mirror after a
   /// handler ran on it.
   static void sync_resident_token(Resource& res, NodeId v);
@@ -182,6 +246,17 @@ class LockSpace {
   std::vector<std::unique_ptr<Resource>> resources_;  // by ResourceId
   std::uint64_t total_entries_ = 0;
   PostEventHook post_event_hook_;
+  MembershipHook membership_hook_;
+  std::vector<std::uint8_t> node_up_;  // 1..n, 1 = alive
+  /// Nodes whose crash fired the membership hook and which have not yet
+  /// been reintegrated by any repair (the first repair that readmits the
+  /// node fires the rejoin hook and clears the bit).
+  std::vector<std::uint8_t> rejoin_pending_;  // 1..n
+  /// True once any fault is scheduled or injected; gates the (slightly
+  /// wider) fault-aware acquire/release/invariant paths so the no-fault
+  /// configuration behaves exactly as before.
+  bool fault_active_ = false;
+  fault::Membership identity_;
 };
 
 }  // namespace dmx::service

@@ -73,6 +73,7 @@ struct Driver {
 
   void issue(NodeId v) {
     if (stopped) return;
+    if (!space.is_node_up(v)) return;  // loop dies; rejoin restarts it
     const ResourceId r = pick(v);
     if (r == kNilResource) {
       // More clients on this node than resources; retry next tick.
@@ -81,6 +82,9 @@ struct Driver {
     }
     space.acquire(r, v, [this](ResourceId res, NodeId entered) {
       space.simulator().schedule_after(sample_hold(), [this, res, entered] {
+        // Under faults the release may be a ghost (the node died in the
+        // CS, or a repair revoked its world); LockSpace no-ops it. The
+        // entry itself DID happen, so it still counts.
         space.release(res, entered);
         ++entries_by_resource[static_cast<std::size_t>(res)];
         ++completed;
@@ -93,6 +97,16 @@ struct Driver {
         });
       });
     });
+  }
+
+  /// A reintegrated node gets a fresh set of client loops. Loops die with
+  /// their node (issue() on a dead node returns, a crash voids waiting
+  /// tickets), so the rejoin is the restart point.
+  void rejoin(NodeId v) {
+    for (int c = 0; c < config.clients_per_node; ++c) {
+      space.simulator().schedule_after(sample_think(),
+                                       [this, v] { issue(v); });
+    }
   }
 };
 
@@ -111,6 +125,13 @@ SpaceWorkloadResult run_space_workload(LockSpace& space,
   const Tick started_at = space.simulator().now();
   const std::uint64_t entries_before = space.total_entries();
 
+  // Client loops follow membership: a crash kills the node's loops, the
+  // repair that readmits it restarts them. (Claims the space's membership
+  // hook for the duration of the run.)
+  space.set_membership_hook([d = driver.get()](NodeId v, bool up) {
+    if (up) d->rejoin(v);
+  });
+
   // Stagger initial arrivals by the think-time distribution (saturation
   // starts the herd at once, deliberately).
   for (NodeId v = 1; v <= space.nodes(); ++v) {
@@ -122,6 +143,7 @@ SpaceWorkloadResult run_space_workload(LockSpace& space,
     }
   }
   space.run_to_quiescence();
+  space.set_membership_hook(nullptr);
   DMX_CHECK_MSG(driver->completed >= config.target_entries,
                 "space workload stalled at " << driver->completed << " of "
                                              << config.target_entries

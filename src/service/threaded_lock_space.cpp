@@ -8,14 +8,23 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "exec/strand.hpp"
+#include "quorum/election.hpp"
 
 namespace dmx::service {
 
 /// One (resource, node) protocol state machine with its strand. Protocol
-/// state (`node`, `rng`) is strand-confined: only strand tasks touch it,
-/// and the strand's serialization publishes task i's writes to task i+1.
-/// The client-side gate (`waiting`/`requested`/`granted`/`held`) bridges
-/// application threads and strand tasks under `client_mutex`.
+/// state (`node`, `rng`, `epoch`, `membership`) is strand-confined: only
+/// strand tasks touch it, and the strand's serialization publishes task
+/// i's writes to task i+1. The client-side gate (`waiting`/`requested`/
+/// `granted`/`held`) bridges application threads and strand tasks under
+/// `client_mutex`.
+///
+/// Crash fencing: every protocol task carries the epoch it was minted in
+/// and drops itself when it no longer matches the strand's — the
+/// thread-kill equivalent. A crash or repair bumps the epoch, so queued
+/// old-world work dies unobserved without ever blocking a strand, and a
+/// repair installs a fresh compact-world instance via an unfenced reset
+/// task that every later same-strand task observes.
 struct ThreadedLockSpace::ResourceNode {
   ResourceNode(ThreadedLockSpace& space, ResourceId resource, NodeId self,
                std::uint64_t seed)
@@ -23,13 +32,24 @@ struct ThreadedLockSpace::ResourceNode {
         strand(space.executor_), rng(seed), context(*this) {}
 
   /// proto::Context for this state machine; used only from strand tasks.
+  /// Post-repair the protocol instance lives in the compact survivor
+  /// world: self()/send() speak ranks to it, the wire keeps original ids.
   class Context final : public proto::Context {
    public:
     explicit Context(ResourceNode& rn) : rn_(rn) {}
-    NodeId self() const override { return rn_.self; }
-    int cluster_size() const override { return rn_.space.config_.n; }
+    NodeId self() const override {
+      return rn_.membership != nullptr ? rn_.membership->rank_of(rn_.self)
+                                       : rn_.self;
+    }
+    int cluster_size() const override {
+      return rn_.membership != nullptr ? rn_.membership->size()
+                                       : rn_.space.config_.n;
+    }
     void send(NodeId to, net::MessagePtr message) override {
-      rn_.space.route(rn_.resource, rn_.self, to, std::move(message));
+      const NodeId to_original =
+          rn_.membership != nullptr ? rn_.membership->original_of(to) : to;
+      rn_.space.route(rn_.resource, rn_.self, to_original,
+                      std::move(message), rn_.epoch);
     }
     void grant() override { rn_.on_grant(); }
 
@@ -39,18 +59,33 @@ struct ThreadedLockSpace::ResourceNode {
 
   // --- Strand tasks --------------------------------------------------------
 
-  void deliver(NodeId from, net::MessagePtr message) {
+  bool fenced(Epoch tag) const {
+    return tag != epoch ||
+           space.node_down_[static_cast<std::size_t>(self)].load(
+               std::memory_order_relaxed);
+  }
+
+  void deliver(Epoch tag, NodeId from, net::MessagePtr message) {
     if (space.failed_.load(std::memory_order_relaxed)) return;
+    if (fenced(tag)) return;
     try {
       maybe_jitter();
-      node->on_message(context, from, *message);
+      node->on_message(context,
+                       membership != nullptr ? membership->rank_of(from)
+                                             : from,
+                       *message);
     } catch (const std::exception& e) {
       space.fail(e.what());
     }
   }
 
-  void request() {
+  void request(Epoch tag) {
     if (space.failed_.load(std::memory_order_relaxed)) return;
+    if (fenced(tag)) return;
+    // A repair's re-issue may have beaten this task into the new world
+    // (one outstanding protocol request per node, ever).
+    if (request_outstanding) return;
+    request_outstanding = true;
     try {
       node->request_cs(context);
     } catch (const std::exception& e) {
@@ -58,8 +93,10 @@ struct ThreadedLockSpace::ResourceNode {
     }
   }
 
-  void release() {
+  void release(Epoch tag) {
     if (space.failed_.load(std::memory_order_relaxed)) return;
+    if (fenced(tag)) return;
+    request_outstanding = false;
     try {
       node->release_cs(context);
     } catch (const std::exception& e) {
@@ -67,12 +104,52 @@ struct ThreadedLockSpace::ResourceNode {
     }
   }
 
-  void on_grant() {
+  /// Post-repair request re-issue: the node's pre-repair protocol request
+  /// died with the old epoch, so if application threads are still parked
+  /// (or a request was posted and fenced), ask again in the fresh world —
+  /// unless a new-epoch request task already ran here.
+  void rerequest(Epoch tag) {
+    if (space.failed_.load(std::memory_order_relaxed)) return;
+    if (fenced(tag)) return;
+    if (request_outstanding) return;
+    bool want = false;
     {
       std::lock_guard<std::mutex> guard(client_mutex);
-      granted = true;
+      want = requested || waiting > 0;
+      requested = want;
     }
-    client_cv.notify_all();
+    if (!want) return;
+    request_outstanding = true;
+    try {
+      node->request_cs(context);
+    } catch (const std::exception& e) {
+      space.fail(e.what());
+    }
+  }
+
+  void on_grant() {
+    bool hand_off = false;
+    {
+      std::lock_guard<std::mutex> guard(client_mutex);
+      const bool dead = space.node_down_[static_cast<std::size_t>(self)].load(
+          std::memory_order_relaxed);
+      if (!dead && waiting > 0) {
+        granted = true;
+        granted_epoch = epoch;
+        hand_off = true;
+      } else {
+        // Nobody will consume this grant — every waiter timed out, or the
+        // node crashed between request and grant. Hand the CS straight
+        // back so the resource keeps flowing.
+        requested = false;
+      }
+    }
+    if (hand_off) {
+      client_cv.notify_all();
+      return;
+    }
+    const Epoch tag = epoch;  // on_grant runs on the strand
+    strand.post([this, tag] { release(tag); });
   }
 
   void maybe_jitter() {
@@ -90,6 +167,15 @@ struct ThreadedLockSpace::ResourceNode {
   exec::Strand strand;
   std::unique_ptr<proto::MutexNode> node;  // strand-confined
   Rng rng;                                 // strand-confined (jitter)
+  /// Reconfiguration epoch this strand's instance belongs to and, post-
+  /// repair, the compact membership it speaks. Strand-confined; written
+  /// only by reset tasks.
+  Epoch epoch = 0;
+  std::shared_ptr<const fault::Membership> membership;
+  /// Whether this world's instance has an unreleased protocol request in
+  /// flight — dedupes the client's posted request against a repair's
+  /// re-issue. Strand-confined; cleared by release and by reset.
+  bool request_outstanding = false;
   Context context;
 
   /// Local waiters and grant hand-off; client_mutex guards every field.
@@ -98,6 +184,11 @@ struct ThreadedLockSpace::ResourceNode {
   int waiting = 0;
   bool requested = false;
   bool granted = false;
+  /// Epoch the pending grant was minted in: a consumer revalidates it
+  /// against the resource's current epoch, so a grant from a world that a
+  /// repair has since fenced is discarded instead of entering the CS
+  /// alongside the regenerated token.
+  Epoch granted_epoch = 0;
   bool held = false;
 };
 
@@ -140,14 +231,31 @@ ThreadedLockSpace::ThreadedLockSpace(ThreadedLockSpaceConfig config)
       static_cast<std::size_t>(m));
   entries_ = std::make_unique<std::atomic<std::uint64_t>[]>(
       static_cast<std::size_t>(m));
+  unavailable_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(m));
+  resource_epoch_ = std::make_unique<std::atomic<Epoch>[]>(
+      static_cast<std::size_t>(m));
   for (int r = 0; r < m; ++r) {
     occupancy_[static_cast<std::size_t>(r)].store(0);
     entries_[static_cast<std::size_t>(r)].store(0);
+    unavailable_[static_cast<std::size_t>(r)].store(false);
+    resource_epoch_[static_cast<std::size_t>(r)].store(0);
+  }
+  node_down_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<std::size_t>(config_.n) + 1);
+  for (NodeId v = 0; v <= config_.n; ++v) {
+    node_down_[static_cast<std::size_t>(v)].store(false);
+  }
+  repair_.reserve(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    repair_.push_back(std::make_unique<RepairState>());
+    repair_.back()->membership = fault::Membership::identity(config_.n);
   }
 
   nodes_.reserve(static_cast<std::size_t>(m) *
                  static_cast<std::size_t>(config_.n));
   Rng seeder(config_.seed);
+  initial_holder_.assign(static_cast<std::size_t>(m), kNilNode);
   for (const std::string& name : config_.resources) {
     const ResourceId r = directory_.open(name);
     const proto::Algorithm& algorithm =
@@ -162,6 +270,7 @@ ThreadedLockSpace::ThreadedLockSpace(ThreadedLockSpaceConfig config)
         algorithm.name == "Singhal" ? 1 : directory_.home_node(r);
     spec.tree = config_.tree.has_value() ? &*config_.tree : nullptr;
     spec.seed = config_.seed;
+    initial_holder_[static_cast<std::size_t>(r)] = spec.initial_token_holder;
     auto protocol_nodes = algorithm.factory(spec);
     DMX_CHECK(protocol_nodes.size() ==
               static_cast<std::size_t>(config_.n) + 1);
@@ -191,10 +300,25 @@ const proto::Algorithm& ThreadedLockSpace::algorithm(ResourceId r) const {
   return algorithms_[static_cast<std::size_t>(r)];
 }
 
-void ThreadedLockSpace::lock(ResourceId r, NodeId v) {
+bool ThreadedLockSpace::is_node_up(NodeId v) const {
   DMX_CHECK(v >= 1 && v <= config_.n);
+  return !node_down_[static_cast<std::size_t>(v)].load(
+      std::memory_order_relaxed);
+}
+
+Epoch ThreadedLockSpace::epoch(ResourceId r) const {
   DMX_CHECK(r >= 0 && r < resource_count());
+  return resource_epoch_[static_cast<std::size_t>(r)].load(
+      std::memory_order_acquire);
+}
+
+LockError ThreadedLockSpace::wait_for_grant(
+    ResourceId r, NodeId v, const std::chrono::milliseconds* timeout) {
   ResourceNode& x = rn(r, v);
+  const auto deadline =
+      timeout != nullptr
+          ? std::chrono::steady_clock::now() + *timeout
+          : std::chrono::steady_clock::time_point::max();
   {
     std::unique_lock<std::mutex> guard(x.client_mutex);
     ++x.waiting;
@@ -203,24 +327,61 @@ void ThreadedLockSpace::lock(ResourceId r, NodeId v) {
     // next request once the current holder leaves).
     if (!x.requested && !x.held) {
       x.requested = true;
-      x.strand.post([&x] { x.request(); });
+      const Epoch tag = resource_epoch_[static_cast<std::size_t>(r)].load(
+          std::memory_order_acquire);
+      x.strand.post([&x, tag] { x.request(tag); });
     }
-    x.client_cv.wait(guard, [this, &x] {
-      return x.granted || failed_.load(std::memory_order_relaxed);
-    });
-    if (!x.granted) {
+    const auto ready = [this, r, &x] {
+      return x.granted || failed_.load(std::memory_order_relaxed) ||
+             node_down_[static_cast<std::size_t>(x.self)].load(
+                 std::memory_order_relaxed) ||
+             unavailable_[static_cast<std::size_t>(r)].load(
+                 std::memory_order_relaxed);
+    };
+    while (true) {
+      bool signalled = true;
+      if (timeout == nullptr) {
+        x.client_cv.wait(guard, ready);
+      } else {
+        signalled = x.client_cv.wait_until(guard, deadline, ready);
+      }
+      if (!signalled) {
+        // Deadline passed. The request stays posted; a grant arriving
+        // with nobody waiting is handed straight back by on_grant.
+        --x.waiting;
+        return LockError::kTimeout;
+      }
+      if (x.granted) {
+        // Revalidate against the current epoch: a repair may have fenced
+        // the world this grant came from, in which case the regenerated
+        // token supersedes it and entering would break exclusion. The
+        // repair's re-request covers us; keep waiting.
+        if (x.granted_epoch !=
+            resource_epoch_[static_cast<std::size_t>(r)].load(
+                std::memory_order_acquire)) {
+          x.granted = false;
+          continue;
+        }
+        x.granted = false;
+        x.requested = false;
+        --x.waiting;
+        x.held = true;
+        break;
+      }
+      --x.waiting;
+      if (node_down_[static_cast<std::size_t>(x.self)].load(
+              std::memory_order_relaxed) ||
+          unavailable_[static_cast<std::size_t>(r)].load(
+              std::memory_order_relaxed)) {
+        return LockError::kUnavailable;
+      }
       // A protocol handler threw somewhere in the space; waiting for a
       // grant would hang forever. Surface the failure to the caller
       // (details in first_error()).
-      --x.waiting;
       DMX_CHECK_MSG(false, "lock service failed while node "
                                << v << " waited on resource " << name(r)
                                << "; see first_error()");
     }
-    x.granted = false;
-    x.requested = false;
-    --x.waiting;
-    x.held = true;
   }
   // Exclusivity witness: the grant we just consumed must be the only
   // occupancy of this resource anywhere in the space.
@@ -232,27 +393,218 @@ void ThreadedLockSpace::lock(ResourceId r, NodeId v) {
   }
   entries_[static_cast<std::size_t>(r)].fetch_add(1,
                                                   std::memory_order_relaxed);
+  return LockError::kOk;
+}
+
+void ThreadedLockSpace::lock(ResourceId r, NodeId v) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  DMX_CHECK(r >= 0 && r < resource_count());
+  const LockError error = wait_for_grant(r, v, nullptr);
+  DMX_CHECK_MSG(error == LockError::kOk,
+                "lock of resource " << name(r) << " on node " << v
+                                    << " can never be granted (crashed node "
+                                       "or dead resource)");
+}
+
+LockError ThreadedLockSpace::try_lock_for(ResourceId r, NodeId v,
+                                          std::chrono::milliseconds timeout) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  DMX_CHECK(r >= 0 && r < resource_count());
+  return wait_for_grant(r, v, &timeout);
 }
 
 void ThreadedLockSpace::unlock(ResourceId r, NodeId v) {
   DMX_CHECK(v >= 1 && v <= config_.n);
   DMX_CHECK(r >= 0 && r < resource_count());
   ResourceNode& x = rn(r, v);
-  std::lock_guard<std::mutex> guard(x.client_mutex);
-  DMX_CHECK_MSG(x.held, "unlock of resource " << name(r) << " on node " << v
-                                              << " which does not hold it");
-  x.held = false;
-  // The witness retires only after the held-check passed (a bogus unlock
-  // must not drive the counter negative), yet before the release reaches
-  // the protocol — after that the next grant may already increment it.
-  occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
-  // Strand FIFO orders the release ahead of the follow-up request, and
-  // posting under client_mutex keeps a racing lock() on another thread
-  // from slipping its request in between.
-  x.strand.post([&x] { x.release(); });
-  if (x.waiting > 0 && !x.requested) {
-    x.requested = true;
-    x.strand.post([&x] { x.request(); });
+  {
+    std::lock_guard<std::mutex> guard(x.client_mutex);
+    if (!x.held) {
+      // After a crash the holder's world may have been revoked under it
+      // (the node died in its CS, or a repair fenced its grant); the
+      // zombie's unlock is a ghost, not an error.
+      if (fault_active_.load(std::memory_order_relaxed)) return;
+      DMX_CHECK_MSG(false, "unlock of resource "
+                               << name(r) << " on node " << v
+                               << " which does not hold it");
+    }
+    x.held = false;
+    // The witness retires only after the held-check passed (a bogus unlock
+    // must not drive the counter negative), yet before the release reaches
+    // the protocol — after that the next grant may already increment it.
+    occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
+    // Strand FIFO orders the release ahead of the follow-up request, and
+    // posting under client_mutex keeps a racing lock() on another thread
+    // from slipping its request in between.
+    const Epoch tag = resource_epoch_[static_cast<std::size_t>(r)].load(
+        std::memory_order_acquire);
+    x.strand.post([&x, tag] { x.release(tag); });
+    if (x.waiting > 0 && !x.requested) {
+      x.requested = true;
+      x.strand.post([&x, tag] { x.request(tag); });
+    }
+  }
+  // Complete a repair that deferred while this node held the lock. Taken
+  // without client_mutex: maybe_repair acquires client mutexes under the
+  // repair mutex, never the reverse.
+  bool complete = false;
+  {
+    RepairState& rs = *repair_[static_cast<std::size_t>(r)];
+    std::lock_guard<std::mutex> guard(rs.mutex);
+    complete = rs.pending;
+    rs.pending = false;
+  }
+  if (complete) maybe_repair(r);
+}
+
+void ThreadedLockSpace::crash(NodeId v) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  if (node_down_[static_cast<std::size_t>(v)].exchange(true)) return;
+  fault_active_.store(true, std::memory_order_seq_cst);
+  for (int r = 0; r < resource_count(); ++r) {
+    ResourceNode& x = rn(r, v);
+    bool was_held = false;
+    {
+      std::lock_guard<std::mutex> guard(x.client_mutex);
+      was_held = x.held;
+      x.held = false;
+      x.granted = false;
+      x.requested = false;
+    }
+    // The victim died inside its CS: the occupancy witness retires with it
+    // (the repair will re-mint the token among the survivors).
+    if (was_held) occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
+    x.client_cv.notify_all();  // v's waiters wake and see the dead node
+  }
+  for (int r = 0; r < resource_count(); ++r) {
+    if (config_.recovery_enabled) {
+      maybe_repair(r);
+    } else if (initial_holder_[static_cast<std::size_t>(r)] == v) {
+      // Token-loss detection without regeneration: the resource whose
+      // home (initial token holder) died can never grant again. Surface
+      // it instead of letting try_lock_for wait forever.
+      unavailable_[static_cast<std::size_t>(r)].store(
+          true, std::memory_order_seq_cst);
+      wake_all(r);
+    }
+  }
+}
+
+void ThreadedLockSpace::recover(NodeId v) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  if (!node_down_[static_cast<std::size_t>(v)].exchange(false)) return;
+  if (!config_.recovery_enabled) return;  // back up, but never reintegrated
+  for (int r = 0; r < resource_count(); ++r) {
+    maybe_repair(r);
+  }
+}
+
+void ThreadedLockSpace::maybe_repair(ResourceId r) {
+  RepairState& rs = *repair_[static_cast<std::size_t>(r)];
+  std::lock_guard<std::mutex> repair_guard(rs.mutex);
+
+  std::vector<std::uint8_t> up(static_cast<std::size_t>(config_.n) + 1, 0);
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    up[static_cast<std::size_t>(v)] =
+        node_down_[static_cast<std::size_t>(v)].load(
+            std::memory_order_seq_cst)
+            ? 0
+            : 1;
+  }
+  bool current = true;
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    current = current && (up[static_cast<std::size_t>(v)] != 0) ==
+                             rs.membership.contains(v);
+  }
+  if (current) {
+    rs.pending = false;
+    return;
+  }
+
+  const NodeId winner = quorum::elect_regenerator(config_.n, up);
+  if (winner == kNilNode) {
+    // No live majority: the resource stays degraded until enough nodes
+    // come back. Waiters are told rather than left hanging.
+    unavailable_[static_cast<std::size_t>(r)].store(
+        true, std::memory_order_seq_cst);
+    wake_all(r);
+    return;
+  }
+
+  // Fence first: from here on no grant minted in the old world can be
+  // consumed (wait_for_grant revalidates granted_epoch against this), and
+  // every old-tagged strand task drops itself.
+  const Epoch e = resource_epoch_[static_cast<std::size_t>(r)].load(
+                      std::memory_order_acquire) +
+                  1;
+  resource_epoch_[static_cast<std::size_t>(r)].store(
+      e, std::memory_order_seq_cst);
+
+  // Defer while a live survivor is inside its CS; its unlock completes
+  // the repair (the epoch stays bumped, so the resource quiesces).
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    if (!up[static_cast<std::size_t>(v)]) continue;
+    ResourceNode& x = rn(r, v);
+    std::lock_guard<std::mutex> guard(x.client_mutex);
+    if (x.held) {
+      rs.pending = true;
+      return;
+    }
+  }
+
+  fault::Membership membership =
+      fault::Membership::survivors(config_.n, up);
+  proto::ClusterSpec spec;
+  spec.n = membership.size();
+  spec.initial_token_holder = membership.rank_of(winner);
+  spec.seed = config_.seed;
+  spec.epoch = e;
+  const proto::Algorithm& algorithm =
+      algorithms_[static_cast<std::size_t>(r)];
+  if (algorithm.needs_tree) {
+    // Star over the survivors rooted at the winner: diameter 2 from any
+    // survivor to the regenerated token, independent of who died.
+    rs.trees.push_back(std::make_unique<topology::Tree>(
+        topology::Tree::star(spec.n, spec.initial_token_holder)));
+    spec.tree = rs.trees.back().get();
+  }
+  auto fresh = algorithm.factory(spec);
+  DMX_CHECK(fresh.size() == static_cast<std::size_t>(spec.n) + 1);
+  auto shared =
+      std::make_shared<const fault::Membership>(std::move(membership));
+  rs.membership = *shared;
+  unavailable_[static_cast<std::size_t>(r)].store(
+      false, std::memory_order_seq_cst);
+
+  // Phase 1: install the fresh world. Reset tasks are unfenced — they ARE
+  // the epoch transition on each strand.
+  for (NodeId rank = 1; rank <= shared->size(); ++rank) {
+    ResourceNode& x = rn(r, shared->original_of(rank));
+    x.strand.post([&x, e, shared,
+                   fresh_node = std::move(
+                       fresh[static_cast<std::size_t>(rank)])]() mutable {
+      x.node = std::move(fresh_node);
+      x.epoch = e;
+      x.membership = shared;
+      x.request_outstanding = false;
+    });
+  }
+  // Phase 2: only after EVERY reset is queued, re-issue requests for
+  // parked waiters — any message a re-request triggers is then posted
+  // behind the destination's reset in its strand FIFO, never ahead of it.
+  for (NodeId rank = 1; rank <= shared->size(); ++rank) {
+    ResourceNode& x = rn(r, shared->original_of(rank));
+    x.strand.post([&x, e] { x.rerequest(e); });
+  }
+}
+
+void ThreadedLockSpace::wake_all(ResourceId r) {
+  for (NodeId v = 1; v <= config_.n; ++v) {
+    ResourceNode& x = rn(r, v);
+    // Lock/unlock pairs with each waiter's predicate check so the wake
+    // cannot slip between its check and its wait.
+    { std::lock_guard<std::mutex> guard(x.client_mutex); }
+    x.client_cv.notify_all();
   }
 }
 
@@ -277,12 +629,20 @@ std::optional<std::string> ThreadedLockSpace::first_error() const {
 }
 
 void ThreadedLockSpace::route(ResourceId r, NodeId from, NodeId to,
-                              net::MessagePtr message) {
+                              net::MessagePtr message, Epoch tag) {
   DMX_CHECK(to >= 1 && to <= config_.n && to != from);
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  // The network drops traffic to and from dead nodes (sends still count,
+  // as in the simulated substrate).
+  if (node_down_[static_cast<std::size_t>(from)].load(
+          std::memory_order_relaxed) ||
+      node_down_[static_cast<std::size_t>(to)].load(
+          std::memory_order_relaxed)) {
+    return;
+  }
   ResourceNode& x = rn(r, to);
-  x.strand.post([&x, from, msg = std::move(message)]() mutable {
-    x.deliver(from, std::move(msg));
+  x.strand.post([&x, from, tag, msg = std::move(message)]() mutable {
+    x.deliver(tag, from, std::move(msg));
   });
 }
 

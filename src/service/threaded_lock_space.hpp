@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -35,12 +36,25 @@
 
 #include "common/types.hpp"
 #include "exec/executor.hpp"
+#include "fault/membership.hpp"
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 #include "service/directory.hpp"
 #include "topology/tree.hpp"
 
 namespace dmx::service {
+
+/// Outcome of a bounded-wait lock attempt.
+enum class LockError {
+  kOk = 0,
+  /// The wait deadline passed without a grant; the request stays posted
+  /// and a grant that arrives with nobody waiting is released back.
+  kTimeout,
+  /// The lock can never be granted: the calling node has crashed, or the
+  /// resource is dead (its token died with a crashed node and recovery is
+  /// disabled or lacks a live majority).
+  kUnavailable,
+};
 
 struct ThreadedLockSpaceConfig {
   int n = 0;
@@ -65,6 +79,11 @@ struct ThreadedLockSpaceConfig {
   int workers = 0;
   /// Bounded spin rounds before an idle worker parks (see ExecutorConfig).
   int spin = 64;
+  /// Whether crash() triggers structure repair (election + token
+  /// regeneration over the survivors). Off, a crash that kills a
+  /// resource's home leaves the resource unavailable — try_lock_for
+  /// returns LockError::kUnavailable instead of waiting forever.
+  bool recovery_enabled = true;
 };
 
 class ThreadedLockSpace {
@@ -90,8 +109,28 @@ class ThreadedLockSpace {
 
   /// Blocks until node `v` holds resource `r`'s critical section.
   void lock(ResourceId r, NodeId v);
-  /// Leaves the critical section; must be called by the holder.
+  /// Bounded-wait lock: like lock(), but gives up after `timeout`
+  /// (kTimeout) and reports a dead node or dead resource as kUnavailable
+  /// instead of blocking forever.
+  LockError try_lock_for(ResourceId r, NodeId v,
+                         std::chrono::milliseconds timeout);
+  /// Leaves the critical section; must be called by the holder. After a
+  /// crash, a zombie holder's unlock is tolerated as a no-op ghost.
   void unlock(ResourceId r, NodeId v);
+
+  /// Crash-fault injection: node `v` dies in place. Its strand tasks are
+  /// quiesced via epoch fencing (the thread-kill equivalent — queued work
+  /// dies unobserved, no strand is ever blocked), traffic to and from it
+  /// is dropped, its local waiters wake with kUnavailable, and — with
+  /// recovery enabled — the survivors elect a regenerator and every
+  /// resource is rebuilt over the compact survivor world.
+  void crash(NodeId v);
+  /// The crashed node rejoins; with recovery enabled, every resource is
+  /// repaired over the enlarged membership (fresh epoch, re-minted token).
+  void recover(NodeId v);
+  bool is_node_up(NodeId v) const;
+  /// Reconfiguration epoch of resource `r` (0 until the first repair).
+  Epoch epoch(ResourceId r) const;
 
   std::uint64_t total_entries() const;
   std::uint64_t entries(ResourceId r) const;
@@ -105,12 +144,37 @@ class ThreadedLockSpace {
  private:
   struct ResourceNode;
 
+  /// Per-resource repair bookkeeping; `mutex` serializes repairs against
+  /// each other and against the holder checks in unlock().
+  struct RepairState {
+    std::mutex mutex;
+    /// Repair requested while a live survivor held the lock; the holder's
+    /// unlock completes it.
+    bool pending = false;
+    /// Membership of the resource's current epoch (empty = identity).
+    fault::Membership membership;
+    /// Repair topologies, kept alive for the instances referencing them.
+    std::vector<std::unique_ptr<topology::Tree>> trees;
+  };
+
   ResourceNode& rn(ResourceId r, NodeId v);
-  void route(ResourceId r, NodeId from, NodeId to, net::MessagePtr message);
+  void route(ResourceId r, NodeId from, NodeId to, net::MessagePtr message,
+             Epoch tag);
   void record_error(const std::string& what);
   /// Records the error, then releases every parked application thread —
   /// no grant is ever coming once a protocol handler has thrown.
   void fail(const std::string& what);
+  /// Repairs resource `r` if its membership is stale: elects a winner by
+  /// quorum consent, bumps the epoch (fencing every queued old-world
+  /// task), installs fresh compact-world instances via per-strand reset
+  /// tasks, and re-issues requests for nodes with parked waiters. Defers
+  /// (pending) while a live node holds the lock; marks the resource
+  /// unavailable when no live majority exists.
+  void maybe_repair(ResourceId r);
+  /// Wakes every parked waiter of resource `r` (predicate re-check).
+  void wake_all(ResourceId r);
+  LockError wait_for_grant(ResourceId r, NodeId v,
+                           const std::chrono::milliseconds* timeout);
 
   ThreadedLockSpaceConfig config_;
   Directory directory_;
@@ -119,6 +183,18 @@ class ThreadedLockSpace {
   /// (resource, node) state machines, indexed r * n + (v - 1). Destroyed
   /// after the executor stops, which drops their queued tasks unrun.
   std::vector<std::unique_ptr<ResourceNode>> nodes_;
+  /// Liveness by node id (index 1..n) and dead-resource flags by id.
+  std::unique_ptr<std::atomic<bool>[]> node_down_;
+  std::unique_ptr<std::atomic<bool>[]> unavailable_;
+  /// Current reconfiguration epoch by ResourceId; tasks posted from
+  /// application threads are tagged with it and fenced on mismatch.
+  std::unique_ptr<std::atomic<Epoch>[]> resource_epoch_;
+  std::vector<std::unique_ptr<RepairState>> repair_;  // by ResourceId
+  /// Initial token holder by ResourceId (the resource's "home" for
+  /// token-loss detection when recovery is disabled).
+  std::vector<NodeId> initial_holder_;
+  /// Any crash ever injected (enables ghost-unlock tolerance).
+  std::atomic<bool> fault_active_{false};
   /// Per-resource occupancy (0 or 1 when exclusion holds) and entry
   /// counts, indexed by ResourceId.
   std::unique_ptr<std::atomic<int>[]> occupancy_;

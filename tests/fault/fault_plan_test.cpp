@@ -1,0 +1,95 @@
+// Unit tests for the fault-substrate building blocks: FaultPlan schedules,
+// compact survivor membership, and the quorum-consent regenerator
+// election.
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hpp"
+#include "fault/membership.hpp"
+#include "quorum/election.hpp"
+
+namespace dmx {
+namespace {
+
+TEST(FaultPlan, KeepsEventsSortedByTime) {
+  fault::FaultPlan plan;
+  plan.crash(50, 3).crash(10, 2).recover(40, 2);
+  ASSERT_EQ(plan.events().size(), 3u);
+  EXPECT_EQ(plan.events()[0].at, 10);
+  EXPECT_EQ(plan.events()[1].at, 40);
+  EXPECT_EQ(plan.events()[2].at, 50);
+  EXPECT_TRUE(plan.validate(5).empty());
+}
+
+TEST(FaultPlan, EqualTicksKeepInsertionOrder) {
+  fault::FaultPlan plan;
+  plan.crash(10, 1).crash(10, 2).recover(10, 1);
+  EXPECT_EQ(plan.events()[0].node, 1);
+  EXPECT_EQ(plan.events()[1].node, 2);
+  EXPECT_EQ(plan.events()[2].node, 1);
+  EXPECT_EQ(plan.events()[2].kind, fault::FaultEvent::Kind::kRecover);
+}
+
+TEST(FaultPlan, ValidateCatchesIllFormedPlans) {
+  EXPECT_FALSE(fault::FaultPlan().crash(5, 9).validate(4).empty());
+  EXPECT_FALSE(fault::FaultPlan().recover(5, 2).validate(4).empty());
+  EXPECT_FALSE(
+      fault::FaultPlan().crash(5, 2).crash(8, 2).validate(4).empty());
+  EXPECT_TRUE(fault::FaultPlan()
+                  .crash(5, 2)
+                  .recover(8, 2)
+                  .crash(9, 2)
+                  .validate(4)
+                  .empty());
+}
+
+TEST(FaultPlan, DescribeRendersOneLine) {
+  EXPECT_EQ(fault::FaultPlan().describe(), "none");
+  EXPECT_EQ(fault::FaultPlan().crash(50, 3).recover(400, 3).describe(),
+            "crash 3@50 recover 3@400");
+}
+
+TEST(Membership, IdentityMapsEveryNodeToItself) {
+  const auto m = fault::Membership::identity(4);
+  EXPECT_EQ(m.size(), 4);
+  for (NodeId v = 1; v <= 4; ++v) {
+    EXPECT_TRUE(m.contains(v));
+    EXPECT_EQ(m.rank_of(v), v);
+    EXPECT_EQ(m.original_of(v), v);
+  }
+}
+
+TEST(Membership, SurvivorsAreRenumberedDenselyAscending) {
+  const std::vector<std::uint8_t> up = {0, 1, 0, 1, 0, 1};  // 1, 3, 5 alive
+  const auto m = fault::Membership::survivors(5, up);
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_EQ(m.rank_of(1), 1);
+  EXPECT_EQ(m.rank_of(3), 2);
+  EXPECT_EQ(m.rank_of(5), 3);
+  EXPECT_EQ(m.original_of(2), 3);
+  EXPECT_FALSE(m.contains(2));
+  EXPECT_FALSE(m.contains(4));
+}
+
+TEST(Election, WinnerIsSmallestAliveNode) {
+  std::vector<std::uint8_t> up = {0, 0, 1, 1, 1, 1, 1, 1};  // n=7, 1 down
+  EXPECT_EQ(quorum::elect_regenerator(7, up), 2);
+  up[2] = 0;
+  EXPECT_EQ(quorum::elect_regenerator(7, up), 3);
+}
+
+TEST(Election, RequiresStrictMajorityAlive) {
+  // n=4 with 2 alive: exactly half is NOT a majority — a symmetric
+  // partition must never regenerate on both sides.
+  std::vector<std::uint8_t> up = {0, 1, 1, 0, 0};
+  EXPECT_EQ(quorum::elect_regenerator(4, up), kNilNode);
+  up[3] = 1;
+  EXPECT_EQ(quorum::elect_regenerator(4, up), 1);
+}
+
+TEST(Election, AllAliveElectsNodeOne) {
+  const std::vector<std::uint8_t> up = {0, 1, 1, 1};
+  EXPECT_EQ(quorum::elect_regenerator(3, up), 1);
+}
+
+}  // namespace
+}  // namespace dmx

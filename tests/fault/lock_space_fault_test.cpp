@@ -1,0 +1,313 @@
+// Crash-fault tolerance of the sim LockSpace: failure detection,
+// quorum-elected token regeneration, epoch fencing of stale tokens, and
+// structure repair over the compact survivor membership.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "fault/fault_plan.hpp"
+#include "service/lock_space.hpp"
+
+namespace dmx::service {
+namespace {
+
+LockSpaceConfig fault_config(int n, const std::string& algorithm = "Neilsen") {
+  LockSpaceConfig config;
+  config.n = n;
+  config.algorithm = baselines::algorithm_by_name(algorithm);
+  config.seed = 1;
+  return config;
+}
+
+/// Smallest live node after `crashed` went down — the election winner, so
+/// also the regenerated token's holder.
+NodeId smallest_survivor(int n, NodeId crashed) {
+  for (NodeId v = 1; v <= n; ++v) {
+    if (v != crashed) return v;
+  }
+  return kNilNode;
+}
+
+TEST(LockSpaceFault, TokenHolderCrashRegeneratesAndServesWaiter) {
+  LockSpaceConfig config = fault_config(5);
+  LockSpace probe(fault_config(5));
+  const NodeId home = probe.home_node(probe.open("shard"));
+  config.fault_plan.crash(10, home);
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("shard");
+  const NodeId waiter = home == 5 ? 4 : 5;
+
+  Ticket ticket;
+  space.simulator().schedule_at(20, [&] {
+    ticket = space.acquire(r, waiter, [&](ResourceId rr, NodeId v) {
+      space.simulator().schedule_after(3, [&, rr, v] { space.release(rr, v); });
+    });
+  });
+  space.run_to_quiescence();
+
+  ASSERT_TRUE(ticket != nullptr);
+  EXPECT_TRUE(ticket->granted);
+  EXPECT_EQ(space.entries(r), 1u);
+  EXPECT_EQ(space.epoch(r), 1u);
+  EXPECT_FALSE(space.is_degraded(r));
+  EXPECT_EQ(space.membership(r).size(), 4);
+  EXPECT_FALSE(space.membership(r).contains(home));
+  space.check_all_invariants();
+}
+
+TEST(LockSpaceFault, EveryAlgorithmSurvivesHomeCrash) {
+  for (const proto::Algorithm& algorithm : baselines::all_algorithms()) {
+    LockSpaceConfig config = fault_config(5, algorithm.name);
+    LockSpace probe(fault_config(5, algorithm.name));
+    const NodeId home = probe.home_node(probe.open("shard"));
+    // Singhal pins the initial token to node 1 regardless of home; crash
+    // the actual holder so token algorithms all face regeneration.
+    const NodeId victim = algorithm.name == "Singhal" ? 1 : home;
+    config.fault_plan.crash(10, victim);
+    LockSpace space(std::move(config));
+    const ResourceId r = space.open("shard");
+    const NodeId waiter = victim == 5 ? 4 : 5;
+
+    Ticket ticket;
+    space.simulator().schedule_at(20, [&] {
+      ticket = space.acquire(r, waiter, [&](ResourceId rr, NodeId v) {
+        space.simulator().schedule_after(3,
+                                         [&, rr, v] { space.release(rr, v); });
+      });
+    });
+    space.run_to_quiescence();
+
+    ASSERT_TRUE(ticket != nullptr) << algorithm.name;
+    EXPECT_TRUE(ticket->granted) << algorithm.name;
+    EXPECT_EQ(space.entries(r), 1u) << algorithm.name;
+    EXPECT_EQ(space.epoch(r), 1u) << algorithm.name;
+    space.check_all_invariants();
+  }
+}
+
+TEST(LockSpaceFault, TokenLossIsCaughtWhenRegenerationDisabled) {
+  // The counterexample configuration: same crash, no repair. The
+  // fault-aware uniqueness invariant must report the token as lost the
+  // moment the holder dies instead of letting the space deadlock quietly.
+  LockSpaceConfig config = fault_config(5);
+  LockSpace probe(fault_config(5));
+  const NodeId home = probe.home_node(probe.open("shard"));
+  config.recovery_enabled = false;
+  config.fault_plan.crash(10, home);
+  LockSpace space(std::move(config));
+  space.open("shard");
+  try {
+    space.run_to_quiescence();
+    FAIL() << "token loss went undetected with regeneration off";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("token count is 0"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LockSpaceFault, InFlightStaleTokenIsFencedAfterRepair) {
+  // Arrange a PRIVILEGE to still be in flight between two survivors when
+  // a crash-repair bumps the epoch: the regenerated token and the stale
+  // one briefly coexist on the wire, and the stale one must be fenced at
+  // delivery, never granted. Latency far above the detection timeout
+  // makes the overlap deterministic.
+  LockSpaceConfig config = fault_config(5);
+  LockSpace probe(fault_config(5));
+  const NodeId home = probe.home_node(probe.open("shard"));
+  config.fixed_latency = 50;
+  config.detect_after = 5;
+  const NodeId bystander = [&] {
+    for (NodeId v = 5; v >= 1; --v) {
+      if (v != home) return v;
+    }
+    return kNilNode;
+  }();
+  config.fault_plan.crash(60, bystander);
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("shard");
+  const NodeId requester = [&] {
+    for (NodeId v = 1; v <= 5; ++v) {
+      if (v != home && v != bystander) return v;
+    }
+    return kNilNode;
+  }();
+
+  // t=0: REQUEST requester->home (arrives 50); PRIVILEGE home->requester
+  // departs at 50, due 100. The crash at 60 repairs at 65 — epoch 1 —
+  // while the epoch-0 PRIVILEGE is mid-flight.
+  Ticket ticket = space.acquire(r, requester, [&](ResourceId rr, NodeId v) {
+    space.simulator().schedule_after(3, [&, rr, v] { space.release(rr, v); });
+  });
+  space.run_to_quiescence();
+
+  EXPECT_TRUE(ticket->granted);
+  EXPECT_EQ(space.epoch(r), 1u);
+  EXPECT_GE(space.network().stats().total_fenced, 1u);
+  EXPECT_EQ(space.entries(r), 1u);
+  space.check_all_invariants();
+}
+
+TEST(LockSpaceFault, RecoveredNodeIsReintegratedAndCanLockAgain) {
+  LockSpaceConfig config = fault_config(5);
+  LockSpace probe(fault_config(5));
+  const NodeId home = probe.home_node(probe.open("shard"));
+  config.fault_plan.crash(10, home).recover(100, home);
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("shard");
+
+  std::vector<std::pair<NodeId, bool>> transitions;
+  space.set_membership_hook(
+      [&](NodeId v, bool up) { transitions.emplace_back(v, up); });
+
+  Ticket ticket;
+  space.simulator().schedule_at(200, [&] {
+    ticket = space.acquire(r, home, [&](ResourceId rr, NodeId v) {
+      space.simulator().schedule_after(3, [&, rr, v] { space.release(rr, v); });
+    });
+  });
+  space.run_to_quiescence();
+
+  // Crash repair (epoch 1, 4 nodes) then rejoin repair (epoch 2, 5 nodes).
+  EXPECT_EQ(space.epoch(r), 2u);
+  EXPECT_EQ(space.membership(r).size(), 5);
+  EXPECT_TRUE(space.membership(r).contains(home));
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], std::make_pair(home, false));
+  EXPECT_EQ(transitions[1], std::make_pair(home, true));
+  ASSERT_TRUE(ticket != nullptr);
+  EXPECT_TRUE(ticket->granted);
+  EXPECT_EQ(space.entries(r), 1u);
+  space.check_all_invariants();
+}
+
+TEST(LockSpaceFault, NoLiveMajorityMeansNoRegeneration) {
+  // 2 of 4 alive is not a strict majority: the survivors must refuse to
+  // mint a token (the other half could otherwise mint one too).
+  LockSpaceConfig config = fault_config(4);
+  config.fault_plan.crash(10, 3).crash(12, 4);
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("shard");
+  space.run_to_quiescence();
+  EXPECT_EQ(space.epoch(r), 0u);
+  EXPECT_EQ(space.alive_count(), 2);
+
+  // One node coming back restores the majority; the next repair runs.
+  space.recover(4);
+  space.run_to_quiescence();
+  EXPECT_EQ(space.epoch(r), 1u);
+  EXPECT_FALSE(space.is_degraded(r));
+  EXPECT_EQ(space.membership(r).size(), 3);
+  space.check_all_invariants();
+}
+
+TEST(LockSpaceFault, CrashInsideCriticalSectionFreesTheResource) {
+  LockSpaceConfig config = fault_config(5);
+  LockSpace probe(fault_config(5));
+  const NodeId home = probe.home_node(probe.open("shard"));
+  config.fault_plan.crash(10, home);
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("shard");
+
+  // The home acquires instantly (it holds the token) and never releases —
+  // it dies inside the CS at t=10.
+  Ticket held = space.acquire(r, home);
+  ASSERT_TRUE(held->granted);
+  EXPECT_EQ(space.occupant(r), home);
+
+  const NodeId waiter = home == 5 ? 4 : 5;
+  Ticket ticket;
+  space.simulator().schedule_at(20, [&] {
+    ticket = space.acquire(r, waiter, [&](ResourceId rr, NodeId v) {
+      space.simulator().schedule_after(3, [&, rr, v] { space.release(rr, v); });
+    });
+  });
+  space.run_to_quiescence();
+
+  EXPECT_EQ(space.occupant(r), kNilNode);
+  ASSERT_TRUE(ticket != nullptr);
+  EXPECT_TRUE(ticket->granted);
+  EXPECT_EQ(space.epoch(r), 1u);
+  space.check_all_invariants();
+}
+
+TEST(LockSpaceFault, RepairDefersWhileSurvivorHoldsTheLock) {
+  // A survivor sits in the CS when the repair fires: the repair must wait
+  // for its release instead of revoking a held lock.
+  LockSpaceConfig config = fault_config(5);
+  LockSpace probe(fault_config(5));
+  const ResourceId pr = probe.open("shard");
+  const NodeId home = probe.home_node(pr);
+  const NodeId holder = smallest_survivor(5, home);
+  config.fault_plan.crash(30, home);
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("shard");
+
+  // Holder acquires early (token travels home -> holder) and holds the CS
+  // far past crash + detection; its release triggers the deferred repair.
+  Ticket ticket = space.acquire(r, holder, [&](ResourceId rr, NodeId v) {
+    space.simulator().schedule_after(200,
+                                     [&, rr, v] { space.release(rr, v); });
+  });
+  const NodeId waiter = [&] {
+    for (NodeId v = 5; v >= 1; --v) {
+      if (v != home && v != holder) return v;
+    }
+    return kNilNode;
+  }();
+  Ticket waiting;
+  space.simulator().schedule_at(40, [&] {
+    waiting = space.acquire(r, waiter, [&](ResourceId rr, NodeId v) {
+      space.simulator().schedule_after(3, [&, rr, v] { space.release(rr, v); });
+    });
+  });
+  space.run_to_quiescence();
+
+  EXPECT_TRUE(ticket->granted);
+  ASSERT_TRUE(waiting != nullptr);
+  EXPECT_TRUE(waiting->granted);
+  EXPECT_EQ(space.epoch(r), 1u);
+  EXPECT_EQ(space.entries(r), 2u);
+  space.check_all_invariants();
+}
+
+TEST(LockSpaceFault, AcquireOnDeadNodeReturnsDeadTicket) {
+  LockSpaceConfig config = fault_config(4);
+  config.fault_plan.crash(5, 2);
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("shard");
+  Ticket ticket;
+  space.simulator().schedule_at(10, [&] { ticket = space.acquire(r, 2); });
+  space.run_to_quiescence();
+  ASSERT_TRUE(ticket != nullptr);
+  EXPECT_FALSE(ticket->granted);
+  EXPECT_TRUE(space.is_idle(r, 2));
+}
+
+TEST(LockSpaceFault, WaitingNodeCrashVoidsItsTicket) {
+  LockSpaceConfig config = fault_config(5);
+  LockSpace probe(fault_config(5));
+  const NodeId home = probe.home_node(probe.open("shard"));
+  const NodeId doomed = smallest_survivor(5, home);
+  config.fault_plan.crash(10, doomed);
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("shard");
+
+  // Home holds the CS so `doomed`'s request parks in the queue until its
+  // crash voids it; home's release then finds no waiter resurrected.
+  Ticket held = space.acquire(r, home);
+  ASSERT_TRUE(held->granted);
+  Ticket doomed_ticket = space.acquire(r, doomed);
+  space.simulator().schedule_at(50, [&] { space.release(r, home); });
+  space.run_to_quiescence();
+
+  EXPECT_FALSE(doomed_ticket->granted);
+  EXPECT_EQ(space.occupant(r), kNilNode);
+  space.check_all_invariants();
+}
+
+}  // namespace
+}  // namespace dmx::service

@@ -1,0 +1,130 @@
+// Swarm testing under crash/recovery injection: every algorithm must run
+// green through a crash + rejoin schedule with regeneration on, the same
+// seed + plan must reproduce bit-identical traces, and with regeneration
+// off a token-holder crash must end in a DETECTED token loss carrying a
+// one-line repro.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/registry.hpp"
+#include "modelcheck/swarm.hpp"
+#include "service/lock_space.hpp"
+
+namespace dmx::modelcheck {
+namespace {
+
+/// Home (= initial token holder) of the swarm's single resource for this
+/// (n, seed): the swarm's LockSpace places "swarm/res-1" by consistent
+/// hash, so a probe space with the same parameters sees the same home.
+NodeId swarm_resource_home(int n, std::uint64_t seed) {
+  service::LockSpaceConfig config;
+  config.n = n;
+  config.algorithm = baselines::algorithm_by_name("Neilsen");
+  config.seed = seed;
+  service::LockSpace probe(std::move(config));
+  return probe.home_node(probe.open("swarm/res-1"));
+}
+
+TEST(SwarmFault, AllAlgorithmsSurviveCrashAndRejoinAcrossSeeds) {
+  for (const proto::Algorithm& algorithm : baselines::all_algorithms()) {
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+      SwarmConfig config;
+      config.algorithm = &algorithm;
+      config.n = 6;
+      config.seed = seed;
+      config.target_entries = 25;
+      config.latency_hi = 8;
+      // Crash a seed-dependent node mid-run, bring it back later; the
+      // repair machinery must keep the run green and drain every waiter.
+      const NodeId victim = static_cast<NodeId>(seed % 6) + 1;
+      config.fault_plan.crash(50, victim).recover(400, victim);
+      const SwarmResult result = run_swarm(config);
+      ASSERT_TRUE(result.ok)
+          << algorithm.name << " seed " << seed << ": " << result.violation;
+      EXPECT_GE(result.entries, config.target_entries) << result.repro;
+    }
+  }
+}
+
+TEST(SwarmFault, SameSeedAndPlanReproduceTheSameTrace) {
+  for (std::uint64_t seed : {7u, 21u}) {
+    SwarmConfig config;
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  config.algorithm = &algo;
+    config.n = 6;
+    config.seed = seed;
+    config.target_entries = 30;
+    config.latency_hi = 8;
+    config.fault_plan.crash(40, 3).recover(300, 3);
+    const SwarmResult first = run_swarm(config);
+    const SwarmResult second = run_swarm(config);
+    ASSERT_TRUE(first.ok) << first.violation;
+    EXPECT_EQ(first.trace_hash, second.trace_hash);
+    EXPECT_EQ(first.entries, second.entries);
+    EXPECT_EQ(first.makespan, second.makespan);
+  }
+}
+
+TEST(SwarmFault, CrashDeterminismGolden) {
+  // Pinned end-to-end hash of one crash-repair schedule. A change here
+  // means the fault substrate's event ordering changed — intentional
+  // changes must re-pin, anything else is a determinism regression.
+  SwarmConfig config;
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  config.algorithm = &algo;
+  config.n = 6;
+  config.seed = 11;
+  config.target_entries = 30;
+  config.latency_hi = 8;
+  config.fault_plan.crash(40, 2).recover(300, 2);
+  const SwarmResult result = run_swarm(config);
+  ASSERT_TRUE(result.ok) << result.violation;
+  EXPECT_EQ(result.trace_hash, 0x71440bec5460d8dcULL)
+      << "trace hash 0x" << std::hex << result.trace_hash;
+}
+
+TEST(SwarmFault, TokenLossIsDetectedWhenRegenerationIsOff) {
+  // The counterexample configuration the invariant must catch: the token
+  // holder dies at t=0 and nobody is allowed to regenerate.
+  SwarmConfig config;
+  const proto::Algorithm algo = baselines::algorithm_by_name("Neilsen");
+  config.algorithm = &algo;
+  config.n = 6;
+  config.seed = 5;
+  config.target_entries = 20;
+  config.crash_recovery_enabled = false;
+  config.fault_plan.crash(0, swarm_resource_home(6, 5));
+  const SwarmResult result = run_swarm(config);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.violation.find("token count is 0"), std::string::npos)
+      << result.violation;
+  // The failure carries a replayable one-line repro.
+  EXPECT_NE(result.violation.find("repro: swarm algorithm=Neilsen"),
+            std::string::npos)
+      << result.violation;
+  EXPECT_NE(result.repro.find("faults='crash"), std::string::npos)
+      << result.repro;
+  EXPECT_NE(result.repro.find("recovery=off"), std::string::npos);
+}
+
+TEST(SwarmFault, MultiResourceCrashRunStaysGreen) {
+  // Crash repair is per resource over one shared network: every resource
+  // must regenerate independently and drain.
+  SwarmConfig config;
+  const proto::Algorithm algo = baselines::algorithm_by_name("Raymond");
+  config.algorithm = &algo;
+  config.n = 6;
+  config.seed = 13;
+  config.resources = 4;
+  config.zipf_s = 0.8;
+  config.target_entries = 60;
+  config.latency_hi = 8;
+  config.fault_plan.crash(60, 4).recover(500, 4);
+  const SwarmResult result = run_swarm(config);
+  ASSERT_TRUE(result.ok) << result.violation;
+  EXPECT_GE(result.entries, config.target_entries);
+}
+
+}  // namespace
+}  // namespace dmx::modelcheck

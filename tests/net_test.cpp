@@ -173,6 +173,83 @@ TEST_F(NetTest, ObserverSeesSendAndDeliver) {
   EXPECT_EQ(spy.delivers, 1);
 }
 
+TEST_F(NetTest, PartitionSeversBothDirectionsUntilHealed) {
+  install(3, std::make_unique<FixedLatency>(1));
+  network->partition(1, 2);
+  EXPECT_TRUE(network->is_partitioned(1, 2));
+  EXPECT_TRUE(network->is_partitioned(2, 1));  // symmetric
+  EXPECT_FALSE(network->is_partitioned(1, 3));
+  network->send(1, 2, std::make_unique<TestMessage>(1));
+  network->send(2, 1, std::make_unique<TestMessage>(2));
+  network->send(1, 3, std::make_unique<TestMessage>(3));  // unaffected link
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].value, 3);
+  EXPECT_EQ(network->stats().total_sent, 3u);  // severed sends still count
+  EXPECT_EQ(network->stats().total_dropped, 2u);
+
+  network->heal(1, 2);
+  EXPECT_FALSE(network->is_partitioned(1, 2));
+  network->send(1, 2, std::make_unique<TestMessage>(4));
+  network->send(2, 1, std::make_unique<TestMessage>(5));
+  sim.run();
+  EXPECT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(network->stats().total_dropped, 2u);
+}
+
+TEST_F(NetTest, DeadNodeEatsInFlightTrafficAtDelivery) {
+  install(3, std::make_unique<FixedLatency>(10));
+  int discards = 0;
+  network->set_discard_handler(
+      [&](const Envelope& env, Network::DiscardReason reason) {
+        EXPECT_EQ(env.to, 2);
+        EXPECT_EQ(reason, Network::DiscardReason::kDeadDestination);
+        ++discards;
+      });
+  network->send(1, 2, std::make_unique<TestMessage>(1));
+  sim.run_until(5);
+  network->set_node_down(2);  // message is mid-flight, due at t=10
+  network->send(1, 2, std::make_unique<TestMessage>(2));  // dropped at send
+  sim.run();
+  EXPECT_TRUE(deliveries.empty());
+  EXPECT_EQ(discards, 1);  // only the in-flight one reaches the handler
+  EXPECT_EQ(network->stats().total_dropped, 2u);
+  EXPECT_EQ(network->in_flight_count(), 0u);
+
+  network->set_node_up(2);
+  network->send(1, 2, std::make_unique<TestMessage>(3));
+  sim.run();
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].value, 3);
+}
+
+TEST_F(NetTest, StaleEpochEnvelopesAreFencedAtDelivery) {
+  install(2, std::make_unique<FixedLatency>(10));
+  std::vector<Network::DiscardReason> reasons;
+  network->set_discard_handler(
+      [&](const Envelope&, Network::DiscardReason reason) {
+        reasons.push_back(reason);
+      });
+  // Epoch-0 message departs; the resource moves to epoch 1 mid-flight.
+  network->send(0, 1, 2, std::make_unique<TestMessage>(1, "PRIVILEGE"), 0);
+  EXPECT_EQ(network->in_flight_count(0, Epoch{0}, MessageKind::of("PRIVILEGE")),
+            1u);
+  sim.run_until(5);
+  network->set_resource_epoch(0, 1);
+  network->send(0, 2, 1, std::make_unique<TestMessage>(2, "PRIVILEGE"), 1);
+  sim.run();
+  // The stale envelope was fenced, the current-epoch one delivered.
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].value, 2);
+  ASSERT_EQ(reasons.size(), 1u);
+  EXPECT_EQ(reasons[0], Network::DiscardReason::kStaleEpoch);
+  EXPECT_EQ(network->stats().total_fenced, 1u);
+  EXPECT_EQ(network->in_flight_count(0, Epoch{0}, MessageKind::of("PRIVILEGE")),
+            0u);
+  EXPECT_EQ(network->in_flight_count(0, Epoch{1}, MessageKind::of("PRIVILEGE")),
+            0u);
+}
+
 TEST(LatencyModels, FixedAlwaysSame) {
   Rng rng(1);
   FixedLatency model(7);
