@@ -1,0 +1,196 @@
+// Transport-substrate throughput: real processes over loopback TCP vs
+// the in-process threaded runtime, same protocol code.
+//
+// Each point forks one process per node (the transport test harness),
+// brings the TCP mesh up, and saturates the DistributedLockSpace with
+// one client per node and zero hold time — every critical-section entry
+// therefore pays the full wire cost of its protocol messages (frames
+// encoded, queued, epoll-flushed, reassembled, decoded). The paired
+// threaded point runs the identical workload shape on ThreadedLockSpace,
+// where Context::send is a strand post; the ratio between the two
+// columns is the measured price of crossing process boundaries, which
+// is the honest denominator for any future wire-level optimisation.
+//
+// Wall clock is measured in the parent around the whole harness run, so
+// fork + rendezvous + mesh bring-up is amortised into the figure; the
+// entry counts are large enough that steady-state traffic dominates.
+//
+//   $ ./bench_transport [out.json]    # optional JSON snapshot path
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "metrics/table.hpp"
+#include "service/threaded_lock_space.hpp"
+#include "transport/distributed_lock_space.hpp"
+#include "transport/process_harness.hpp"
+
+namespace dmx::bench {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr int kBarrierSlot = transport::SharedWitness::kMaxResources - 1;
+
+std::vector<std::string> resource_names(int resources) {
+  std::vector<std::string> names;
+  for (int i = 0; i < resources; ++i) {
+    names.push_back("bench/shard-" + std::to_string(i));
+  }
+  return names;
+}
+
+struct Point {
+  std::string algorithm;
+  int nodes;
+  int resources;
+  std::uint64_t entries;
+  double tcp_entries_per_second;
+  double threaded_entries_per_second;
+};
+
+/// One process per node over loopback TCP; every node hammers every
+/// resource round-robin, `per_node` entries each, then quiesces at the
+/// shared barrier before the collective shutdown.
+double run_tcp(const std::string& algorithm, int nodes, int resources,
+               int per_node) {
+  const auto names = resource_names(resources);
+  const auto started = std::chrono::steady_clock::now();
+  const transport::HarnessResult result = transport::ProcessHarness::run(
+      nodes,
+      [&](NodeId self, const transport::ProcessHarness::Rendezvous& rendezvous,
+          transport::SharedWitness& shared) -> int {
+        transport::DistributedLockSpaceConfig config;
+        config.self = self;
+        config.n = nodes;
+        config.algorithm = baselines::algorithm_by_name(algorithm);
+        config.resources = names;
+        transport::DistributedLockSpace space(std::move(config));
+        const std::uint16_t port = space.listen();
+        const auto ports = rendezvous(port);
+        for (NodeId peer = 1; peer < self; ++peer) {
+          space.connect(peer, ports[static_cast<std::size_t>(peer)]);
+        }
+        space.start();
+        if (!space.wait_connected(10000ms)) return 2;
+        for (int i = 0; i < per_node; ++i) {
+          const auto r = static_cast<ResourceId>(i % resources);
+          space.lock(r);
+          shared.enter(r);
+          shared.exit(r);
+          space.unlock(r);
+        }
+        shared.occupancy[kBarrierSlot].fetch_add(1);
+        while (shared.occupancy[kBarrierSlot].load() < nodes) {
+          std::this_thread::sleep_for(1ms);
+        }
+        if (space.first_error().has_value()) return 3;
+        space.shutdown();
+        return 0;
+      });
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+  if (!result.all_ok() || result.witness.violations != 0) {
+    std::cerr << "tcp bench point failed (" << algorithm << " n=" << nodes
+              << " r=" << resources << ")\n";
+    std::exit(1);
+  }
+  return static_cast<double>(result.witness.entries) / seconds;
+}
+
+/// The identical workload shape on the threaded substrate: same node
+/// count, one saturated client per node, zero hold.
+double run_threaded(const std::string& algorithm, int nodes, int resources,
+                    int per_node) {
+  service::ThreadedLockSpaceConfig config;
+  config.n = nodes;
+  config.algorithm = baselines::algorithm_by_name(algorithm);
+  config.resources = resource_names(resources);
+  service::ThreadedLockSpace space(std::move(config));
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (NodeId v = 1; v <= nodes; ++v) {
+    threads.emplace_back([&, v] {
+      for (int i = 0; i < per_node; ++i) {
+        const auto r = static_cast<ResourceId>(i % resources);
+        service::ScopedLock guard(space, r, v);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started)
+                             .count();
+  if (auto error = space.first_error()) {
+    std::cerr << "threaded bench point failed: " << *error << "\n";
+    std::exit(1);
+  }
+  return static_cast<double>(space.total_entries()) / seconds;
+}
+
+}  // namespace
+}  // namespace dmx::bench
+
+int main(int argc, char** argv) {
+  using namespace dmx;
+  using dmx::bench::Point;
+
+  std::cout << "bench_transport — DistributedLockSpace (one process per "
+               "node, loopback TCP)\nvs ThreadedLockSpace (one process, "
+               "strand posts); saturated, zero hold\n\n";
+
+  const int per_node = 1500;
+  std::vector<Point> points;
+  metrics::Table table({"algorithm", "nodes", "resources", "entries",
+                        "tcp entries/s", "threaded entries/s", "tcp/threaded"});
+  for (const std::string algorithm : {"Neilsen", "Suzuki-Kasami"}) {
+    for (const int resources : {1, 4}) {
+      const int nodes = 3;
+      const double tcp =
+          bench::run_tcp(algorithm, nodes, resources, per_node);
+      const double threaded =
+          bench::run_threaded(algorithm, nodes, resources, per_node);
+      const auto entries =
+          static_cast<std::uint64_t>(nodes) * per_node;
+      points.push_back({algorithm, nodes, resources, entries, tcp, threaded});
+      table.add_row({algorithm, metrics::Table::num(nodes, 0),
+                     metrics::Table::num(resources, 0),
+                     metrics::Table::num(static_cast<double>(entries), 0),
+                     metrics::Table::num(tcp, 0),
+                     metrics::Table::num(threaded, 0),
+                     metrics::Table::num(tcp / threaded)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: the TCP substrate trades per-entry latency "
+               "for process isolation;\nthe ratio column is the wire tax a "
+               "future transport optimisation has to beat.\n";
+
+  if (argc > 1) {
+    std::ostringstream json;
+    json << "{\n  \"transport\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const Point& p = points[i];
+      json << "    {\"algorithm\": \"" << p.algorithm
+           << "\", \"nodes\": " << p.nodes
+           << ", \"resources\": " << p.resources
+           << ", \"entries\": " << p.entries
+           << ", \"tcp_entries_per_second\": " << p.tcp_entries_per_second
+           << ", \"threaded_entries_per_second\": "
+           << p.threaded_entries_per_second << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::ofstream out(argv[1]);
+    out << json.str();
+    std::cout << "\nwrote " << argv[1] << "\n";
+  }
+  return 0;
+}

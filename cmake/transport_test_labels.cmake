@@ -1,0 +1,11 @@
+# Included by CTest (TEST_INCLUDE_FILES) after the gtest discovery file
+# for dagmx_transport_tests, which exports the discovered test names in
+# dagmx_transport_tests_TESTS. Multi-label lists cannot be forwarded
+# through gtest_discover_tests(PROPERTIES LABELS ...) — the semicolon is
+# split at several expansion layers before reaching set_tests_properties
+# — so the second label is applied here, where quoting works.
+foreach(dagmx_transport_test ${dagmx_transport_tests_TESTS})
+  set_tests_properties(${dagmx_transport_test}
+                       PROPERTIES LABELS "fast;transport")
+endforeach()
+unset(dagmx_transport_test)

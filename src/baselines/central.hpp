@@ -10,6 +10,7 @@
 #include <deque>
 #include <string>
 
+#include "net/wire_format.hpp"
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 
@@ -24,6 +25,13 @@ class CentralMessage final : public net::Message {
   std::size_t payload_bytes() const override { return 0; }
   net::MessagePtr clone() const override {
     return std::make_unique<CentralMessage>(*this);
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind = net::MessageKind::of("central.msg");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter(out).u8(static_cast<std::uint8_t>(type_));
   }
 
  private:

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "net/wire_format.hpp"
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 #include "quorum/quorum.hpp"
@@ -30,9 +31,11 @@ class MaekawaMessage final : public net::Message {
       : net::Message(kind_for(type)), type_(type), sequence_(sequence) {}
   Type type() const { return type_; }
   int sequence() const { return sequence_; }
-  std::size_t payload_bytes() const override {
-    return type_ == Type::kRequest ? sizeof(int) : 0;
-  }
+  // Every Maekawa message carries the sequence number of the request it
+  // concerns (LOCKED/FAIL/INQUIRE match the requester's round, RELEASE/
+  // RELINQUISH carry the sender's clock), so the payload is one integer
+  // for all six types — not just REQUEST, as an earlier version accounted.
+  std::size_t payload_bytes() const override { return sizeof(int); }
   net::MessagePtr clone() const override {
     return std::make_unique<MaekawaMessage>(*this);
   }
@@ -40,6 +43,15 @@ class MaekawaMessage final : public net::Message {
     // describe() renders only the kind; every Maekawa message carries the
     // request sequence it concerns, which the explorer must distinguish.
     return std::string(kind()) + "(" + std::to_string(sequence_) + ")";
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind = net::MessageKind::of("maekawa.msg");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter w(out);
+    w.u8(static_cast<std::uint8_t>(type_));
+    w.i32(sequence_);
   }
 
  private:

@@ -12,6 +12,7 @@
 #include <deque>
 #include <string>
 
+#include "net/wire_format.hpp"
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 
@@ -26,6 +27,13 @@ class RaymondMessage final : public net::Message {
   std::size_t payload_bytes() const override { return 0; }
   net::MessagePtr clone() const override {
     return std::make_unique<RaymondMessage>(*this);
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind = net::MessageKind::of("raymond.msg");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter(out).u8(static_cast<std::uint8_t>(type_));
   }
 
  private:

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "net/wire_format.hpp"
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 
@@ -26,6 +27,15 @@ class RaMessage final : public net::Message {
   }
   net::MessagePtr clone() const override {
     return std::make_unique<RaMessage>(*this);
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind = net::MessageKind::of("ra.msg");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter w(out);
+    w.u8(static_cast<std::uint8_t>(type_));
+    w.i32(sequence_);
   }
 
  private:

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "net/wire_format.hpp"
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 
@@ -44,6 +45,16 @@ class SinghalRequestMessage final : public net::Message {
   }
   net::MessagePtr clone() const override {
     return std::make_unique<SinghalRequestMessage>(*this);
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind =
+        net::MessageKind::of("singhal.request");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter w(out);
+    w.i32(origin_);
+    w.i32(sequence_);
   }
 
  private:
@@ -87,6 +98,19 @@ class SinghalTokenMessage final : public net::Message {
     }
     out += "]";
     return out;
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind = net::MessageKind::of("singhal.token");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter w(out);
+    w.u32(static_cast<std::uint32_t>(token_.tsv.size()));
+    for (const SinghalState s : token_.tsv) {
+      w.u8(static_cast<std::uint8_t>(s));
+    }
+    w.u32(static_cast<std::uint32_t>(token_.tsn.size()));
+    for (const int sn : token_.tsn) w.i32(sn);
   }
 
  private:

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "net/wire_format.hpp"
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 
@@ -27,6 +28,13 @@ class SkRequestMessage final : public net::Message {
   }
   net::MessagePtr clone() const override {
     return std::make_unique<SkRequestMessage>(*this);
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind = net::MessageKind::of("sk.request");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter(out).i32(sequence_);
   }
 
  private:
@@ -71,6 +79,17 @@ class SkTokenMessage final : public net::Message {
     }
     out += "]";
     return out;
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind = net::MessageKind::of("sk.token");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter w(out);
+    w.u32(static_cast<std::uint32_t>(token_.last_granted.size()));
+    for (const int ln : token_.last_granted) w.i32(ln);
+    w.u32(static_cast<std::uint32_t>(token_.queue.size()));
+    for (const NodeId v : token_.queue) w.i32(v);
   }
 
  private:

@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "net/message.hpp"
+#include "net/wire_format.hpp"
 
 namespace dmx::core {
 
@@ -34,6 +35,16 @@ class RequestMessage final : public net::Message {
   net::MessagePtr clone() const override {
     return std::make_unique<RequestMessage>(*this);
   }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind =
+        net::MessageKind::of("neilsen.request");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter w(out);
+    w.i32(hop_);
+    w.i32(origin_);
+  }
 
  private:
   static net::MessageKind interned_kind() {
@@ -52,6 +63,11 @@ class PrivilegeMessage final : public net::Message {
   net::MessagePtr clone() const override {
     return std::make_unique<PrivilegeMessage>(*this);
   }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind =
+        net::MessageKind::of("neilsen.privilege");
+    return kind;
+  }
 
  private:
   static net::MessageKind interned_kind() {
@@ -68,6 +84,11 @@ class InitializeMessage final : public net::Message {
   std::size_t payload_bytes() const override { return 0; }
   net::MessagePtr clone() const override {
     return std::make_unique<InitializeMessage>(*this);
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind =
+        net::MessageKind::of("neilsen.initialize");
+    return kind;
   }
 
  private:

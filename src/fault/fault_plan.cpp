@@ -15,12 +15,24 @@ void FaultPlan::insert(FaultEvent event) {
 
 std::string FaultPlan::validate(int n) const {
   std::vector<std::uint8_t> up(static_cast<std::size_t>(n) + 1, 1);
+  // Last tick at which each node had an event (-1 = none yet); two events
+  // for one node on the same tick are rejected below.
+  std::vector<Tick> last_at(static_cast<std::size_t>(n) + 1, -1);
   for (const FaultEvent& event : events_) {
     if (event.node < 1 || event.node > n) {
       return "fault event names node " + std::to_string(event.node) +
              " outside 1.." + std::to_string(n);
     }
     if (event.at < 0) return "fault event scheduled at negative time";
+    auto& prev_at = last_at[static_cast<std::size_t>(event.node)];
+    if (prev_at == event.at) {
+      return "node " + std::to_string(event.node) +
+             " has two fault events at tick " + std::to_string(event.at) +
+             "; same-tick crash+recovery is ambiguous (its outcome would "
+             "depend on insertion order) — schedule the recovery at least "
+             "one tick later";
+    }
+    prev_at = event.at;
     auto& alive = up[static_cast<std::size_t>(event.node)];
     if (event.kind == FaultEvent::Kind::kCrash) {
       if (!alive) {

@@ -57,8 +57,12 @@ class FaultPlan {
   const std::vector<FaultEvent>& events() const { return events_; }
 
   /// Validates the plan against an n-node system: ids in range, no crash
-  /// of an already-crashed node, no recovery of a live one. Returns an
-  /// empty string when well-formed, else the first problem.
+  /// of an already-crashed node, no recovery of a live one, and no two
+  /// events for one node at the same tick — a same-tick crash+recovery
+  /// pair would resolve by insertion order (the sort is stable), which is
+  /// an ambiguity, not a schedule; recoveries must be scheduled at a
+  /// strictly later tick than the crash they undo. Returns an empty
+  /// string when well-formed, else the first problem.
   std::string validate(int n) const;
 
   /// One-line rendering for repro commands: "crash 3@50 recover 3@400".

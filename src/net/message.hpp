@@ -67,6 +67,24 @@ class Message {
   /// two messages with equal encode() must be behaviorally identical.
   virtual std::string encode() const { return describe(); }
 
+  /// Interned id of this message's wire codec in the transport codec
+  /// registry (src/transport/codec). Kind strings like "REQUEST" are
+  /// shared across algorithm families with different payload layouts, so
+  /// each concrete message class interns a distinct family-qualified codec
+  /// name (e.g. "neilsen.request") and returns it here; decode then always
+  /// reconstructs the exact concrete type the sender serialized. The
+  /// default (the invalid kind) marks a class with no registered codec —
+  /// the transport refuses to ship it.
+  virtual MessageKind wire_kind() const { return MessageKind(); }
+
+  /// Appends this message's binary payload encoding to `out`
+  /// (little-endian fixed-width fields; see net/wire_format.hpp). The
+  /// paired decoder is registered with the transport codec registry under
+  /// wire_kind(). Default: empty payload. The round-trip contract is
+  /// pinned by tests/transport/wire_codec_test.cpp: decode(encode_binary)
+  /// must reproduce a message with identical encode() and payload_bytes().
+  virtual void encode_binary(std::string& out) const { (void)out; }
+
   // Route all message storage through the recycling pool. A block carries
   // its owner pool and size class in a header, so deletion works from any
   // thread (a message allocated on one pool worker and delivered on

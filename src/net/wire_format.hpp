@@ -1,0 +1,114 @@
+// Binary wire primitives shared by every message family's codec.
+//
+// Fixed-width little-endian fields appended to a std::string: the format
+// is explicit and platform-independent (no struct punning, no host
+// endianness leaks), and a bounds-checked WireReader turns truncated or
+// corrupt input into a WireError instead of undefined behavior — a frame
+// arriving off a real socket is attacker-shaped data, unlike the in-
+// process snapshots of src/proto/snapshot.hpp which trust their producer.
+//
+// Message classes implement encode_binary() with WireWriter helpers; the
+// paired decoders in src/transport/codec.cpp read the same field order
+// back with a WireReader. tests/transport/wire_codec_test.cpp pins the
+// round trip for every registered family.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace dmx::net {
+
+/// Decoding failure: truncated buffer, length overflow, unknown codec.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only little-endian field writer over a caller-owned string.
+class WireWriter {
+ public:
+  explicit WireWriter(std::string& out) : out_(out) {}
+
+  void u8(std::uint8_t value) { out_.push_back(static_cast<char>(value)); }
+
+  void u32(std::uint32_t value) {
+    out_.push_back(static_cast<char>(value & 0xff));
+    out_.push_back(static_cast<char>((value >> 8) & 0xff));
+    out_.push_back(static_cast<char>((value >> 16) & 0xff));
+    out_.push_back(static_cast<char>((value >> 24) & 0xff));
+  }
+
+  void i32(std::int32_t value) { u32(static_cast<std::uint32_t>(value)); }
+
+  void u64(std::uint64_t value) {
+    u32(static_cast<std::uint32_t>(value & 0xffffffffu));
+    u32(static_cast<std::uint32_t>(value >> 32));
+  }
+
+ private:
+  std::string& out_;
+};
+
+/// Bounds-checked little-endian field reader over a borrowed buffer.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    const auto b = [this](std::size_t i) {
+      return static_cast<std::uint32_t>(
+          static_cast<std::uint8_t>(data_[pos_ + i]));
+    };
+    const std::uint32_t value =
+        b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+    pos_ += 4;
+    return value;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+
+  /// Reads a u32 element count that the remaining buffer can plausibly
+  /// hold (each element at least `min_element_bytes`); rejects counts that
+  /// would make a decoder loop allocate unboundedly from a corrupt frame.
+  std::uint32_t count(std::size_t min_element_bytes) {
+    const std::uint32_t n = u32();
+    if (min_element_bytes != 0 &&
+        static_cast<std::size_t>(n) > remaining() / min_element_bytes) {
+      throw WireError("wire count " + std::to_string(n) +
+                      " exceeds remaining buffer");
+    }
+    return n;
+  }
+
+ private:
+  void need(std::size_t bytes) const {
+    if (data_.size() - pos_ < bytes) {
+      throw WireError("wire buffer truncated: need " + std::to_string(bytes) +
+                      " bytes, have " + std::to_string(data_.size() - pos_));
+    }
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dmx::net

@@ -1,0 +1,96 @@
+// Binary wire codec for protocol messages crossing a real socket.
+//
+// Every concrete message class exposes encode_binary() (payload fields,
+// little-endian — see net/wire_format.hpp) and a family-qualified
+// wire_kind() such as "neilsen.request"; this registry pairs each of those
+// interned kinds with the family's decode_binary() function. The registry
+// is keyed by the dense MessageKind ids (a flat array probe on the encode
+// hot path), but the id that travels in a frame is the codec's
+// *registration index*: interned ids depend on which code paths ran first
+// in a given process, while registration order is fixed here, so two
+// processes of the same build always agree on what wire id 7 means even
+// if their intern tables diverged before the transport came up.
+//
+// Frame layout (all fields little-endian):
+//
+//   u32 length     bytes following this field (cap: kMaxFrameBytes)
+//   u32 wire id    codec registration index, or a control id (>= 0xfffffff0)
+//   u32 epoch      sender's configuration epoch for the resource
+//   i32 resource   ResourceId demultiplexing into per-resource instances
+//   i32 from       sender node id (original id space)
+//   i32 to         destination node id
+//   ...            family payload (encode_binary/decode_binary)
+//
+// Epoch and resource ride every frame so epoch fencing and per-resource
+// demux survive the wire exactly as they do in-process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "net/wire_format.hpp"
+
+namespace dmx::transport {
+
+/// Per-frame routing metadata (everything but the payload).
+struct FrameHeader {
+  std::uint32_t wire_id = 0;
+  Epoch epoch = 0;
+  ResourceId resource = 0;
+  NodeId from = kNilNode;
+  NodeId to = kNilNode;
+};
+
+/// Frames above this size are rejected as corrupt (a token queue over
+/// loopback is kilobytes; megabytes means a desynchronized stream).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Control wire ids live at the top of the id space, far above any
+/// registered family. kHelloWireId identifies the peer handshake frame
+/// (header.from carries the dialing node's id, payload is empty);
+/// kGoodbyeWireId announces a deliberate shutdown, so the following EOF
+/// is an orderly departure rather than a crash.
+inline constexpr std::uint32_t kControlWireIdBase = 0xfffffff0u;
+inline constexpr std::uint32_t kHelloWireId = 0xffffffffu;
+inline constexpr std::uint32_t kGoodbyeWireId = 0xfffffffeu;
+
+class Codec {
+ public:
+  using Decoder = net::MessagePtr (*)(net::WireReader&);
+
+  /// Registers every message family's decoder, in a fixed order, once.
+  /// Idempotent and thread-safe; called lazily by every entry point below,
+  /// so users never need to call it explicitly.
+  static void ensure_registered();
+
+  /// Number of registered families (wire ids are 0..family_count()-1).
+  static std::size_t family_count();
+
+  /// Stable wire id for `message`, resolved through its wire_kind().
+  /// Throws net::WireError for a class with no registered codec.
+  static std::uint32_t wire_id_of(const net::Message& message);
+
+  /// Interned codec kind registered under `wire_id` (reporting/tests).
+  static net::MessageKind kind_of(std::uint32_t wire_id);
+
+  /// Decodes one message payload. Throws net::WireError on an unknown id,
+  /// a truncated payload, an out-of-range enum field, or trailing bytes.
+  static net::MessagePtr decode(std::uint32_t wire_id, net::WireReader& r);
+
+  /// Appends a complete frame (length prefix + header + payload) to `out`.
+  static void encode_frame(std::string& out, Epoch epoch, ResourceId resource,
+                           NodeId from, NodeId to,
+                           const net::Message& message);
+
+  /// Appends a control frame with an empty payload.
+  static void encode_control_frame(std::string& out, std::uint32_t wire_id,
+                                   NodeId from);
+
+  /// Parses the header fields of one frame body (the bytes after the
+  /// length prefix). The reader is left positioned at the payload.
+  static FrameHeader decode_header(net::WireReader& r);
+};
+
+}  // namespace dmx::transport

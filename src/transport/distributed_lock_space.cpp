@@ -1,0 +1,348 @@
+#include "transport/distributed_lock_space.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/check.hpp"
+#include "exec/strand.hpp"
+
+namespace dmx::transport {
+
+/// This process's protocol state machine for one resource, with its
+/// strand and the client gate bridging application threads and strand
+/// tasks — the single-node cut of ThreadedLockSpace::ResourceNode (no
+/// membership/epoch machinery: the wire space has no repair protocol
+/// yet, a peer crash makes everything unavailable instead).
+struct DistributedLockSpace::ResourceNode {
+  ResourceNode(DistributedLockSpace& space, ResourceId resource)
+      : space(space), resource(resource), strand(space.executor_),
+        context(*this) {}
+
+  class Context final : public proto::Context {
+   public:
+    explicit Context(ResourceNode& rn) : rn_(rn) {}
+    NodeId self() const override { return rn_.space.config_.self; }
+    int cluster_size() const override { return rn_.space.config_.n; }
+    void send(NodeId to, net::MessagePtr message) override {
+      rn_.space.route(rn_.resource, to, std::move(message));
+    }
+    void grant() override { rn_.on_grant(); }
+
+   private:
+    ResourceNode& rn_;
+  };
+
+  // --- Strand tasks --------------------------------------------------------
+
+  void deliver(NodeId from, net::MessagePtr message) {
+    if (space.failed_.load(std::memory_order_relaxed)) return;
+    try {
+      node->on_message(context, from, *message);
+    } catch (const std::exception& e) {
+      space.fail(e.what());
+    }
+  }
+
+  void request() {
+    if (space.failed_.load(std::memory_order_relaxed)) return;
+    try {
+      node->request_cs(context);
+    } catch (const std::exception& e) {
+      space.fail(e.what());
+    }
+  }
+
+  void release() {
+    if (space.failed_.load(std::memory_order_relaxed)) return;
+    try {
+      node->release_cs(context);
+    } catch (const std::exception& e) {
+      space.fail(e.what());
+    }
+  }
+
+  void on_grant() {
+    bool hand_off = false;
+    {
+      std::lock_guard<std::mutex> guard(client_mutex);
+      if (waiting > 0) {
+        granted = true;
+        hand_off = true;
+      } else {
+        // Every waiter timed out; hand the CS straight back so the
+        // resource keeps flowing (mirrors the threaded substrate).
+        requested = false;
+      }
+    }
+    if (hand_off) {
+      client_cv.notify_all();
+      return;
+    }
+    strand.post([this] { release(); });
+  }
+
+  DistributedLockSpace& space;
+  ResourceId resource;
+  exec::Strand strand;
+  std::unique_ptr<proto::MutexNode> node;  // strand-confined
+  Context context;
+
+  /// Local waiters and grant hand-off; client_mutex guards every field.
+  std::mutex client_mutex;
+  std::condition_variable client_cv;
+  int waiting = 0;
+  bool requested = false;
+  bool granted = false;
+  bool held = false;
+};
+
+DistributedLockSpace::DistributedLockSpace(DistributedLockSpaceConfig config)
+    : config_(std::move(config)),
+      directory_(config_.n, config_.directory_vnodes, config_.seed),
+      executor_(exec::ExecutorConfig{config_.workers, config_.spin}) {
+  DMX_CHECK(config_.n >= 1);
+  DMX_CHECK_MSG(config_.self >= 1 && config_.self <= config_.n,
+                "self id " << config_.self << " outside 1.." << config_.n);
+  DMX_CHECK_MSG(!config_.resources.empty(),
+                "a DistributedLockSpace needs at least one resource");
+  if (config_.algorithm.needs_tree && !config_.tree.has_value()) {
+    config_.tree = topology::Tree::star(config_.n, 1);
+  }
+
+  loop_ = std::make_unique<EventLoop>(
+      EventLoopConfig{config_.self},
+      [this](const FrameHeader& header, net::MessagePtr message) {
+        on_frame(header, std::move(message));
+      },
+      [this](NodeId peer) { on_peer_down(peer); });
+
+  const int m = static_cast<int>(config_.resources.size());
+  entries_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(m));
+  occupancy_ =
+      std::make_unique<std::atomic<int>[]>(static_cast<std::size_t>(m));
+  for (int r = 0; r < m; ++r) {
+    entries_[static_cast<std::size_t>(r)].store(0);
+    occupancy_[static_cast<std::size_t>(r)].store(0);
+  }
+
+  nodes_.reserve(static_cast<std::size_t>(m));
+  for (const std::string& name : config_.resources) {
+    const ResourceId r = directory_.open(name);
+    nodes_.push_back(std::make_unique<ResourceNode>(*this, r));
+    proto::ClusterSpec spec;
+    spec.n = config_.n;
+    spec.initial_token_holder = config_.algorithm.name == "Singhal"
+                                    ? 1
+                                    : directory_.home_node(r);
+    spec.tree = config_.tree.has_value() ? &*config_.tree : nullptr;
+    spec.seed = config_.seed;
+    // The factory builds all n instances (every process derives the same
+    // initial world); this process keeps only its own.
+    auto protocol_nodes = config_.algorithm.factory(spec);
+    DMX_CHECK(protocol_nodes.size() ==
+              static_cast<std::size_t>(config_.n) + 1);
+    nodes_.back()->node =
+        std::move(protocol_nodes[static_cast<std::size_t>(config_.self)]);
+  }
+}
+
+DistributedLockSpace::~DistributedLockSpace() { shutdown(); }
+
+std::uint16_t DistributedLockSpace::listen() { return loop_->listen(); }
+
+void DistributedLockSpace::connect(NodeId peer, std::uint16_t port) {
+  DMX_CHECK_MSG(peer < config_.self,
+                "mesh convention: node " << config_.self
+                                         << " only dials lower ids, not "
+                                         << peer);
+  loop_->connect(peer, port);
+}
+
+void DistributedLockSpace::start() { loop_->start(); }
+
+bool DistributedLockSpace::wait_connected(std::chrono::milliseconds timeout) {
+  return loop_->wait_for_peers(config_.n - 1, timeout);
+}
+
+void DistributedLockSpace::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  loop_->stop();
+  // Stop the pool after the loop: no more frames can arrive, and queued
+  // strand tasks are destroyed unrun when the nodes go away.
+  executor_.shutdown();
+}
+
+DistributedLockSpace::ResourceNode& DistributedLockSpace::rn(ResourceId r) {
+  DMX_CHECK(r >= 0 && r < resource_count());
+  return *nodes_[static_cast<std::size_t>(r)];
+}
+
+void DistributedLockSpace::route(ResourceId r, NodeId to,
+                                 net::MessagePtr message) {
+  DMX_CHECK(to >= 1 && to <= config_.n && to != config_.self);
+  try {
+    if (!loop_->send(to, /*epoch=*/0, r, *message)) {
+      // Peer gone: the on_peer_down path has (or will) put the space into
+      // the unavailable state; dropping the message mirrors the threaded
+      // substrate's traffic-to-dead-node drop.
+      return;
+    }
+  } catch (const net::WireError& e) {
+    fail(e.what());
+  }
+}
+
+void DistributedLockSpace::on_frame(const FrameHeader& header,
+                                    net::MessagePtr message) {
+  if (header.to != config_.self) {
+    record_error("frame addressed to node " + std::to_string(header.to) +
+                 " arrived at node " + std::to_string(config_.self));
+    return;
+  }
+  if (header.resource < 0 || header.resource >= resource_count()) {
+    record_error("frame for unknown resource " +
+                 std::to_string(header.resource));
+    return;
+  }
+  if (header.epoch != 0) return;  // fenced: no live epoch but 0 yet
+  ResourceNode& x = rn(header.resource);
+  const NodeId from = header.from;
+  x.strand.post([&x, from, msg = std::move(message)]() mutable {
+    x.deliver(from, std::move(msg));
+  });
+}
+
+void DistributedLockSpace::on_peer_down(NodeId peer) {
+  record_error("peer node " + std::to_string(peer) +
+               " disconnected without goodbye");
+  unavailable_.store(true, std::memory_order_seq_cst);
+  for (auto& node : nodes_) {
+    { std::lock_guard<std::mutex> guard(node->client_mutex); }
+    node->client_cv.notify_all();
+  }
+}
+
+void DistributedLockSpace::record_error(const std::string& what) {
+  std::lock_guard<std::mutex> guard(error_mutex_);
+  if (!first_error_.has_value()) first_error_ = what;
+}
+
+void DistributedLockSpace::fail(const std::string& what) {
+  record_error(what);
+  failed_.store(true, std::memory_order_seq_cst);
+  for (auto& node : nodes_) {
+    { std::lock_guard<std::mutex> guard(node->client_mutex); }
+    node->client_cv.notify_all();
+  }
+}
+
+LockError DistributedLockSpace::wait_for_grant(
+    ResourceId r, const std::chrono::milliseconds* timeout) {
+  ResourceNode& x = rn(r);
+  const auto deadline =
+      timeout != nullptr
+          ? std::chrono::steady_clock::now() + *timeout
+          : std::chrono::steady_clock::time_point::max();
+  {
+    std::unique_lock<std::mutex> guard(x.client_mutex);
+    ++x.waiting;
+    if (!x.requested && !x.held) {
+      x.requested = true;
+      x.strand.post([&x] { x.request(); });
+    }
+    const auto ready = [this, &x] {
+      return x.granted || failed_.load(std::memory_order_relaxed) ||
+             unavailable_.load(std::memory_order_relaxed);
+    };
+    while (true) {
+      bool signalled = true;
+      if (timeout == nullptr) {
+        x.client_cv.wait(guard, ready);
+      } else {
+        signalled = x.client_cv.wait_until(guard, deadline, ready);
+      }
+      if (!signalled) {
+        // Deadline passed; the request stays posted and a grant arriving
+        // with nobody waiting is handed straight back by on_grant.
+        --x.waiting;
+        return LockError::kTimeout;
+      }
+      if (x.granted) {
+        x.granted = false;
+        x.requested = false;
+        --x.waiting;
+        x.held = true;
+        break;
+      }
+      --x.waiting;
+      if (unavailable_.load(std::memory_order_relaxed)) {
+        return LockError::kUnavailable;
+      }
+      DMX_CHECK_MSG(false, "distributed lock space failed while waiting on "
+                               << name(r) << "; see first_error()");
+    }
+  }
+  // Local-view exclusivity witness (the harness's shared-memory witness
+  // covers the cross-process claim).
+  const int prev = occupancy_[static_cast<std::size_t>(r)].fetch_add(1);
+  if (prev != 0) {
+    record_error("local occupancy of resource " + name(r) + " was " +
+                 std::to_string(prev) + " on entry");
+  }
+  entries_[static_cast<std::size_t>(r)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  return LockError::kOk;
+}
+
+void DistributedLockSpace::lock(ResourceId r) {
+  const LockError error = wait_for_grant(r, nullptr);
+  DMX_CHECK_MSG(error == LockError::kOk,
+                "lock of resource " << name(r)
+                                    << " can never be granted (peer down)");
+}
+
+LockError DistributedLockSpace::try_lock_for(
+    ResourceId r, std::chrono::milliseconds timeout) {
+  return wait_for_grant(r, &timeout);
+}
+
+void DistributedLockSpace::unlock(ResourceId r) {
+  ResourceNode& x = rn(r);
+  std::lock_guard<std::mutex> guard(x.client_mutex);
+  DMX_CHECK_MSG(x.held, "unlock of resource " << name(r)
+                                              << " which is not held");
+  x.held = false;
+  occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
+  // Strand FIFO orders the release ahead of the follow-up request, and
+  // posting under client_mutex keeps a racing lock() on another thread
+  // from slipping its request in between.
+  x.strand.post([&x] { x.release(); });
+  if (x.waiting > 0 && !x.requested) {
+    x.requested = true;
+    x.strand.post([&x] { x.request(); });
+  }
+}
+
+std::uint64_t DistributedLockSpace::entries(ResourceId r) const {
+  DMX_CHECK(r >= 0 && r < resource_count());
+  return entries_[static_cast<std::size_t>(r)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t DistributedLockSpace::total_entries() const {
+  std::uint64_t total = 0;
+  for (int r = 0; r < resource_count(); ++r) total += entries(r);
+  return total;
+}
+
+std::optional<std::string> DistributedLockSpace::first_error() const {
+  {
+    std::lock_guard<std::mutex> guard(error_mutex_);
+    if (first_error_.has_value()) return first_error_;
+  }
+  return loop_->first_error();
+}
+
+}  // namespace dmx::transport

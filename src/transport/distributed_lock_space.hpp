@@ -1,0 +1,175 @@
+// Multi-resource lock service with one node per PROCESS over loopback TCP.
+//
+// The distributed sibling of service::ThreadedLockSpace: the same
+// per-resource strand-confined protocol state machines, the same
+// client-gate lock()/unlock() bridge, the same consistent-hash Directory
+// placement — but each process runs exactly ONE node, and protocol
+// messages cross real sockets as codec frames instead of strand posts.
+// Protocol code is unchanged (the substitution argument of DESIGN.md,
+// extended to a third substrate): a MutexNode cannot tell whether its
+// Context::send lands in a sibling strand or on the wire.
+//
+// Wiring: construct, listen() to learn this node's port, exchange ports
+// out of band (the fork harness in process_harness.hpp uses pipes),
+// connect() to every LOWER-numbered peer, start(), then
+// wait_connected() to rendezvous the full mesh before first use.
+//
+// Fault surface: a peer socket that dies without the GOODBYE handshake
+// is a crashed node. Without a membership/repair protocol over the wire
+// (future PR), no resource can be declared safe once any participant is
+// gone, so the space conservatively marks every resource unavailable and
+// wakes all waiters with LockError::kUnavailable — the transport
+// analogue of the threaded substrate's recovery-disabled crash path.
+//
+// Exclusivity witnessing is per-process here (a node cannot observe
+// another process's occupancy); the multi-process harness shares an
+// occupancy counter via a MAP_SHARED region to restore the cross-node
+// witness in tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "exec/executor.hpp"
+#include "proto/algorithm.hpp"
+#include "service/directory.hpp"
+#include "service/threaded_lock_space.hpp"  // service::LockError
+#include "topology/tree.hpp"
+#include "transport/event_loop.hpp"
+
+namespace dmx::transport {
+
+using service::LockError;
+
+struct DistributedLockSpaceConfig {
+  /// This process's node id (1..n).
+  NodeId self = kNilNode;
+  int n = 0;
+  proto::Algorithm algorithm;
+  std::vector<std::string> resources;
+  /// Shared logical tree for path-forwarding algorithms; defaults to a
+  /// star centered on node 1 when required and absent (must be identical
+  /// in every process — it is derived from config, so it is).
+  std::optional<topology::Tree> tree;
+  int directory_vnodes = 16;
+  std::uint64_t seed = 1;
+  /// Worker threads in the strand pool; 1 is plenty for one node.
+  int workers = 1;
+  int spin = 64;
+};
+
+class DistributedLockSpace {
+ public:
+  explicit DistributedLockSpace(DistributedLockSpaceConfig config);
+  ~DistributedLockSpace();
+
+  DistributedLockSpace(const DistributedLockSpace&) = delete;
+  DistributedLockSpace& operator=(const DistributedLockSpace&) = delete;
+
+  // --- Mesh bring-up (in order) ------------------------------------------
+
+  /// Binds this node's loopback listening socket; returns the port.
+  std::uint16_t listen();
+  /// Dials peer `peer` (its id must be < self()). Call for every lower id.
+  void connect(NodeId peer, std::uint16_t port);
+  /// Starts the event loop; higher-numbered peers dial us.
+  void start();
+  /// Blocks until all n-1 peers are connected and identified.
+  bool wait_connected(std::chrono::milliseconds timeout);
+  /// Orderly departure: GOODBYE to every peer, drain, stop loop and pool.
+  /// Idempotent; the destructor calls it.
+  ///
+  /// Departure is COLLECTIVE: the protocol state machines still route
+  /// through every configured node, so a node that leaves while a
+  /// sibling still wants locks strands that sibling's requests (GOODBYE
+  /// suppresses the crash path by design — it must not poison a whole
+  /// run). Quiesce all nodes (e.g. the shared-memory barrier the test
+  /// harness uses) before the first shutdown(); live membership change
+  /// is the future wire-repair PR.
+  void shutdown();
+
+  // --- Introspection ------------------------------------------------------
+
+  NodeId self() const { return config_.self; }
+  int nodes() const { return config_.n; }
+  int resource_count() const { return directory_.resource_count(); }
+  const service::Directory& directory() const { return directory_; }
+  ResourceId lookup(std::string_view name) const {
+    return directory_.lookup(name);
+  }
+  const std::string& name(ResourceId r) const { return directory_.name(r); }
+  NodeId home_node(ResourceId r) const { return directory_.home_node(r); }
+
+  // --- Client API (this process's node only) ------------------------------
+
+  /// Blocks until this node holds resource `r`'s critical section.
+  void lock(ResourceId r);
+  /// Bounded-wait lock; kUnavailable once any peer has crashed.
+  LockError try_lock_for(ResourceId r, std::chrono::milliseconds timeout);
+  void unlock(ResourceId r);
+
+  std::uint64_t entries(ResourceId r) const;
+  std::uint64_t total_entries() const;
+  const EventLoopStats& transport_stats() const { return loop_->stats(); }
+
+  /// First protocol, exclusivity, or transport error observed, if any.
+  std::optional<std::string> first_error() const;
+
+ private:
+  struct ResourceNode;
+
+  ResourceNode& rn(ResourceId r);
+  /// Context::send target: frames the message and ships it to `to`.
+  void route(ResourceId r, NodeId to, net::MessagePtr message);
+  void on_frame(const FrameHeader& header, net::MessagePtr message);
+  void on_peer_down(NodeId peer);
+  void record_error(const std::string& what);
+  /// Records the error and releases every parked client thread.
+  void fail(const std::string& what);
+  LockError wait_for_grant(ResourceId r,
+                           const std::chrono::milliseconds* timeout);
+
+  DistributedLockSpaceConfig config_;
+  service::Directory directory_;
+  exec::Executor executor_;
+  std::unique_ptr<EventLoop> loop_;
+  /// This process's state machine per resource, indexed by ResourceId.
+  std::vector<std::unique_ptr<ResourceNode>> nodes_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> entries_;
+  /// Local-view occupancy witness (complemented by the shared-memory
+  /// witness in the multi-process harness).
+  std::unique_ptr<std::atomic<int>[]> occupancy_;
+  /// A peer crashed: every resource is conservatively unavailable.
+  std::atomic<bool> unavailable_{false};
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> shut_down_{false};
+
+  mutable std::mutex error_mutex_;
+  std::optional<std::string> first_error_;
+};
+
+/// RAII holder mirroring service::ScopedLock.
+class DistributedScopedLock {
+ public:
+  DistributedScopedLock(DistributedLockSpace& space, ResourceId r)
+      : space_(&space), resource_(r) {
+    space_->lock(resource_);
+  }
+  ~DistributedScopedLock() {
+    if (space_ != nullptr) space_->unlock(resource_);
+  }
+  DistributedScopedLock(const DistributedScopedLock&) = delete;
+  DistributedScopedLock& operator=(const DistributedScopedLock&) = delete;
+
+ private:
+  DistributedLockSpace* space_;
+  ResourceId resource_;
+};
+
+}  // namespace dmx::transport

@@ -1,0 +1,179 @@
+#include "transport/process_harness.hpp"
+
+#include <csignal>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace dmx::transport {
+
+namespace {
+
+/// read()/write() the exact byte count, retrying EINTR; false on EOF or
+/// error (a dead counterpart).
+bool read_exact(int fd, void* buf, std::size_t bytes) {
+  auto* p = static_cast<char*>(buf);
+  while (bytes > 0) {
+    const ssize_t n = ::read(fd, p, bytes);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* buf, std::size_t bytes) {
+  const auto* p = static_cast<const char*>(buf);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, p, bytes);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HarnessResult ProcessHarness::run(int n, const Body& body) {
+  DMX_CHECK(n >= 1 && n <= 64);
+  // A child that dies mid-rendezvous closes its pipes; the broadcast
+  // below must get EPIPE, not a fatal SIGPIPE (pipes have no
+  // MSG_NOSIGNAL). Process-wide, but correct for every write this test
+  // process performs.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  void* region = ::mmap(nullptr, sizeof(SharedWitness),
+                        PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  DMX_CHECK_MSG(region != MAP_FAILED,
+                "mmap(MAP_SHARED): " << std::strerror(errno));
+  auto* shared = new (region) SharedWitness();
+  for (int r = 0; r < SharedWitness::kMaxResources; ++r) {
+    shared->occupancy[r].store(0);
+  }
+  shared->violations.store(0);
+  shared->entries.store(0);
+
+  // Per-child pipes: up = child -> parent (its port), down = parent ->
+  // child (the full port map).
+  std::vector<int> up_read(static_cast<std::size_t>(n) + 1, -1);
+  std::vector<int> down_write(static_cast<std::size_t>(n) + 1, -1);
+  std::vector<pid_t> pids(static_cast<std::size_t>(n) + 1, -1);
+
+  for (NodeId v = 1; v <= n; ++v) {
+    int up[2];
+    int down[2];
+    DMX_CHECK(::pipe(up) == 0);
+    DMX_CHECK(::pipe(down) == 0);
+    const pid_t pid = ::fork();
+    DMX_CHECK_MSG(pid >= 0, "fork: " << std::strerror(errno));
+    if (pid == 0) {
+      // Child: keep only this node's pipe ends (ours plus any inherited
+      // from earlier siblings — close those so a sibling's EOF is real).
+      ::close(up[0]);
+      ::close(down[1]);
+      for (NodeId w = 1; w < v; ++w) {
+        if (up_read[static_cast<std::size_t>(w)] >= 0) {
+          ::close(up_read[static_cast<std::size_t>(w)]);
+        }
+        if (down_write[static_cast<std::size_t>(w)] >= 0) {
+          ::close(down_write[static_cast<std::size_t>(w)]);
+        }
+      }
+      const int up_fd = up[1];
+      const int down_fd = down[0];
+      const Rendezvous rendezvous =
+          [n, up_fd, down_fd](std::uint16_t my_port) {
+            if (!write_exact(up_fd, &my_port, sizeof(my_port))) {
+              throw std::runtime_error("rendezvous publish failed");
+            }
+            std::vector<std::uint16_t> ports(static_cast<std::size_t>(n) + 1,
+                                             0);
+            if (!read_exact(down_fd, ports.data() + 1,
+                            static_cast<std::size_t>(n) *
+                                sizeof(std::uint16_t))) {
+              throw std::runtime_error(
+                  "rendezvous collapsed (a sibling died)");
+            }
+            return ports;
+          };
+      int code = 0;
+      try {
+        code = body(v, rendezvous, *shared);
+      } catch (const std::exception& e) {
+        ::fprintf(stderr, "node %d: %s\n", v, e.what());
+        code = 70;  // EX_SOFTWARE
+      }
+      ::_exit(code);
+    }
+    ::close(up[1]);
+    ::close(down[0]);
+    up_read[static_cast<std::size_t>(v)] = up[0];
+    down_write[static_cast<std::size_t>(v)] = down[1];
+    pids[static_cast<std::size_t>(v)] = pid;
+  }
+
+  // Collect every child's port. A child that dies first closes its pipe;
+  // record port 0 and let the broadcast's dead-pipe writes fail softly —
+  // its siblings then see a collapsed rendezvous and exit nonzero, which
+  // the caller's all_ok() check surfaces.
+  std::vector<std::uint16_t> ports(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 1; v <= n; ++v) {
+    std::uint16_t port = 0;
+    if (read_exact(up_read[static_cast<std::size_t>(v)], &port,
+                   sizeof(port))) {
+      ports[static_cast<std::size_t>(v)] = port;
+    }
+  }
+  // Broadcast the map; a dead child's pipe yields EPIPE, ignored.
+  for (NodeId v = 1; v <= n; ++v) {
+    (void)write_exact(down_write[static_cast<std::size_t>(v)],
+                      ports.data() + 1,
+                      static_cast<std::size_t>(n) * sizeof(std::uint16_t));
+  }
+
+  HarnessResult result;
+  result.exit_codes.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 1; v <= n; ++v) {
+    int status = 0;
+    const pid_t pid = pids[static_cast<std::size_t>(v)];
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (WIFEXITED(status)) {
+      result.exit_codes[static_cast<std::size_t>(v)] = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      result.exit_codes[static_cast<std::size_t>(v)] =
+          128 + WTERMSIG(status);
+    } else {
+      result.exit_codes[static_cast<std::size_t>(v)] = -1;
+    }
+    ::close(up_read[static_cast<std::size_t>(v)]);
+    ::close(down_write[static_cast<std::size_t>(v)]);
+  }
+
+  for (int r = 0; r < SharedWitness::kMaxResources; ++r) {
+    result.witness.occupancy[r] = shared->occupancy[r].load();
+  }
+  result.witness.violations = shared->violations.load();
+  result.witness.entries = shared->entries.load();
+  ::munmap(region, sizeof(SharedWitness));
+  return result;
+}
+
+}  // namespace dmx::transport

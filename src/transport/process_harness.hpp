@@ -1,0 +1,96 @@
+// Multi-process test harness: fork one real process per node, rendezvous
+// their loopback ports through pipes, and witness cross-process mutual
+// exclusion through a MAP_SHARED memory region.
+//
+// Flow: run(n, body) forks n children (node ids 1..n). Each child calls
+// `body(self, rendezvous, shared)`; the body binds its own listening
+// socket, then calls rendezvous(my_port), which publishes the port to the
+// parent and blocks until the parent has collected all n ports and
+// broadcast the full map back. With the map in hand the body dials its
+// lower-numbered peers, runs its workload, and returns an exit code; the
+// harness _exit()s with it (no atexit/dtor replay of the parent's state).
+//
+// The shared region is the cross-process analogue of the threaded
+// substrate's occupancy witness: per-resource entry/exit counters bumped
+// with std::atomic (address-free on this platform), so "two processes
+// inside one critical section" is observable no matter which process's
+// asserts run. The parent reads the region after all children exit.
+//
+// Children that die before publishing a port (crash, DMX_CHECK) surface
+// as a failed rendezvous in their siblings and a nonzero exit here; the
+// parent never hangs on a dead child's pipe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dmx::transport {
+
+/// Cross-process witness state, placed in a MAP_SHARED region.
+struct SharedWitness {
+  static constexpr int kMaxResources = 64;
+  /// Nodes currently inside resource r's critical section.
+  std::atomic<int> occupancy[kMaxResources];
+  /// Exclusivity violations observed by any process (must stay 0).
+  std::atomic<int> violations;
+  /// Total critical-section entries across all processes.
+  std::atomic<std::uint64_t> entries;
+
+  /// Entry bookkeeping: call with the resource just locked.
+  void enter(ResourceId r) {
+    if (occupancy[r].fetch_add(1, std::memory_order_acq_rel) != 0) {
+      violations.fetch_add(1, std::memory_order_relaxed);
+    }
+    entries.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Exit bookkeeping: call before unlocking.
+  void exit(ResourceId r) {
+    occupancy[r].fetch_sub(1, std::memory_order_acq_rel);
+  }
+};
+
+/// Plain-value copy of the shared witness, taken after the children exit.
+struct WitnessSnapshot {
+  int occupancy[SharedWitness::kMaxResources] = {};
+  int violations = 0;
+  std::uint64_t entries = 0;
+};
+
+struct HarnessResult {
+  /// Exit code per node, indexed by node id (index 0 unused). A child
+  /// killed by a signal reports 128 + signo.
+  std::vector<int> exit_codes;
+  /// Snapshot of the shared witness after every child exited.
+  WitnessSnapshot witness;
+
+  bool all_ok() const {
+    for (std::size_t v = 1; v < exit_codes.size(); ++v) {
+      if (exit_codes[v] != 0) return false;
+    }
+    return true;
+  }
+};
+
+class ProcessHarness {
+ public:
+  /// Publishes this node's port; returns every node's port indexed by
+  /// node id (index 0 unused). Blocks until all siblings published.
+  /// Throws std::runtime_error if the rendezvous collapses (a sibling
+  /// died first).
+  using Rendezvous =
+      std::function<std::vector<std::uint16_t>(std::uint16_t my_port)>;
+
+  /// Child body: runs in a forked process as node `self`. Its return
+  /// value becomes the process exit code (0 = success).
+  using Body = std::function<int(NodeId self, const Rendezvous& rendezvous,
+                                 SharedWitness& shared)>;
+
+  /// Forks `n` children, runs `body` in each, waits for all of them.
+  static HarnessResult run(int n, const Body& body);
+};
+
+}  // namespace dmx::transport

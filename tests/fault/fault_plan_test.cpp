@@ -42,6 +42,25 @@ TEST(FaultPlan, ValidateCatchesIllFormedPlans) {
                   .empty());
 }
 
+TEST(FaultPlan, ValidateRejectsSameTickCrashAndRecovery) {
+  // Same node, same tick: the stable (at, insertion order) sort would run
+  // crash-then-recover or recover-then-crash depending on the order the
+  // plan was BUILT in, not on anything the schedule expresses. Both
+  // spellings are rejected so the ambiguity cannot reach a substrate.
+  const std::string crash_first =
+      fault::FaultPlan().crash(10, 2).recover(10, 2).validate(4);
+  EXPECT_FALSE(crash_first.empty());
+  EXPECT_NE(crash_first.find("same-tick"), std::string::npos);
+  EXPECT_FALSE(
+      fault::FaultPlan().recover(10, 2).crash(10, 2).validate(4).empty());
+  // Different nodes on one tick stay legal...
+  EXPECT_TRUE(
+      fault::FaultPlan().crash(10, 1).crash(10, 2).validate(4).empty());
+  // ...and the non-ambiguous spelling (recover strictly later) passes.
+  EXPECT_TRUE(
+      fault::FaultPlan().crash(10, 2).recover(11, 2).validate(4).empty());
+}
+
 TEST(FaultPlan, DescribeRendersOneLine) {
   EXPECT_EQ(fault::FaultPlan().describe(), "none");
   EXPECT_EQ(fault::FaultPlan().crash(50, 3).recover(400, 3).describe(),

@@ -197,6 +197,56 @@ TEST_F(NetTest, PartitionSeversBothDirectionsUntilHealed) {
   EXPECT_EQ(network->stats().total_dropped, 2u);
 }
 
+TEST_F(NetTest, PartitionLeavesInFlightEnvelopesToDeliver) {
+  // A partition severs the LINK, not the wire already traversed: it drops
+  // at send time only. Envelopes mid-flight when the link goes down still
+  // deliver, and every per-resource/per-kind in-flight counter must agree
+  // with that — in particular a PRIVILEGE (the token) launched before the
+  // partition keeps existing exactly once, so the token-uniqueness
+  // witness (in-flight PRIVILEGE count plus holder count) is unaffected.
+  install(3, std::make_unique<FixedLatency>(10));
+  const ResourceId r = 0;
+  const MessageKind privilege = MessageKind::of("PRIVILEGE");
+  network->send(r, 1, 2,
+                std::make_unique<TestMessage>(1, "PRIVILEGE"));  // the token
+  network->send(r, 1, 2, std::make_unique<TestMessage>(2, "TEST"));
+  sim.run_until(5);
+  EXPECT_EQ(network->in_flight_count(), 2u);
+  EXPECT_EQ(network->in_flight_count(r, privilege), 1u);
+
+  network->partition(1, 2);  // both envelopes are mid-flight, due at t=10
+
+  // In flight means in flight: the partition changed nothing about them.
+  EXPECT_EQ(network->in_flight_count(), 2u);
+  EXPECT_EQ(network->in_flight_count(r, privilege), 1u);
+  EXPECT_EQ(network->in_flight_count(r, Epoch{0}, privilege), 1u);
+
+  // New traffic on the severed link is dropped at send, and the dropped
+  // PRIVILEGE never enters the in-flight accounting (it never existed on
+  // the wire — the counter must not leak upward and later underflow).
+  network->send(r, 2, 1, std::make_unique<TestMessage>(3, "PRIVILEGE"));
+  EXPECT_EQ(network->in_flight_count(r, privilege), 1u);
+  EXPECT_EQ(network->stats().total_dropped, 1u);
+
+  int discards = 0;
+  network->set_discard_handler(
+      [&](const Envelope&, Network::DiscardReason) { ++discards; });
+  sim.run();
+
+  // Both pre-partition envelopes delivered (no discards), counters drained
+  // to zero exactly once each.
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].value, 1);
+  EXPECT_EQ(deliveries[1].value, 2);
+  EXPECT_EQ(discards, 0);
+  EXPECT_EQ(network->in_flight_count(), 0u);
+  EXPECT_EQ(network->in_flight_count(r, privilege), 0u);
+  EXPECT_EQ(network->in_flight_count(r, Epoch{0}, privilege), 0u);
+  // Exactly one token ever existed: one PRIVILEGE sent, none duplicated.
+  EXPECT_EQ(network->stats().sent(privilege), 2u);  // 1 delivered + 1 dropped
+  EXPECT_EQ(network->stats().total_duplicated, 0u);
+}
+
 TEST_F(NetTest, DeadNodeEatsInFlightTrafficAtDelivery) {
   install(3, std::make_unique<FixedLatency>(10));
   int discards = 0;

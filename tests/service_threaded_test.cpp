@@ -5,6 +5,7 @@
 // short.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -249,6 +250,62 @@ TEST(ThreadedLockSpace, JitteryDeliverySurvivesAcrossAlgorithms) {
     EXPECT_FALSE(space.first_error().has_value())
         << algorithm << ": " << *space.first_error();
   }
+}
+
+TEST(ThreadedLockSpace, ZeroTimeoutConsumesAnAlreadyLatchedGrant) {
+  // try_lock_for with an already-elapsed deadline must still consume a
+  // grant that latched before (or while) the waiter parked: the pred-form
+  // cv wait checks the predicate after its final wake, so a latched grant
+  // yields kOk, never a kTimeout that strands the grant. On a one-node
+  // space the protocol grants near-instantly, so hammering zero-timeout
+  // attempts exercises both races — grant latched before the deadline
+  // check (kOk) and after it (kTimeout, with on_grant handing the CS
+  // back). Either way the bookkeeping must balance: every kOk is
+  // unlockable, entries equal successes, and no grant stays latched.
+  ThreadedLockSpace space(make_config(1, 1));
+  const ResourceId r = 0;
+  const NodeId v = 1;
+  int ok = 0;
+  int timeout = 0;
+  for (int i = 0; i < 400; ++i) {
+    const LockError error =
+        space.try_lock_for(r, v, std::chrono::milliseconds(0));
+    if (error == LockError::kOk) {
+      ++ok;
+      space.unlock(r, v);
+    } else {
+      EXPECT_EQ(error, LockError::kTimeout);
+      ++timeout;
+    }
+  }
+  EXPECT_EQ(space.entries(r), static_cast<std::uint64_t>(ok));
+  // No grant may stay latched after a timeout: a subsequent blocking lock
+  // must succeed (it would hang forever on a stranded handshake).
+  space.lock(r, v);
+  space.unlock(r, v);
+  EXPECT_EQ(space.entries(r), static_cast<std::uint64_t>(ok) + 1);
+  EXPECT_FALSE(space.first_error().has_value()) << *space.first_error();
+}
+
+TEST(ThreadedLockSpace, ZeroTimeoutWhileHeldLocallyTimesOutCleanly) {
+  // Deterministic expired-deadline path: another thread of the SAME node
+  // holds the resource, so the zero-timeout attempt can never be granted
+  // and must return kTimeout without posting a duplicate protocol request
+  // or corrupting the local hand-off state.
+  ThreadedLockSpace space(make_config(2, 1));
+  const ResourceId r = 0;
+  const NodeId v = 1;
+  space.lock(r, v);
+  EXPECT_EQ(space.try_lock_for(r, v, std::chrono::milliseconds(0)),
+            LockError::kTimeout);
+  space.unlock(r, v);
+  // The timed-out waiter left no residue: both nodes still make progress.
+  space.lock(r, v);
+  space.unlock(r, v);
+  space.lock(r, 2);
+  space.unlock(r, 2);
+  EXPECT_EQ(space.entries(r), 3u);
+  EXPECT_FALSE(space.first_error().has_value()) << *space.first_error();
 }
 
 }  // namespace

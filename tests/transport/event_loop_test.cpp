@@ -1,0 +1,282 @@
+// EventLoop tests: two in-process loops rendezvous over loopback TCP and
+// exchange protocol frames; a raw socket exercises partial-frame
+// reassembly, the GOODBYE-vs-crash disconnect distinction, and corrupt
+// stream rejection.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "net/wire_format.hpp"
+#include "transport/codec.hpp"
+#include "transport/event_loop.hpp"
+
+namespace dmx::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Frames and peer-down events collected from one loop's callbacks, with
+/// a condition variable so tests can wait instead of sleeping.
+struct Sink {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::pair<FrameHeader, net::MessagePtr>> frames;
+  std::vector<NodeId> downs;
+
+  EventLoop::FrameHandler frame_handler() {
+    return [this](const FrameHeader& header, net::MessagePtr message) {
+      std::lock_guard<std::mutex> lock(mutex);
+      frames.emplace_back(header, std::move(message));
+      cv.notify_all();
+    };
+  }
+  EventLoop::PeerDownHandler down_handler() {
+    return [this](NodeId peer) {
+      std::lock_guard<std::mutex> lock(mutex);
+      downs.push_back(peer);
+      cv.notify_all();
+    };
+  }
+  bool wait_frames(std::size_t count, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, timeout,
+                       [&] { return frames.size() >= count; });
+  }
+  bool wait_down(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, timeout, [&] { return !downs.empty(); });
+  }
+};
+
+/// Raw blocking loopback client for byte-level protocol tests.
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~RawClient() { close(); }
+
+  void write_all(const std::string& bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + done, bytes.size() - done,
+                               MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      done += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Writes `bytes` in `chunk`-sized pieces with a small pause between
+  /// each, forcing the receiving loop to buffer partial frames.
+  void write_chunked(const std::string& bytes, std::size_t chunk) {
+    for (std::size_t at = 0; at < bytes.size(); at += chunk) {
+      write_all(bytes.substr(at, chunk));
+      std::this_thread::sleep_for(2ms);
+    }
+  }
+
+  void close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(EventLoop, TwoLoopsExchangeFramesBothWays) {
+  Sink sink1;
+  Sink sink2;
+  EventLoop loop1({.self = 1}, sink1.frame_handler(), sink1.down_handler());
+  EventLoop loop2({.self = 2}, sink2.frame_handler(), sink2.down_handler());
+
+  const std::uint16_t port1 = loop1.listen();
+  loop2.listen();
+  loop2.connect(1, port1);  // mesh convention: 2 dials 1
+  loop1.start();
+  loop2.start();
+  ASSERT_TRUE(loop1.wait_for_peers(1, 2000ms));
+  ASSERT_TRUE(loop2.wait_for_peers(1, 2000ms));
+  EXPECT_EQ(loop1.connected_peers(), 1);
+  EXPECT_EQ(loop2.connected_peers(), 1);
+
+  const core::RequestMessage request(2, 2);
+  EXPECT_TRUE(loop2.send(1, /*epoch=*/3, /*resource=*/0, request));
+  const core::PrivilegeMessage privilege;
+  EXPECT_TRUE(loop1.send(2, /*epoch=*/3, /*resource=*/1, privilege));
+
+  ASSERT_TRUE(sink1.wait_frames(1, 2000ms));
+  ASSERT_TRUE(sink2.wait_frames(1, 2000ms));
+  {
+    std::lock_guard<std::mutex> lock(sink1.mutex);
+    const auto& [header, message] = sink1.frames[0];
+    EXPECT_EQ(header.from, 2);
+    EXPECT_EQ(header.to, 1);
+    EXPECT_EQ(header.epoch, 3u);
+    EXPECT_EQ(header.resource, 0);
+    EXPECT_EQ(message->encode(), request.encode());
+  }
+  {
+    std::lock_guard<std::mutex> lock(sink2.mutex);
+    const auto& [header, message] = sink2.frames[0];
+    EXPECT_EQ(header.from, 1);
+    EXPECT_EQ(header.resource, 1);
+    EXPECT_EQ(message->encode(), privilege.encode());
+  }
+
+  // Protocol frame accounting excludes the HELLO/GOODBYE control frames.
+  EXPECT_EQ(loop1.stats().frames_received.load(), 1u);
+  EXPECT_EQ(loop2.stats().frames_received.load(), 1u);
+  EXPECT_GT(loop1.stats().bytes_sent.load(), 0u);
+
+  loop2.stop();
+  loop1.stop();
+  // Orderly shutdown on both sides: GOODBYE preceded both EOFs.
+  EXPECT_TRUE(sink1.downs.empty());
+  EXPECT_TRUE(sink2.downs.empty());
+  EXPECT_FALSE(loop1.first_error().has_value());
+  EXPECT_FALSE(loop2.first_error().has_value());
+}
+
+TEST(EventLoop, SendToUnknownPeerFails) {
+  Sink sink;
+  EventLoop loop({.self = 1}, sink.frame_handler(), sink.down_handler());
+  loop.listen();
+  loop.start();
+  EXPECT_FALSE(loop.send(7, 0, 0, core::PrivilegeMessage()));
+  loop.stop();
+}
+
+TEST(EventLoop, ReassemblesFramesSplitAcrossReads) {
+  Sink sink;
+  EventLoop loop({.self = 1}, sink.frame_handler(), sink.down_handler());
+  const std::uint16_t port = loop.listen();
+  loop.start();
+
+  RawClient client(port);
+  // HELLO as node 9, then two protocol frames, all dribbled 3 bytes at a
+  // time so every frame arrives across several reads.
+  std::string bytes;
+  Codec::encode_control_frame(bytes, kHelloWireId, /*from=*/9);
+  Codec::encode_frame(bytes, /*epoch=*/1, /*resource=*/2, /*from=*/9,
+                      /*to=*/1, core::RequestMessage(9, 9));
+  Codec::encode_frame(bytes, /*epoch=*/1, /*resource=*/2, /*from=*/9,
+                      /*to=*/1, core::PrivilegeMessage());
+  client.write_chunked(bytes, 3);
+
+  ASSERT_TRUE(sink.wait_frames(2, 5000ms));
+  {
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    EXPECT_EQ(sink.frames[0].first.from, 9);
+    EXPECT_EQ(sink.frames[0].second->encode(),
+              core::RequestMessage(9, 9).encode());
+    EXPECT_EQ(sink.frames[1].second->encode(),
+              core::PrivilegeMessage().encode());
+  }
+  EXPECT_TRUE(loop.wait_for_peers(1, 1000ms));
+  EXPECT_GT(loop.stats().partial_frames.load(), 0u);
+
+  // Abrupt close without GOODBYE: the identified peer is reported down.
+  client.close();
+  ASSERT_TRUE(sink.wait_down(2000ms));
+  EXPECT_EQ(sink.downs[0], 9);
+  loop.stop();
+}
+
+TEST(EventLoop, GoodbyeThenCloseIsNotACrash) {
+  Sink sink;
+  EventLoop loop({.self = 1}, sink.frame_handler(), sink.down_handler());
+  const std::uint16_t port = loop.listen();
+  loop.start();
+
+  RawClient client(port);
+  std::string bytes;
+  Codec::encode_control_frame(bytes, kHelloWireId, /*from=*/4);
+  client.write_all(bytes);
+  ASSERT_TRUE(loop.wait_for_peers(1, 2000ms));
+
+  std::string goodbye;
+  Codec::encode_control_frame(goodbye, kGoodbyeWireId, /*from=*/4);
+  client.write_all(goodbye);
+  client.close();
+
+  // Give the loop ample time to process EOF; no peer-down may fire.
+  EXPECT_FALSE(sink.wait_down(300ms));
+  loop.stop();
+  EXPECT_TRUE(sink.downs.empty());
+  EXPECT_FALSE(loop.first_error().has_value());
+}
+
+TEST(EventLoop, CorruptStreamTearsThePeerDown) {
+  Sink sink;
+  EventLoop loop({.self = 1}, sink.frame_handler(), sink.down_handler());
+  const std::uint16_t port = loop.listen();
+  loop.start();
+
+  RawClient client(port);
+  std::string bytes;
+  Codec::encode_control_frame(bytes, kHelloWireId, /*from=*/5);
+  // A length prefix far beyond kMaxFrameBytes: a desynchronized stream.
+  net::WireWriter writer(bytes);
+  writer.u32(kMaxFrameBytes + 1);
+  client.write_all(bytes);
+
+  ASSERT_TRUE(sink.wait_down(2000ms));
+  EXPECT_EQ(sink.downs[0], 5);
+  ASSERT_TRUE(loop.first_error().has_value());
+  loop.stop();
+}
+
+TEST(EventLoop, UnknownWireIdIsRejectedNotDelivered) {
+  Sink sink;
+  EventLoop loop({.self = 1}, sink.frame_handler(), sink.down_handler());
+  const std::uint16_t port = loop.listen();
+  loop.start();
+
+  RawClient client(port);
+  std::string bytes;
+  Codec::encode_control_frame(bytes, kHelloWireId, /*from=*/6);
+  // A well-framed body whose wire id is unregistered (below the control
+  // range, above every family).
+  std::string body;
+  net::WireWriter body_writer(body);
+  body_writer.u32(0x00ffffffu);  // wire id
+  body_writer.u32(0);            // epoch
+  body_writer.i32(0);            // resource
+  body_writer.i32(6);            // from
+  body_writer.i32(1);            // to
+  net::WireWriter frame_writer(bytes);
+  frame_writer.u32(static_cast<std::uint32_t>(body.size()));
+  bytes += body;
+  client.write_all(bytes);
+
+  ASSERT_TRUE(sink.wait_down(2000ms));
+  EXPECT_EQ(sink.downs[0], 6);
+  EXPECT_TRUE(sink.frames.empty());
+  loop.stop();
+}
+
+}  // namespace
+}  // namespace dmx::transport
