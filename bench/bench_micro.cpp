@@ -10,6 +10,8 @@
 #include "net/latency.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topology/tree.hpp"
 #include "workload/workload.hpp"
 
@@ -152,6 +154,70 @@ void BM_TopologyDiameter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TopologyDiameter);
+
+// --- Telemetry callsite costs -----------------------------------------------
+// The per-call budget of the always-on instrumentation: one relaxed
+// fetch_add on a thread-local shard for counters, one bit_width + two
+// fetch_adds for histograms, one short ring-mutex hold for flight
+// events. The Threads(8) variants show the shards stay independent
+// (per-call cost must not grow with writer count).
+
+void BM_TelemetryCounterAdd(benchmark::State& state) {
+  static const telemetry::CounterId id =
+      telemetry::Registry::global().counter("bench.counter_add");
+  for (auto _ : state) {
+    telemetry::count(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterAdd);
+BENCHMARK(BM_TelemetryCounterAdd)->Threads(8);
+
+void BM_TelemetryCounterAddDisabled(benchmark::State& state) {
+  static const telemetry::CounterId id =
+      telemetry::Registry::global().counter("bench.counter_add_off");
+  telemetry::Registry::global().set_enabled(false);
+  for (auto _ : state) {
+    telemetry::count(id);
+  }
+  telemetry::Registry::global().set_enabled(true);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryCounterAddDisabled);
+
+void BM_TelemetryHistogramRecord(benchmark::State& state) {
+  static const telemetry::HistogramId id =
+      telemetry::Registry::global().histogram("bench.hist_record");
+  std::uint64_t value = 1;
+  for (auto _ : state) {
+    telemetry::observe(id, value);
+    value = value * 2862933555777941757ull + 3037000493ull;  // cheap lcg
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryHistogramRecord);
+BENCHMARK(BM_TelemetryHistogramRecord)->Threads(8);
+
+void BM_TelemetryFlightRecord(benchmark::State& state) {
+  for (auto _ : state) {
+    telemetry::FlightRecorder::record(telemetry::FlightEvent::kRequest,
+                                      /*resource=*/1, /*node=*/2,
+                                      /*arg=*/3);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryFlightRecord);
+BENCHMARK(BM_TelemetryFlightRecord)->Threads(8);
+
+void BM_TelemetrySnapshot(benchmark::State& state) {
+  static const telemetry::CounterId id =
+      telemetry::Registry::global().counter("bench.snapshot_subject");
+  telemetry::count(id);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(telemetry::Registry::global().snapshot());
+  }
+}
+BENCHMARK(BM_TelemetrySnapshot);
 
 }  // namespace
 }  // namespace dmx

@@ -18,6 +18,7 @@
 //   $ ./bench_transport [out.json]    # optional JSON snapshot path
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,6 +29,8 @@
 #include "baselines/registry.hpp"
 #include "metrics/table.hpp"
 #include "service/threaded_lock_space.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transport/distributed_lock_space.hpp"
 #include "transport/process_harness.hpp"
 
@@ -91,6 +94,16 @@ double run_tcp(const std::string& algorithm, int nodes, int resources,
           std::this_thread::sleep_for(1ms);
         }
         if (space.first_error().has_value()) return 3;
+        // Flight-recorder export: node 1 dumps its run as a Chrome trace
+        // (chrome://tracing / Perfetto) when DMX_CHROME_TRACE names a
+        // path. One writer is enough — every node records the same event
+        // mix (client gate, strand, wire, fault/membership).
+        if (self == 1) {
+          if (const char* path = std::getenv("DMX_CHROME_TRACE")) {
+            std::ofstream trace(path);
+            trace << telemetry::FlightRecorder::chrome_trace_json();
+          }
+        }
         space.shutdown();
         return 0;
       });

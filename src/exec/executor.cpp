@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -26,6 +27,14 @@ void cpu_relax() {
 #else
   std::this_thread::yield();
 #endif
+}
+
+/// Depth of the global injector observed at each external submission —
+/// the queueing-delay evidence the executor scale-out roadmap item needs.
+telemetry::HistogramId injector_depth_hist() {
+  static const telemetry::HistogramId id =
+      telemetry::Registry::global().histogram("exec.injector_depth");
+  return id;
 }
 
 }  // namespace
@@ -74,17 +83,29 @@ void Executor::submit(PoolTask* task) {
   if (tl_worker.executor == this) {
     workers_[static_cast<std::size_t>(tl_worker.index)]->deque.push(task);
   } else {
-    std::lock_guard<std::mutex> guard(injector_mutex_);
-    injector_.push_back(task);
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> guard(injector_mutex_);
+      injector_.push_back(task);
+      depth = injector_.size();
+    }
+    if (telemetry::sample_1_in_8()) {
+      telemetry::observe(injector_depth_hist(), depth);
+    }
   }
   wake_one();
 }
 
 void Executor::submit_fair(PoolTask* task) {
   DMX_CHECK(task != nullptr && task->run != nullptr);
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> guard(injector_mutex_);
     injector_.push_back(task);
+    depth = injector_.size();
+  }
+  if (telemetry::sample_1_in_8()) {
+    telemetry::observe(injector_depth_hist(), depth);
   }
   wake_one();
 }
@@ -112,6 +133,7 @@ PoolTask* Executor::find_work(int index, std::uint64_t& dispatches) {
   // Fairness tick: poll the global queue first now and then, or external
   // submissions starve behind a worker that keeps feeding its own deque.
   if (++dispatches % 61 == 0) {
+    self.injector_polls.fetch_add(1, std::memory_order_relaxed);
     if (PoolTask* task = pop_injector()) return task;
   }
   if (PoolTask* task = self.deque.pop()) return task;
@@ -120,6 +142,10 @@ PoolTask* Executor::find_work(int index, std::uint64_t& dispatches) {
   for (int hop = 1; hop < n; ++hop) {
     Worker& victim = *workers_[static_cast<std::size_t>((index + hop) % n)];
     if (PoolTask* task = victim.deque.steal()) {
+      // Steals and parks are counters only, not flight events: on a
+      // saturated pool they fire per scheduling decision, and a flight
+      // record per decision is the difference between ~1% and ~30%
+      // telemetry overhead at saturation.
       self.steals.fetch_add(1, std::memory_order_relaxed);
       return task;
     }
@@ -180,28 +206,16 @@ void Executor::worker_loop(int index) {
   tl_worker = WorkerIdentity{};
 }
 
-std::uint64_t Executor::tasks_executed() const {
-  std::uint64_t sum = 0;
+ExecutorStats Executor::stats() const {
+  ExecutorStats stats;
   for (const auto& worker : workers_) {
-    sum += worker->executed.load(std::memory_order_relaxed);
+    stats.tasks_executed += worker->executed.load(std::memory_order_relaxed);
+    stats.steals += worker->steals.load(std::memory_order_relaxed);
+    stats.parks += worker->parks.load(std::memory_order_relaxed);
+    stats.injector_polls +=
+        worker->injector_polls.load(std::memory_order_relaxed);
   }
-  return sum;
-}
-
-std::uint64_t Executor::steals() const {
-  std::uint64_t sum = 0;
-  for (const auto& worker : workers_) {
-    sum += worker->steals.load(std::memory_order_relaxed);
-  }
-  return sum;
-}
-
-std::uint64_t Executor::parks() const {
-  std::uint64_t sum = 0;
-  for (const auto& worker : workers_) {
-    sum += worker->parks.load(std::memory_order_relaxed);
-  }
-  return sum;
+  return stats;
 }
 
 }  // namespace dmx::exec

@@ -32,6 +32,20 @@
 
 namespace dmx::exec {
 
+/// Point-in-time view of the pool's internal counters (relaxed sums over
+/// per-worker cells — consistent enough for dashboards and benches, not
+/// a linearizable snapshot). The stable introspection surface: tests,
+/// telemetry_snapshot(), and benches all read this rather than poking at
+/// worker internals.
+struct ExecutorStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t parks = 0;
+  /// Fairness-tick polls of the global injector (every 61st dispatch),
+  /// whether or not they found work.
+  std::uint64_t injector_polls = 0;
+};
+
 /// A schedulable unit. Embed one in the owning object and point `run` at
 /// a trampoline; `context` is handed back verbatim. No allocation, no
 /// virtual dispatch.
@@ -78,9 +92,11 @@ class Executor {
   bool on_worker_thread() const;
 
   // --- Introspection (tests and benches; relaxed counters) -----------------
-  std::uint64_t tasks_executed() const;
-  std::uint64_t steals() const;
-  std::uint64_t parks() const;
+  /// All internal counters in one read.
+  ExecutorStats stats() const;
+  std::uint64_t tasks_executed() const { return stats().tasks_executed; }
+  std::uint64_t steals() const { return stats().steals; }
+  std::uint64_t parks() const { return stats().parks; }
 
  private:
   struct Worker {
@@ -89,6 +105,7 @@ class Executor {
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> steals{0};
     std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> injector_polls{0};
   };
 
   void worker_loop(int index);

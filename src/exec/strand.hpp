@@ -33,8 +33,25 @@
 #include "common/check.hpp"
 #include "exec/executor.hpp"
 #include "sim/inline_function.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dmx::exec {
+
+namespace detail {
+/// Shared across every strand in the process: activations (pool pickups)
+/// and the distribution of tasks drained per activation — the batching
+/// evidence behind the kBatch=32 choice.
+inline telemetry::CounterId strand_activations_counter() {
+  static const telemetry::CounterId id =
+      telemetry::Registry::global().counter("exec.strand_activations");
+  return id;
+}
+inline telemetry::HistogramId strand_batch_hist() {
+  static const telemetry::HistogramId id =
+      telemetry::Registry::global().histogram("exec.strand_batch");
+  return id;
+}
+}  // namespace detail
 
 class Strand {
  public:
@@ -120,22 +137,32 @@ class Strand {
 
   void run() {
     int drained = 0;
+    bool requeue = false;
     for (;;) {
       Task task;
       {
         std::lock_guard<std::mutex> guard(mutex_);
         if (queue_.empty()) {
           active_ = false;
-          return;
+          break;
         }
-        if (drained >= kBatch) break;  // stay active, yield the worker
+        if (drained >= kBatch) {  // stay active, yield the worker
+          requeue = true;
+          break;
+        }
         task = queue_.pop();
       }
       task();
       ++executed_;
       ++drained;
     }
-    executor_.submit_fair(&pool_task_);
+    telemetry::count(detail::strand_activations_counter());
+    // Activation counter exact; batch histogram is shape-only, sampled.
+    if (telemetry::sample_1_in_8()) {
+      telemetry::observe(detail::strand_batch_hist(),
+                         static_cast<std::uint64_t>(drained));
+    }
+    if (requeue) executor_.submit_fair(&pool_task_);
   }
 
   Executor& executor_;

@@ -13,6 +13,11 @@ class Summary {
  public:
   void add(double x);
 
+  /// Folds `other` into this summary as if every sample had been add()ed
+  /// here — the shard-combine step for per-thread summaries. Uses Chan's
+  /// parallel Welford update, so variance stays numerically stable.
+  void merge(const Summary& other);
+
   std::uint64_t count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : mean_; }
   double min() const { return count_ == 0 ? 0.0 : min_; }
@@ -47,6 +52,8 @@ class Histogram {
 
   /// Quantile q in [0,1]; returns the upper edge of the bucket containing
   /// the q-th sample. Exact for integer-valued samples with unit buckets.
+  /// Pinned behavior on an empty histogram: returns `lo` for every q —
+  /// never an uninitialised or out-of-range value.
   double quantile(double q) const;
 
   const std::vector<std::uint64_t>& buckets() const { return counts_; }

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "exec/strand.hpp"
 #include "quorum/election.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace dmx::service {
 
@@ -184,6 +185,9 @@ struct ThreadedLockSpace::ResourceNode {
   int waiting = 0;
   bool requested = false;
   bool granted = false;
+  /// telemetry::now_ns() when the current holder entered (0 = not held);
+  /// closes the client.hold_ns histogram at unlock.
+  std::uint64_t hold_started_ns = 0;
   /// Epoch the pending grant was minted in: a consumer revalidates it
   /// against the resource's current epoch, so a grant from a world that a
   /// repair has since fenced is discarded instead of entering the CS
@@ -278,6 +282,30 @@ ThreadedLockSpace::ThreadedLockSpace(ThreadedLockSpaceConfig config)
       rn(r, v).node = std::move(protocol_nodes[static_cast<std::size_t>(v)]);
     }
   }
+
+  // Resolve every metric id once, here in cold code; the lock/unlock hot
+  // paths then record through plain array indices.
+  auto& registry = telemetry::Registry::global();
+  hold_hist_ = registry.histogram("client.hold_ns");
+  repair_hist_ = registry.histogram("fault.repair_ns");
+  unavail_hist_ = registry.histogram("fault.unavail_window_ns");
+  unavailable_since_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      static_cast<std::size_t>(m));
+  resource_telemetry_.reserve(static_cast<std::size_t>(m));
+  for (ResourceId r = 0; r < m; ++r) {
+    unavailable_since_ns_[static_cast<std::size_t>(r)].store(0);
+    const std::string& rname = directory_.name(r);
+    ResourceTelemetry rt;
+    rt.wait_ns = registry.histogram("client.wait_ns." + rname);
+    rt.ok = registry.counter("client.ok." + rname);
+    rt.timeouts = registry.counter("client.timeout." + rname);
+    rt.unavailable = registry.counter("client.unavailable." + rname);
+    for (const std::string& kind :
+         algorithms_[static_cast<std::size_t>(r)].token_message_kinds) {
+      rt.token_kinds.push_back(net::MessageKind::of(kind));
+    }
+    resource_telemetry_.push_back(std::move(rt));
+  }
 }
 
 ThreadedLockSpace::~ThreadedLockSpace() {
@@ -315,10 +343,15 @@ Epoch ThreadedLockSpace::epoch(ResourceId r) const {
 LockError ThreadedLockSpace::wait_for_grant(
     ResourceId r, NodeId v, const std::chrono::milliseconds* timeout) {
   ResourceNode& x = rn(r, v);
+  const ResourceTelemetry& rt = resource_telemetry_[static_cast<std::size_t>(r)];
+  const std::uint64_t wait_started_ns = telemetry::now_ns();
+  telemetry::FlightRecorder::record_at(wait_started_ns,
+                                       telemetry::FlightEvent::kRequest, r, v);
   const auto deadline =
       timeout != nullptr
           ? std::chrono::steady_clock::now() + *timeout
           : std::chrono::steady_clock::time_point::max();
+  std::uint64_t grant_ns = 0;
   {
     std::unique_lock<std::mutex> guard(x.client_mutex);
     ++x.waiting;
@@ -349,6 +382,9 @@ LockError ThreadedLockSpace::wait_for_grant(
         // Deadline passed. The request stays posted; a grant arriving
         // with nobody waiting is handed straight back by on_grant.
         --x.waiting;
+        telemetry::count(rt.timeouts);
+        telemetry::FlightRecorder::record(telemetry::FlightEvent::kTimeout, r,
+                                          v);
         return LockError::kTimeout;
       }
       if (x.granted) {
@@ -366,6 +402,10 @@ LockError ThreadedLockSpace::wait_for_grant(
         x.requested = false;
         --x.waiting;
         x.held = true;
+        // One clock read serves three consumers: the hold-time stamp,
+        // the wait histograms, and the grant flight event.
+        grant_ns = telemetry::now_ns();
+        x.hold_started_ns = grant_ns;
         break;
       }
       --x.waiting;
@@ -373,6 +413,9 @@ LockError ThreadedLockSpace::wait_for_grant(
               std::memory_order_relaxed) ||
           unavailable_[static_cast<std::size_t>(r)].load(
               std::memory_order_relaxed)) {
+        telemetry::count(rt.unavailable);
+        telemetry::FlightRecorder::record(telemetry::FlightEvent::kUnavailable,
+                                          r, v);
         return LockError::kUnavailable;
       }
       // A protocol handler threw somewhere in the space; waiting for a
@@ -393,6 +436,15 @@ LockError ThreadedLockSpace::wait_for_grant(
   }
   entries_[static_cast<std::size_t>(r)].fetch_add(1,
                                                   std::memory_order_relaxed);
+  // Per-resource lane only; the process-wide "client.wait_ns" roll-up is
+  // synthesized at snapshot time (MetricsSnapshot::roll_up), not paid for
+  // on every acquisition.
+  if (telemetry::sample_1_in_8()) {
+    telemetry::observe(rt.wait_ns, grant_ns - wait_started_ns);
+  }
+  telemetry::count(rt.ok);
+  telemetry::FlightRecorder::record_at(grant_ns, telemetry::FlightEvent::kGrant,
+                                       r, v);
   return LockError::kOk;
 }
 
@@ -417,6 +469,7 @@ void ThreadedLockSpace::unlock(ResourceId r, NodeId v) {
   DMX_CHECK(v >= 1 && v <= config_.n);
   DMX_CHECK(r >= 0 && r < resource_count());
   ResourceNode& x = rn(r, v);
+  std::uint64_t hold_started_ns = 0;
   {
     std::lock_guard<std::mutex> guard(x.client_mutex);
     if (!x.held) {
@@ -429,6 +482,8 @@ void ThreadedLockSpace::unlock(ResourceId r, NodeId v) {
                                << " which does not hold it");
     }
     x.held = false;
+    hold_started_ns = x.hold_started_ns;
+    x.hold_started_ns = 0;
     // The witness retires only after the held-check passed (a bogus unlock
     // must not drive the counter negative), yet before the release reaches
     // the protocol — after that the next grant may already increment it.
@@ -444,6 +499,14 @@ void ThreadedLockSpace::unlock(ResourceId r, NodeId v) {
       x.strand.post([&x, tag] { x.request(tag); });
     }
   }
+  // Telemetry off the client mutex: one clock read feeds both the hold
+  // histogram and the release flight event.
+  const std::uint64_t release_ns = telemetry::now_ns();
+  if (hold_started_ns != 0 && telemetry::sample_1_in_8()) {
+    telemetry::observe(hold_hist_, release_ns - hold_started_ns);
+  }
+  telemetry::FlightRecorder::record_at(release_ns,
+                                       telemetry::FlightEvent::kRelease, r, v);
   // Complete a repair that deferred while this node held the lock. Taken
   // without client_mutex: maybe_repair acquires client mutexes under the
   // repair mutex, never the reverse.
@@ -461,6 +524,8 @@ void ThreadedLockSpace::crash(NodeId v) {
   DMX_CHECK(v >= 1 && v <= config_.n);
   if (node_down_[static_cast<std::size_t>(v)].exchange(true)) return;
   fault_active_.store(true, std::memory_order_seq_cst);
+  telemetry::FlightRecorder::record(telemetry::FlightEvent::kCrash,
+                                    /*resource=*/0, v);
   for (int r = 0; r < resource_count(); ++r) {
     ResourceNode& x = rn(r, v);
     bool was_held = false;
@@ -483,8 +548,7 @@ void ThreadedLockSpace::crash(NodeId v) {
       // Token-loss detection without regeneration: the resource whose
       // home (initial token holder) died can never grant again. Surface
       // it instead of letting try_lock_for wait forever.
-      unavailable_[static_cast<std::size_t>(r)].store(
-          true, std::memory_order_seq_cst);
+      mark_unavailable(r);
       wake_all(r);
     }
   }
@@ -493,6 +557,8 @@ void ThreadedLockSpace::crash(NodeId v) {
 void ThreadedLockSpace::recover(NodeId v) {
   DMX_CHECK(v >= 1 && v <= config_.n);
   if (!node_down_[static_cast<std::size_t>(v)].exchange(false)) return;
+  telemetry::FlightRecorder::record(telemetry::FlightEvent::kRecover,
+                                    /*resource=*/0, v);
   if (!config_.recovery_enabled) return;  // back up, but never reintegrated
   for (int r = 0; r < resource_count(); ++r) {
     maybe_repair(r);
@@ -521,12 +587,19 @@ void ThreadedLockSpace::maybe_repair(ResourceId r) {
     return;
   }
 
+  // The membership is stale: a regeneration is (or stays) in flight. The
+  // clock starts at first observation and survives deferrals, so the
+  // histogram reflects what a waiting client actually experienced.
+  if (rs.repair_started_ns == 0) {
+    rs.repair_started_ns = telemetry::now_ns();
+    telemetry::FlightRecorder::record(telemetry::FlightEvent::kRepairStart, r);
+  }
+
   const NodeId winner = quorum::elect_regenerator(config_.n, up);
   if (winner == kNilNode) {
     // No live majority: the resource stays degraded until enough nodes
     // come back. Waiters are told rather than left hanging.
-    unavailable_[static_cast<std::size_t>(r)].store(
-        true, std::memory_order_seq_cst);
+    mark_unavailable(r);
     wake_all(r);
     return;
   }
@@ -573,8 +646,15 @@ void ThreadedLockSpace::maybe_repair(ResourceId r) {
   auto shared =
       std::make_shared<const fault::Membership>(std::move(membership));
   rs.membership = *shared;
-  unavailable_[static_cast<std::size_t>(r)].store(
-      false, std::memory_order_seq_cst);
+  if (unavailable_[static_cast<std::size_t>(r)].exchange(
+          false, std::memory_order_seq_cst)) {
+    const std::uint64_t since =
+        unavailable_since_ns_[static_cast<std::size_t>(r)].exchange(
+            0, std::memory_order_relaxed);
+    if (since != 0) {
+      telemetry::observe(unavail_hist_, telemetry::now_ns() - since);
+    }
+  }
 
   // Phase 1: install the fresh world. Reset tasks are unfenced — they ARE
   // the epoch transition on each strand.
@@ -595,6 +675,21 @@ void ThreadedLockSpace::maybe_repair(ResourceId r) {
   for (NodeId rank = 1; rank <= shared->size(); ++rank) {
     ResourceNode& x = rn(r, shared->original_of(rank));
     x.strand.post([&x, e] { x.rerequest(e); });
+  }
+  telemetry::observe(repair_hist_,
+                     telemetry::now_ns() - rs.repair_started_ns);
+  rs.repair_started_ns = 0;
+  telemetry::FlightRecorder::record(telemetry::FlightEvent::kRepairDone, r,
+                                    winner, static_cast<std::int64_t>(e));
+}
+
+void ThreadedLockSpace::mark_unavailable(ResourceId r) {
+  if (!unavailable_[static_cast<std::size_t>(r)].exchange(
+          true, std::memory_order_seq_cst)) {
+    unavailable_since_ns_[static_cast<std::size_t>(r)].store(
+        telemetry::now_ns(), std::memory_order_relaxed);
+    telemetry::FlightRecorder::record(
+        telemetry::FlightEvent::kResourceUnavailable, r);
   }
 }
 
@@ -628,10 +723,34 @@ std::optional<std::string> ThreadedLockSpace::first_error() const {
   return first_error_;
 }
 
+telemetry::MetricsSnapshot ThreadedLockSpace::telemetry_snapshot() const {
+  telemetry::MetricsSnapshot snap = telemetry::Registry::global().snapshot();
+  const exec::ExecutorStats stats = executor_.stats();
+  snap.set_counter("exec.tasks_executed", stats.tasks_executed);
+  snap.set_counter("exec.steals", stats.steals);
+  snap.set_counter("exec.parks", stats.parks);
+  snap.set_counter("exec.injector_polls", stats.injector_polls);
+  snap.set_counter("service.messages_sent", messages_sent());
+  // The hot path records wait time on the per-resource lane only; fold
+  // the lanes into the process-wide view here, in cold code.
+  snap.roll_up("client.wait_ns");
+  return snap;
+}
+
 void ThreadedLockSpace::route(ResourceId r, NodeId from, NodeId to,
                               net::MessagePtr message, Epoch tag) {
   DMX_CHECK(to >= 1 && to <= config_.n && to != from);
   messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  // Token forwards are the paper's central cost; flight-record them so a
+  // failure dump shows the token's path (integer kind compare, no string).
+  for (const net::MessageKind kind :
+       resource_telemetry_[static_cast<std::size_t>(r)].token_kinds) {
+    if (message->kind_id() == kind) {
+      telemetry::FlightRecorder::record(telemetry::FlightEvent::kTokenForward,
+                                        r, to, /*arg=*/from);
+      break;
+    }
+  }
   // The network drops traffic to and from dead nodes (sends still count,
   // as in the simulated substrate).
   if (node_down_[static_cast<std::size_t>(from)].load(

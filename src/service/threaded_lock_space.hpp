@@ -37,9 +37,11 @@
 #include "common/types.hpp"
 #include "exec/executor.hpp"
 #include "fault/membership.hpp"
+#include "net/message_kind.hpp"
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 #include "service/directory.hpp"
+#include "telemetry/telemetry.hpp"
 #include "topology/tree.hpp"
 
 namespace dmx::service {
@@ -141,6 +143,11 @@ class ThreadedLockSpace {
   /// First protocol or exclusivity error observed on any thread, if any.
   std::optional<std::string> first_error() const;
 
+  /// Merged runtime metrics: every telemetry metric recorded in this
+  /// process (the registry is process-global) plus this space's executor
+  /// counters folded in as exec.* and the message count as service.*.
+  telemetry::MetricsSnapshot telemetry_snapshot() const;
+
  private:
   struct ResourceNode;
 
@@ -151,15 +158,33 @@ class ThreadedLockSpace {
     /// Repair requested while a live survivor held the lock; the holder's
     /// unlock completes it.
     bool pending = false;
+    /// When the stale membership was first observed (0 = no repair in
+    /// flight); spans deferred repairs, so fault.repair_ns measures the
+    /// client-visible regeneration latency, not just the install step.
+    std::uint64_t repair_started_ns = 0;
     /// Membership of the resource's current epoch (empty = identity).
     fault::Membership membership;
     /// Repair topologies, kept alive for the instances referencing them.
     std::vector<std::unique_ptr<topology::Tree>> trees;
   };
 
+  /// Per-resource interned metric ids and token-kind set, resolved once
+  /// at construction so the hot paths never touch the registry's mutex.
+  struct ResourceTelemetry {
+    telemetry::HistogramId wait_ns;
+    telemetry::CounterId ok;
+    telemetry::CounterId timeouts;
+    telemetry::CounterId unavailable;
+    /// Interned kinds of this resource's token-carrying messages, for
+    /// flight-recording token forwards in route().
+    std::vector<net::MessageKind> token_kinds;
+  };
+
   ResourceNode& rn(ResourceId r, NodeId v);
   void route(ResourceId r, NodeId from, NodeId to, net::MessagePtr message,
              Epoch tag);
+  /// Flips resource `r` unavailable, stamping the window start once.
+  void mark_unavailable(ResourceId r);
   void record_error(const std::string& what);
   /// Records the error, then releases every parked application thread —
   /// no grant is ever coming once a protocol handler has thrown.
@@ -201,6 +226,14 @@ class ThreadedLockSpace {
   std::unique_ptr<std::atomic<std::uint64_t>[]> entries_;
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<bool> failed_{false};
+
+  std::vector<ResourceTelemetry> resource_telemetry_;  // by ResourceId
+  telemetry::HistogramId hold_hist_;
+  telemetry::HistogramId repair_hist_;
+  telemetry::HistogramId unavail_hist_;
+  /// telemetry::now_ns() when resource r last became unavailable (0 when
+  /// it is not); closes the fault.unavail_window_ns histogram on repair.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> unavailable_since_ns_;
 
   mutable std::mutex error_mutex_;
   std::optional<std::string> first_error_;

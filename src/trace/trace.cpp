@@ -11,6 +11,7 @@ void MessageTrace::on_send(const net::Envelope& env) {
   record.envelope_id = env.id;
   record.from = env.from;
   record.to = env.to;
+  record.resource = env.resource;
   record.sent_at = env.sent_at;
   record.description = env.message->describe();
   records_.push_back(std::move(record));
@@ -43,8 +44,8 @@ std::string MessageTrace::dump() const {
     } else {
       oss << std::setw(6) << "lost?";
     }
-    oss << "  " << record.from << " -> " << record.to << "  "
-        << record.description << "\n";
+    oss << "  r" << record.resource << "  " << record.from << " -> "
+        << record.to << "  " << record.description << "\n";
   }
   return oss.str();
 }

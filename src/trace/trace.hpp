@@ -18,6 +18,9 @@ struct TraceRecord {
   std::uint64_t envelope_id = 0;
   NodeId from = kNilNode;
   NodeId to = kNilNode;
+  /// The resource lane the envelope rode (service-layer traffic); 0 for
+  /// single-resource cores that predate the service layer.
+  ResourceId resource = 0;
   Tick sent_at = 0;
   Tick delivered_at = -1;  // -1 while in flight (or dropped)
   std::string description;

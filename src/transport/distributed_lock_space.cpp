@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "exec/strand.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace dmx::transport {
 
@@ -95,6 +96,8 @@ struct DistributedLockSpace::ResourceNode {
   bool requested = false;
   bool granted = false;
   bool held = false;
+  /// telemetry::now_ns() when the current holder entered (0 = not held).
+  std::uint64_t hold_started_ns = 0;
 };
 
 DistributedLockSpace::DistributedLockSpace(DistributedLockSpaceConfig config)
@@ -146,6 +149,24 @@ DistributedLockSpace::DistributedLockSpace(DistributedLockSpaceConfig config)
     nodes_.back()->node =
         std::move(protocol_nodes[static_cast<std::size_t>(config_.self)]);
   }
+
+  // Resolve metric ids once, here in cold code (same names as the
+  // threaded substrate, so cross-substrate snapshots line up).
+  auto& registry = telemetry::Registry::global();
+  hold_hist_ = registry.histogram("client.hold_ns");
+  resource_telemetry_.reserve(static_cast<std::size_t>(m));
+  for (ResourceId r = 0; r < m; ++r) {
+    const std::string& rname = directory_.name(r);
+    ResourceTelemetry rt;
+    rt.wait_ns = registry.histogram("client.wait_ns." + rname);
+    rt.ok = registry.counter("client.ok." + rname);
+    rt.timeouts = registry.counter("client.timeout." + rname);
+    rt.unavailable = registry.counter("client.unavailable." + rname);
+    resource_telemetry_.push_back(rt);
+  }
+  for (const std::string& kind : config_.algorithm.token_message_kinds) {
+    token_kinds_.push_back(net::MessageKind::of(kind));
+  }
 }
 
 DistributedLockSpace::~DistributedLockSpace() { shutdown(); }
@@ -182,6 +203,13 @@ DistributedLockSpace::ResourceNode& DistributedLockSpace::rn(ResourceId r) {
 void DistributedLockSpace::route(ResourceId r, NodeId to,
                                  net::MessagePtr message) {
   DMX_CHECK(to >= 1 && to <= config_.n && to != config_.self);
+  for (const net::MessageKind kind : token_kinds_) {
+    if (message->kind_id() == kind) {
+      telemetry::FlightRecorder::record(telemetry::FlightEvent::kTokenForward,
+                                        r, to, /*arg=*/config_.self);
+      break;
+    }
+  }
   try {
     if (!loop_->send(to, /*epoch=*/0, r, *message)) {
       // Peer gone: the on_peer_down path has (or will) put the space into
@@ -241,10 +269,17 @@ void DistributedLockSpace::fail(const std::string& what) {
 LockError DistributedLockSpace::wait_for_grant(
     ResourceId r, const std::chrono::milliseconds* timeout) {
   ResourceNode& x = rn(r);
+  const ResourceTelemetry& rt =
+      resource_telemetry_[static_cast<std::size_t>(r)];
+  const std::uint64_t wait_started_ns = telemetry::now_ns();
+  telemetry::FlightRecorder::record_at(wait_started_ns,
+                                       telemetry::FlightEvent::kRequest, r,
+                                       config_.self);
   const auto deadline =
       timeout != nullptr
           ? std::chrono::steady_clock::now() + *timeout
           : std::chrono::steady_clock::time_point::max();
+  std::uint64_t grant_ns = 0;
   {
     std::unique_lock<std::mutex> guard(x.client_mutex);
     ++x.waiting;
@@ -267,6 +302,9 @@ LockError DistributedLockSpace::wait_for_grant(
         // Deadline passed; the request stays posted and a grant arriving
         // with nobody waiting is handed straight back by on_grant.
         --x.waiting;
+        telemetry::count(rt.timeouts);
+        telemetry::FlightRecorder::record(telemetry::FlightEvent::kTimeout, r,
+                                          config_.self);
         return LockError::kTimeout;
       }
       if (x.granted) {
@@ -274,10 +312,17 @@ LockError DistributedLockSpace::wait_for_grant(
         x.requested = false;
         --x.waiting;
         x.held = true;
+        // One clock read serves the hold stamp, the wait histogram, and
+        // the grant flight event.
+        grant_ns = telemetry::now_ns();
+        x.hold_started_ns = grant_ns;
         break;
       }
       --x.waiting;
       if (unavailable_.load(std::memory_order_relaxed)) {
+        telemetry::count(rt.unavailable);
+        telemetry::FlightRecorder::record(telemetry::FlightEvent::kUnavailable,
+                                          r, config_.self);
         return LockError::kUnavailable;
       }
       DMX_CHECK_MSG(false, "distributed lock space failed while waiting on "
@@ -293,6 +338,14 @@ LockError DistributedLockSpace::wait_for_grant(
   }
   entries_[static_cast<std::size_t>(r)].fetch_add(1,
                                                   std::memory_order_relaxed);
+  // Per-resource lane only; "client.wait_ns" is rolled up at snapshot
+  // time, matching the threaded substrate.
+  if (telemetry::sample_1_in_8()) {
+    telemetry::observe(rt.wait_ns, grant_ns - wait_started_ns);
+  }
+  telemetry::count(rt.ok);
+  telemetry::FlightRecorder::record_at(grant_ns, telemetry::FlightEvent::kGrant,
+                                       r, config_.self);
   return LockError::kOk;
 }
 
@@ -310,19 +363,32 @@ LockError DistributedLockSpace::try_lock_for(
 
 void DistributedLockSpace::unlock(ResourceId r) {
   ResourceNode& x = rn(r);
-  std::lock_guard<std::mutex> guard(x.client_mutex);
-  DMX_CHECK_MSG(x.held, "unlock of resource " << name(r)
-                                              << " which is not held");
-  x.held = false;
-  occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
-  // Strand FIFO orders the release ahead of the follow-up request, and
-  // posting under client_mutex keeps a racing lock() on another thread
-  // from slipping its request in between.
-  x.strand.post([&x] { x.release(); });
-  if (x.waiting > 0 && !x.requested) {
-    x.requested = true;
-    x.strand.post([&x] { x.request(); });
+  std::uint64_t hold_started_ns = 0;
+  {
+    std::lock_guard<std::mutex> guard(x.client_mutex);
+    DMX_CHECK_MSG(x.held, "unlock of resource " << name(r)
+                                                << " which is not held");
+    x.held = false;
+    hold_started_ns = x.hold_started_ns;
+    x.hold_started_ns = 0;
+    occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
+    // Strand FIFO orders the release ahead of the follow-up request, and
+    // posting under client_mutex keeps a racing lock() on another thread
+    // from slipping its request in between.
+    x.strand.post([&x] { x.release(); });
+    if (x.waiting > 0 && !x.requested) {
+      x.requested = true;
+      x.strand.post([&x] { x.request(); });
+    }
   }
+  // Telemetry off the client mutex; one clock read for both consumers.
+  const std::uint64_t release_ns = telemetry::now_ns();
+  if (hold_started_ns != 0 && telemetry::sample_1_in_8()) {
+    telemetry::observe(hold_hist_, release_ns - hold_started_ns);
+  }
+  telemetry::FlightRecorder::record_at(release_ns,
+                                       telemetry::FlightEvent::kRelease, r,
+                                       config_.self);
 }
 
 std::uint64_t DistributedLockSpace::entries(ResourceId r) const {
@@ -343,6 +409,33 @@ std::optional<std::string> DistributedLockSpace::first_error() const {
     if (first_error_.has_value()) return first_error_;
   }
   return loop_->first_error();
+}
+
+telemetry::MetricsSnapshot DistributedLockSpace::telemetry_snapshot() const {
+  telemetry::MetricsSnapshot snap = telemetry::Registry::global().snapshot();
+  const exec::ExecutorStats stats = executor_.stats();
+  snap.set_counter("exec.tasks_executed", stats.tasks_executed);
+  snap.set_counter("exec.steals", stats.steals);
+  snap.set_counter("exec.parks", stats.parks);
+  snap.set_counter("exec.injector_polls", stats.injector_polls);
+  const EventLoopStats& wire = loop_->stats();
+  snap.set_counter("wire.frames_sent",
+                   wire.frames_sent.load(std::memory_order_relaxed));
+  snap.set_counter("wire.frames_received",
+                   wire.frames_received.load(std::memory_order_relaxed));
+  snap.set_counter("wire.bytes_sent",
+                   wire.bytes_sent.load(std::memory_order_relaxed));
+  snap.set_counter("wire.bytes_received",
+                   wire.bytes_received.load(std::memory_order_relaxed));
+  snap.set_counter("wire.partial_frames",
+                   wire.partial_frames.load(std::memory_order_relaxed));
+  snap.set_counter("wire.backpressure_waits",
+                   wire.backpressure_waits.load(std::memory_order_relaxed));
+  snap.set_counter("wire.outbox_peak_bytes",
+                   wire.outbox_peak_bytes.load(std::memory_order_relaxed));
+  snap.set_counter("wire.epoll_wakeups",
+                   wire.epoll_wakeups.load(std::memory_order_relaxed));
+  return snap;
 }
 
 }  // namespace dmx::transport

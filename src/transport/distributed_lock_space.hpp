@@ -37,9 +37,11 @@
 
 #include "common/types.hpp"
 #include "exec/executor.hpp"
+#include "net/message_kind.hpp"
 #include "proto/algorithm.hpp"
 #include "service/directory.hpp"
 #include "service/threaded_lock_space.hpp"  // service::LockError
+#include "telemetry/telemetry.hpp"
 #include "topology/tree.hpp"
 #include "transport/event_loop.hpp"
 
@@ -121,8 +123,21 @@ class DistributedLockSpace {
   /// First protocol, exclusivity, or transport error observed, if any.
   std::optional<std::string> first_error() const;
 
+  /// Merged runtime metrics for this process: every telemetry metric plus
+  /// the executor counters (exec.*) and the event-loop counters (wire.*)
+  /// folded in.
+  telemetry::MetricsSnapshot telemetry_snapshot() const;
+
  private:
   struct ResourceNode;
+
+  /// Per-resource interned metric ids, resolved once at construction.
+  struct ResourceTelemetry {
+    telemetry::HistogramId wait_ns;
+    telemetry::CounterId ok;
+    telemetry::CounterId timeouts;
+    telemetry::CounterId unavailable;
+  };
 
   ResourceNode& rn(ResourceId r);
   /// Context::send target: frames the message and ships it to `to`.
@@ -152,6 +167,12 @@ class DistributedLockSpace {
 
   mutable std::mutex error_mutex_;
   std::optional<std::string> first_error_;
+
+  std::vector<ResourceTelemetry> resource_telemetry_;  // by ResourceId
+  telemetry::HistogramId hold_hist_;
+  /// Interned kinds of token-carrying messages (one algorithm per space),
+  /// for flight-recording token forwards in route().
+  std::vector<net::MessageKind> token_kinds_;
 };
 
 /// RAII holder mirroring service::ScopedLock.

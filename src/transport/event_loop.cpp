@@ -13,6 +13,7 @@
 #include <cstring>
 
 #include "common/check.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace dmx::transport {
 
@@ -146,6 +147,9 @@ void EventLoop::connect(NodeId peer_id, std::uint16_t port) {
   }
   peers_by_fd_.emplace(fd, peer);
   peers_cv_.notify_all();
+  // A dialed peer is born identified.
+  telemetry::FlightRecorder::record(telemetry::FlightEvent::kPeerUp,
+                                    /*resource=*/0, peer_id);
 }
 
 void EventLoop::start() {
@@ -196,6 +200,9 @@ bool EventLoop::send(NodeId to, Epoch epoch, ResourceId resource,
     if (peer->closed) return false;
     if (peer->outbox.size() >= config_.outbox_high_watermark) {
       stats_.backpressure_waits.fetch_add(1, std::memory_order_relaxed);
+      telemetry::FlightRecorder::record(
+          telemetry::FlightEvent::kBackpressure, resource, to,
+          static_cast<std::int64_t>(peer->outbox.size()));
       wake();  // make sure the loop is draining while we wait
       peer->out_cv.wait(guard, [this, &peer] {
         return peer->closed ||
@@ -213,6 +220,8 @@ bool EventLoop::send(NodeId to, Epoch epoch, ResourceId resource,
     }
   }
   stats_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+  telemetry::FlightRecorder::record(telemetry::FlightEvent::kFrameSend,
+                                    resource, to);
   {
     std::lock_guard<std::mutex> guard(dirty_mutex_);
     dirty_.push_back(peer);
@@ -292,7 +301,11 @@ void EventLoop::teardown(Peer& peer) {
     peers_by_id_.erase(id);
   }
   peers_by_fd_.erase(fd);  // frees `peer` unless a sender holds a ref
-  if (crashed && on_peer_down_) on_peer_down_(id);
+  if (crashed) {
+    telemetry::FlightRecorder::record(telemetry::FlightEvent::kPeerDown,
+                                      /*resource=*/0, id);
+    if (on_peer_down_) on_peer_down_(id);
+  }
 }
 
 void EventLoop::handle_accept() {
@@ -347,8 +360,12 @@ bool EventLoop::drain_frames(Peer& peer) {
             peers_by_id_.emplace(peer.id, std::move(self_ref));
           }
           peers_cv_.notify_all();
+          telemetry::FlightRecorder::record(telemetry::FlightEvent::kPeerUp,
+                                            /*resource=*/0, peer.id);
         } else if (header.wire_id == kGoodbyeWireId) {
           peer.said_goodbye = true;
+          telemetry::FlightRecorder::record(telemetry::FlightEvent::kGoodbye,
+                                            /*resource=*/0, peer.id);
         } else {
           record_error("unknown control wire id " +
                        std::to_string(header.wire_id));
@@ -358,6 +375,8 @@ bool EventLoop::drain_frames(Peer& peer) {
       }
       net::MessagePtr message = Codec::decode(header.wire_id, r);
       stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
+      telemetry::FlightRecorder::record(telemetry::FlightEvent::kFrameRecv,
+                                        header.resource, header.from);
       if (on_frame_) on_frame_(header, std::move(message));
     } catch (const net::WireError& e) {
       record_error("frame from peer " + std::to_string(peer.id) +
@@ -440,6 +459,7 @@ void EventLoop::loop() {
       record_error(errno_string("epoll_wait"));
       return;
     }
+    stats_.epoll_wakeups.fetch_add(1, std::memory_order_relaxed);
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {

@@ -58,6 +58,9 @@ struct EventLoopStats {
   std::atomic<std::uint64_t> backpressure_waits{0};
   /// Deepest outbox observed (bytes), across all peers.
   std::atomic<std::uint64_t> outbox_peak_bytes{0};
+  /// epoll_wait returns (each is one loop-thread wakeup, whatever mix of
+  /// socket and eventfd readiness it carried).
+  std::atomic<std::uint64_t> epoll_wakeups{0};
 };
 
 struct EventLoopConfig {

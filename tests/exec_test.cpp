@@ -211,6 +211,41 @@ TEST(ExecutorTest, WorkerLocalTasksAreStolenWhileTheOwnerIsBusy) {
   EXPECT_TRUE(other_thread);
 }
 
+TEST(ExecutorTest, StatsSnapshotAggregatesWorkerCounters) {
+  Executor executor(ExecutorConfig{2, 64});
+  struct CountTask {
+    PoolTask pool_task;
+    std::atomic<int>* counter;
+  };
+  std::atomic<int> counter{0};
+  std::vector<CountTask> tasks(200);
+  for (auto& task : tasks) {
+    task.counter = &counter;
+    task.pool_task.context = &task;
+    task.pool_task.run = [](void* context) {
+      static_cast<CountTask*>(context)->counter->fetch_add(1);
+    };
+    executor.submit(&task.pool_task);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (counter.load() < 200 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  ASSERT_EQ(counter.load(), 200);
+  executor.shutdown();
+  const ExecutorStats stats = executor.stats();
+  EXPECT_GE(stats.tasks_executed, 200u);
+  // The legacy accessors are views over the same snapshot.
+  EXPECT_EQ(stats.tasks_executed, executor.tasks_executed());
+  EXPECT_EQ(stats.steals, executor.steals());
+  EXPECT_EQ(stats.parks, executor.parks());
+  // Every external submit passes through the injector, so the fairness
+  // tick must have polled it at least once to drain 200 tasks.
+  EXPECT_GE(stats.injector_polls, 1u);
+}
+
 TEST(StrandTest, TasksRunInPostOrderWithoutOverlapUnderEightWorkers) {
   // The property the lock service's state machines depend on: per-strand
   // FIFO and never two tasks of one strand at once. Each strand appends

@@ -1,0 +1,6 @@
+// Installs the flight-recorder failure dump for the fault tier (active
+// when DMX_FLIGHT_DUMP is set; the fault ctest preset sets it).
+#include "../support/flight_dump.hpp"
+
+[[maybe_unused]] static const bool kFlightDumpInstalled =
+    dmx::testsupport::install_flight_dump_listener();

@@ -71,6 +71,39 @@ TEST(Histogram, EmptyQuantileIsLowerBound) {
   EXPECT_EQ(h.quantile(0.5), 5.0);
 }
 
+TEST(Summary, MergeMatchesSequentialAccumulation) {
+  Summary sequential;
+  Summary left;
+  Summary right;
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  int i = 0;
+  for (double v : values) {
+    sequential.add(v);
+    (i++ < 3 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), sequential.count());
+  EXPECT_DOUBLE_EQ(left.mean(), sequential.mean());
+  EXPECT_NEAR(left.variance(), sequential.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(left.max(), sequential.max());
+}
+
+TEST(Summary, MergeWithEmptyIsIdentityBothWays) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  Summary empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  empty.merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 3.0);
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table t({"algo", "messages"});
   t.add_row({"Neilsen", "3"});

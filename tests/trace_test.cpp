@@ -52,6 +52,23 @@ TEST(MessageTrace, DumpContainsRoutes) {
   EXPECT_NE(dump.find("REQUEST(2,2)"), std::string::npos);
 }
 
+TEST(MessageTrace, RecordsResourceLaneAndDumpsIt) {
+  harness::Cluster cluster(baselines::algorithm_by_name("Neilsen"),
+                           line_config(3, 1));
+  MessageTrace trace;
+  cluster.network().set_observer(&trace);
+  cluster.hold_and_release(2, 0);
+  cluster.run_to_quiescence();
+  ASSERT_FALSE(trace.records().empty());
+  // Pre-service cores send on the default lane (resource 0); the field
+  // still travels through every envelope and lands in the dump.
+  for (const TraceRecord& record : trace.records()) {
+    EXPECT_EQ(record.resource, 0);
+  }
+  const std::string dump = trace.dump();
+  EXPECT_NE(dump.find("r0  2 -> 1"), std::string::npos);
+}
+
 TEST(MessageTrace, ClearEmptiesRecords) {
   MessageTrace trace;
   harness::Cluster cluster(baselines::algorithm_by_name("Neilsen"),

@@ -1,0 +1,7 @@
+// Installs the flight-recorder failure dump for the transport tier
+// (active when DMX_FLIGHT_DUMP is set; the transport ctest preset sets
+// it).
+#include "../support/flight_dump.hpp"
+
+[[maybe_unused]] static const bool kFlightDumpInstalled =
+    dmx::testsupport::install_flight_dump_listener();
