@@ -39,7 +39,7 @@ namespace {
 
 using namespace std::chrono_literals;
 
-constexpr int kBarrierSlot = transport::SharedWitness::kMaxResources - 1;
+constexpr int kBarrierSlot = 0;  // shared coordination slot, not a resource
 
 std::vector<std::string> resource_names(int resources) {
   std::vector<std::string> names;
@@ -85,12 +85,12 @@ double run_tcp(const std::string& algorithm, int nodes, int resources,
         for (int i = 0; i < per_node; ++i) {
           const auto r = static_cast<ResourceId>(i % resources);
           space.lock(r);
-          shared.enter(r);
+          shared.enter(r, self);
           shared.exit(r);
           space.unlock(r);
         }
-        shared.occupancy[kBarrierSlot].fetch_add(1);
-        while (shared.occupancy[kBarrierSlot].load() < nodes) {
+        shared.slots[kBarrierSlot].fetch_add(1);
+        while (shared.slots[kBarrierSlot].load() < nodes) {
           std::this_thread::sleep_for(1ms);
         }
         if (space.first_error().has_value()) return 3;

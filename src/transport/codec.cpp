@@ -14,6 +14,7 @@
 #include "baselines/suzuki_kasami.hpp"
 #include "common/check.hpp"
 #include "core/messages.hpp"
+#include "transport/repair_messages.hpp"
 
 namespace dmx::transport {
 
@@ -144,6 +145,30 @@ net::MessagePtr decode_central(net::WireReader& r) {
   return std::make_unique<CentralMessage>(type);
 }
 
+net::MessagePtr decode_repair(net::WireReader& r) {
+  const Epoch epoch = r.u32();
+  const NodeId winner = r.i32();
+  const std::uint32_t count = r.count(sizeof(NodeId));
+  std::vector<NodeId> members;
+  members.reserve(count);
+  NodeId previous = kNilNode;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId v = r.i32();
+    // Strictly ascending positive ids — anything else is a corrupt frame,
+    // not a membership the repair protocol could have produced.
+    if (v <= previous) {
+      throw net::WireError("repair membership not strictly ascending");
+    }
+    members.push_back(v);
+    previous = v;
+  }
+  return std::make_unique<RepairMessage>(epoch, winner, std::move(members));
+}
+
+net::MessagePtr decode_repair_ack(net::WireReader& r) {
+  return std::make_unique<RepairAckMessage>(r.u32());
+}
+
 struct Registry {
   struct Entry {
     net::MessageKind kind;
@@ -182,6 +207,8 @@ struct Registry {
     add(net::MessageKind::of("lamport.msg"), decode_lamport);
     add(net::MessageKind::of("maekawa.msg"), decode_maekawa);
     add(net::MessageKind::of("central.msg"), decode_central);
+    add(net::MessageKind::of("fault.repair"), decode_repair);
+    add(net::MessageKind::of("fault.repair_ack"), decode_repair_ack);
   }
 };
 

@@ -15,11 +15,20 @@
 // wait_connected() to rendezvous the full mesh before first use.
 //
 // Fault surface: a peer socket that dies without the GOODBYE handshake
-// is a crashed node. Without a membership/repair protocol over the wire
-// (future PR), no resource can be declared safe once any participant is
-// gone, so the space conservatively marks every resource unavailable and
-// wakes all waiters with LockError::kUnavailable — the transport
-// analogue of the threaded substrate's recovery-disabled crash path.
+// is a crashed node. With recovery enabled (the default), the space runs
+// the wire membership-repair protocol: every survivor observes the same
+// EOF, quorum::elect_regenerator picks the smallest live node, and the
+// winner announces a fresh epoch plus the compact survivor
+// fault::Membership with a REPAIR frame. Survivors fence their old world
+// at the announced epoch (stale-epoch frames are dropped at decode,
+// stale grants are discarded by the client gate) and answer REPAIR-ACK;
+// the winner installs the regenerated world — re-minting the token —
+// only after every survivor has acked and no local client still holds
+// the old critical section (a holder's unlock completes the deferred
+// install, the wire analogue of the threaded substrate's pending
+// repair). Repaired resources grant kOk again. Without a live strict
+// majority — or with recovery disabled — every resource is conservatively
+// marked unavailable and waiters drain with LockError::kUnavailable.
 //
 // Exclusivity witnessing is per-process here (a node cannot observe
 // another process's occupancy); the multi-process harness shares an
@@ -29,6 +38,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,6 +47,7 @@
 
 #include "common/types.hpp"
 #include "exec/executor.hpp"
+#include "fault/membership.hpp"
 #include "net/message_kind.hpp"
 #include "proto/algorithm.hpp"
 #include "service/directory.hpp"
@@ -48,6 +59,9 @@
 namespace dmx::transport {
 
 using service::LockError;
+
+class RepairMessage;
+class RepairAckMessage;
 
 struct DistributedLockSpaceConfig {
   /// This process's node id (1..n).
@@ -64,6 +78,17 @@ struct DistributedLockSpaceConfig {
   /// Worker threads in the strand pool; 1 is plenty for one node.
   int workers = 1;
   int spin = 64;
+  /// Run the wire membership-repair protocol after a peer crash. When
+  /// false, any crash conservatively marks every resource unavailable
+  /// (the pre-repair transport behavior).
+  bool recovery_enabled = true;
+  /// Invoked on the repair WINNER, once per installed epoch and resource,
+  /// after every survivor has fenced (acked) but before the regenerated
+  /// world can grant. The test harness hooks this to retire a SIGKILLed
+  /// holder's shared-memory occupancy before any survivor re-enters.
+  /// Runs on the event-loop thread or an unlocking client thread; keep it
+  /// brief and non-blocking.
+  std::function<void(Epoch, const fault::Membership&)> on_repair;
 };
 
 class DistributedLockSpace {
@@ -87,13 +112,13 @@ class DistributedLockSpace {
   /// Orderly departure: GOODBYE to every peer, drain, stop loop and pool.
   /// Idempotent; the destructor calls it.
   ///
-  /// Departure is COLLECTIVE: the protocol state machines still route
-  /// through every configured node, so a node that leaves while a
-  /// sibling still wants locks strands that sibling's requests (GOODBYE
-  /// suppresses the crash path by design — it must not poison a whole
-  /// run). Quiesce all nodes (e.g. the shared-memory barrier the test
-  /// harness uses) before the first shutdown(); live membership change
-  /// is the future wire-repair PR.
+  /// Departure is COLLECTIVE among the nodes still alive: the protocol
+  /// state machines route through every live node, so a node that leaves
+  /// while a sibling still wants locks strands that sibling's requests
+  /// (GOODBYE suppresses the crash path by design — it must not poison a
+  /// whole run). Quiesce the survivors (e.g. the shared-memory barrier
+  /// the test harness uses) before the first shutdown(); crashed nodes
+  /// need no quiescing — repair already cut them out of the membership.
   void shutdown();
 
   // --- Introspection ------------------------------------------------------
@@ -107,18 +132,32 @@ class DistributedLockSpace {
   }
   const std::string& name(ResourceId r) const { return directory_.name(r); }
   NodeId home_node(ResourceId r) const { return directory_.home_node(r); }
+  /// Current fence epoch of resource `r` (0 until the first repair).
+  Epoch epoch(ResourceId r) const;
 
   // --- Client API (this process's node only) ------------------------------
 
   /// Blocks until this node holds resource `r`'s critical section.
   void lock(ResourceId r);
-  /// Bounded-wait lock; kUnavailable once any peer has crashed.
+  /// Bounded-wait lock; kUnavailable once the live majority is gone.
   LockError try_lock_for(ResourceId r, std::chrono::milliseconds timeout);
   void unlock(ResourceId r);
+
+  /// TEST HOOK: bumps resource `r`'s fence epoch without installing a
+  /// world behind it, then wakes parked clients — the repair-wakeup
+  /// stimulus in isolation. Grants minted before the bump become stale
+  /// and no fresh world will ever grant, so the resource is dead for
+  /// granting afterwards; use only to pin client-gate deadline behavior.
+  void debug_fence_epoch(ResourceId r);
 
   std::uint64_t entries(ResourceId r) const;
   std::uint64_t total_entries() const;
   const EventLoopStats& transport_stats() const { return loop_->stats(); }
+  /// Protocol frames dropped at decode because their epoch predated the
+  /// resource's fence (old-world traffic after a repair).
+  std::uint64_t stale_frames_dropped() const {
+    return stale_frames_.load(std::memory_order_relaxed);
+  }
 
   /// First protocol, exclusivity, or transport error observed, if any.
   std::optional<std::string> first_error() const;
@@ -131,6 +170,46 @@ class DistributedLockSpace {
  private:
   struct ResourceNode;
 
+  /// A protocol frame parked by the epoch fence: its epoch is newer than
+  /// the installed world (the REPAIR announcing that epoch has not been
+  /// processed, or the install is still awaiting acks). Drained — behind
+  /// the strand's reset task — once the matching world installs.
+  struct QueuedFrame {
+    Epoch epoch = 0;
+    NodeId from = kNilNode;
+    net::MessagePtr message;
+  };
+
+  /// Per-resource repair controller state; `mutex` guards every field.
+  /// Lock order: RepairState::mutex before ResourceNode::client_mutex,
+  /// never the reverse.
+  struct RepairState {
+    std::mutex mutex;
+    /// Highest epoch announced (and fenced at) for this resource; always
+    /// mirrored into resource_epoch_ while `mutex` is held.
+    Epoch target = 0;
+    /// Epoch whose world reset has been posted to the strand.
+    Epoch installed = 0;
+    /// Regenerator of the target epoch.
+    NodeId winner = kNilNode;
+    /// Survivor membership of the target epoch (null before any repair).
+    std::shared_ptr<const fault::Membership> membership;
+    /// Install (and, on a survivor, the ack) waits for the local holder's
+    /// unlock — the old-world critical section finishes undisturbed.
+    bool await_unlock = false;
+    /// Winner only: which original ids have acked the target epoch.
+    std::vector<std::uint8_t> acks;
+    int acks_missing = 0;
+    std::vector<QueuedFrame> queued;
+    /// Trees built for repaired worlds stay alive as long as their
+    /// protocol instances might dereference them.
+    std::vector<std::unique_ptr<topology::Tree>> trees;
+    /// telemetry::now_ns() when this repair was first observed (0 = no
+    /// repair in flight); spans deferrals, so fault.repair_ns measures
+    /// what a waiting client experienced.
+    std::uint64_t repair_started_ns = 0;
+  };
+
   /// Per-resource interned metric ids, resolved once at construction.
   struct ResourceTelemetry {
     telemetry::HistogramId wait_ns;
@@ -140,10 +219,33 @@ class DistributedLockSpace {
   };
 
   ResourceNode& rn(ResourceId r);
-  /// Context::send target: frames the message and ships it to `to`.
-  void route(ResourceId r, NodeId to, net::MessagePtr message);
+  RepairState& repair(ResourceId r);
+  /// Context::send target: frames the message (stamped with the sending
+  /// world's epoch) and ships it to `to`.
+  void route(ResourceId r, NodeId to, net::MessagePtr message, Epoch tag);
   void on_frame(const FrameHeader& header, net::MessagePtr message);
   void on_peer_down(NodeId peer);
+  /// REPAIR from the elected winner: fence at the announced epoch, then
+  /// install + ack (or defer both to the local holder's unlock).
+  void handle_repair(const FrameHeader& header, const RepairMessage& message);
+  /// REPAIR-ACK at the winner: count it, install once all survivors
+  /// fenced; an ack above our target supersedes a lagging announcement.
+  void handle_repair_ack(const FrameHeader& header,
+                         const RepairAckMessage& message);
+  /// Winner side: bump the fence past `at_least`, announce REPAIR to
+  /// every survivor, then try to install. Caller holds `rs.mutex`.
+  void start_repair_locked(ResourceId r, RepairState& rs, Epoch at_least);
+  /// Winner side: install iff every ack arrived and no local client holds
+  /// the old-world CS. Caller holds `rs.mutex`.
+  void try_install_locked(ResourceId r, RepairState& rs);
+  /// Posts the regenerated world (reset, re-request, parked-frame drain)
+  /// to the strand and marks the target epoch installed. Caller holds
+  /// `rs.mutex`.
+  void install_world_locked(ResourceId r, RepairState& rs);
+  void mark_unavailable(ResourceId r);
+  /// Wakes resource `r`'s parked clients (paired with their predicate
+  /// check under client_mutex).
+  void wake_clients(ResourceId r);
   void record_error(const std::string& what);
   /// Records the error and releases every parked client thread.
   void fail(const std::string& what);
@@ -156,12 +258,20 @@ class DistributedLockSpace {
   std::unique_ptr<EventLoop> loop_;
   /// This process's state machine per resource, indexed by ResourceId.
   std::vector<std::unique_ptr<ResourceNode>> nodes_;
+  std::vector<std::unique_ptr<RepairState>> repair_;  // by ResourceId
   std::unique_ptr<std::atomic<std::uint64_t>[]> entries_;
   /// Local-view occupancy witness (complemented by the shared-memory
   /// witness in the multi-process harness).
   std::unique_ptr<std::atomic<int>[]> occupancy_;
-  /// A peer crashed: every resource is conservatively unavailable.
-  std::atomic<bool> unavailable_{false};
+  /// Per-resource fence epoch, readable off the repair mutex (client
+  /// grant revalidation and frame admission read it lock-free).
+  std::unique_ptr<std::atomic<Epoch>[]> resource_epoch_;
+  /// Per-resource: no live majority (or recovery disabled) — the
+  /// resource can never grant again.
+  std::unique_ptr<std::atomic<bool>[]> unavailable_;
+  /// Socket-liveness vector, by original node id; self is never down.
+  std::unique_ptr<std::atomic<bool>[]> peer_down_;
+  std::atomic<std::uint64_t> stale_frames_{0};
   std::atomic<bool> failed_{false};
   std::atomic<bool> shut_down_{false};
 
@@ -170,6 +280,7 @@ class DistributedLockSpace {
 
   std::vector<ResourceTelemetry> resource_telemetry_;  // by ResourceId
   telemetry::HistogramId hold_hist_;
+  telemetry::HistogramId repair_hist_;
   /// Interned kinds of token-carrying messages (one algorithm per space),
   /// for flight-recording token forwards in route().
   std::vector<net::MessageKind> token_kinds_;

@@ -187,7 +187,8 @@ bool EventLoop::wait_for_peers(int count, std::chrono::milliseconds timeout) {
 }
 
 bool EventLoop::send(NodeId to, Epoch epoch, ResourceId resource,
-                     const net::Message& message) {
+                     const net::Message& message,
+                     bool block_on_backpressure) {
   std::shared_ptr<Peer> peer;
   {
     std::lock_guard<std::mutex> guard(peers_mutex_);
@@ -198,7 +199,8 @@ bool EventLoop::send(NodeId to, Epoch epoch, ResourceId resource,
   {
     std::unique_lock<std::mutex> guard(peer->out_mutex);
     if (peer->closed) return false;
-    if (peer->outbox.size() >= config_.outbox_high_watermark) {
+    if (block_on_backpressure &&
+        peer->outbox.size() >= config_.outbox_high_watermark) {
       stats_.backpressure_waits.fetch_add(1, std::memory_order_relaxed);
       telemetry::FlightRecorder::record(
           telemetry::FlightEvent::kBackpressure, resource, to,
@@ -272,6 +274,7 @@ void EventLoop::flush(Peer& peer) {
     below_low = peer.outbox.size() < config_.outbox_low_watermark;
   }
   if (fatal) {
+    drain_frames(peer);  // a buffered GOODBYE still classifies the close
     teardown(peer);
     return;
   }
@@ -409,7 +412,12 @@ void EventLoop::handle_readable(Peer& peer) {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    teardown(peer);  // ECONNRESET and friends: a crash
+    // ECONNRESET and friends. Drain buffered frames before classifying
+    // the close: a GOODBYE that was already read into the reassembly
+    // buffer (e.g. riding the tail of the chunk before the RST) makes
+    // this an orderly departure, not a crash.
+    drain_frames(peer);
+    teardown(peer);
     return;
   }
   if (!drain_frames(peer)) teardown(peer);

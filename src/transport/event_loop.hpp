@@ -113,10 +113,13 @@ class EventLoop {
 
   /// Encodes `message` into a frame and queues it to `to`'s outbox;
   /// wakes the loop to flush. Returns false if the peer is unknown or
-  /// down. Blocks (briefly) on outbox backpressure. Thread-safe. Throws
+  /// down. Blocks (briefly) on outbox backpressure unless
+  /// `block_on_backpressure` is false — pass false when calling from the
+  /// loop thread itself (repair announcements and acks), which must
+  /// never wait for a drain only it can perform. Thread-safe. Throws
   /// net::WireError for a message class with no registered codec.
   bool send(NodeId to, Epoch epoch, ResourceId resource,
-            const net::Message& message);
+            const net::Message& message, bool block_on_backpressure = true);
 
   const EventLoopStats& stats() const { return stats_; }
 

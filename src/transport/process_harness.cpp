@@ -1,6 +1,7 @@
 #include "transport/process_harness.hpp"
 
 #include <csignal>
+#include <poll.h>
 #include <sys/mman.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -10,6 +11,7 @@
 #include <cstring>
 #include <new>
 #include <stdexcept>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -48,9 +50,16 @@ bool write_exact(int fd, const void* buf, std::size_t bytes) {
   return true;
 }
 
+int exit_code_of(int status) {
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
 }  // namespace
 
-HarnessResult ProcessHarness::run(int n, const Body& body) {
+HarnessResult ProcessHarness::run(int n, const Body& body,
+                                  const Parent& parent) {
   DMX_CHECK(n >= 1 && n <= 64);
   // A child that dies mid-rendezvous closes its pipes; the broadcast
   // below must get EPIPE, not a fatal SIGPIPE (pipes have no
@@ -66,9 +75,13 @@ HarnessResult ProcessHarness::run(int n, const Body& body) {
   auto* shared = new (region) SharedWitness();
   for (int r = 0; r < SharedWitness::kMaxResources; ++r) {
     shared->occupancy[r].store(0);
+    shared->holder[r].store(kNilNode);
   }
   shared->violations.store(0);
   shared->entries.store(0);
+  for (int s = 0; s < SharedWitness::kSlots; ++s) {
+    shared->slots[s].store(0);
+  }
 
   // Per-child pipes: up = child -> parent (its port), down = parent ->
   // child (the full port map).
@@ -111,6 +124,16 @@ HarnessResult ProcessHarness::run(int n, const Body& body) {
               throw std::runtime_error(
                   "rendezvous collapsed (a sibling died)");
             }
+            // A zero port means that sibling died before publishing;
+            // failing here beats dialing a port that never existed (and
+            // hanging out the mesh timeout).
+            for (NodeId w = 1; w <= n; ++w) {
+              if (ports[static_cast<std::size_t>(w)] == 0) {
+                throw std::runtime_error(
+                    "rendezvous collapsed (node " + std::to_string(w) +
+                    " died before publishing its port)");
+              }
+            }
             return ports;
           };
       int code = 0;
@@ -129,16 +152,45 @@ HarnessResult ProcessHarness::run(int n, const Body& body) {
     pids[static_cast<std::size_t>(v)] = pid;
   }
 
-  // Collect every child's port. A child that dies first closes its pipe;
-  // record port 0 and let the broadcast's dead-pipe writes fail softly —
-  // its siblings then see a collapsed rendezvous and exit nonzero, which
-  // the caller's all_ok() check surfaces.
+  HarnessResult result;
+  result.exit_codes.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<bool> reaped(static_cast<std::size_t>(n) + 1, false);
+
+  // Collect every child's port, polling the pipe against child liveness:
+  // a child killed by a signal before the rendezvous (its port write
+  // never happened) is reaped right here with its 128+signo code instead
+  // of the parent blocking on a pipe nobody will ever write. Its port
+  // stays 0, which the sibling-side rendezvous treats as a collapse.
   std::vector<std::uint16_t> ports(static_cast<std::size_t>(n) + 1, 0);
   for (NodeId v = 1; v <= n; ++v) {
-    std::uint16_t port = 0;
-    if (read_exact(up_read[static_cast<std::size_t>(v)], &port,
-                   sizeof(port))) {
-      ports[static_cast<std::size_t>(v)] = port;
+    const int fd = up_read[static_cast<std::size_t>(v)];
+    while (true) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int pr = ::poll(&pfd, 1, 50);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (pr > 0) {
+        // Readable or hung up; read_exact reports EOF as false.
+        std::uint16_t port = 0;
+        if (read_exact(fd, &port, sizeof(port))) {
+          ports[static_cast<std::size_t>(v)] = port;
+        }
+        break;
+      }
+      int status = 0;
+      const pid_t w =
+          ::waitpid(pids[static_cast<std::size_t>(v)], &status, WNOHANG);
+      if (w == pids[static_cast<std::size_t>(v)]) {
+        result.exit_codes[static_cast<std::size_t>(v)] =
+            exit_code_of(status);
+        reaped[static_cast<std::size_t>(v)] = true;
+        break;
+      }
     }
   }
   // Broadcast the map; a dead child's pipe yields EPIPE, ignored.
@@ -148,20 +200,15 @@ HarnessResult ProcessHarness::run(int n, const Body& body) {
                       static_cast<std::size_t>(n) * sizeof(std::uint16_t));
   }
 
-  HarnessResult result;
-  result.exit_codes.assign(static_cast<std::size_t>(n) + 1, 0);
+  if (parent) parent(pids, *shared);
+
   for (NodeId v = 1; v <= n; ++v) {
-    int status = 0;
-    const pid_t pid = pids[static_cast<std::size_t>(v)];
-    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
-    }
-    if (WIFEXITED(status)) {
-      result.exit_codes[static_cast<std::size_t>(v)] = WEXITSTATUS(status);
-    } else if (WIFSIGNALED(status)) {
-      result.exit_codes[static_cast<std::size_t>(v)] =
-          128 + WTERMSIG(status);
-    } else {
-      result.exit_codes[static_cast<std::size_t>(v)] = -1;
+    if (!reaped[static_cast<std::size_t>(v)]) {
+      int status = 0;
+      const pid_t pid = pids[static_cast<std::size_t>(v)];
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      result.exit_codes[static_cast<std::size_t>(v)] = exit_code_of(status);
     }
     ::close(up_read[static_cast<std::size_t>(v)]);
     ::close(down_write[static_cast<std::size_t>(v)]);

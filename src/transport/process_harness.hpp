@@ -14,12 +14,19 @@
 // substrate's occupancy witness: per-resource entry/exit counters bumped
 // with std::atomic (address-free on this platform), so "two processes
 // inside one critical section" is observable no matter which process's
-// asserts run. The parent reads the region after all children exit.
+// asserts run. It also records WHICH node holds each resource, so a
+// repair can retire a SIGKILLed holder's occupancy (abandon), and offers
+// a few raw slots tests use as cross-process signal flags. The parent
+// reads the region after all children exit.
 //
-// Children that die before publishing a port (crash, DMX_CHECK) surface
-// as a failed rendezvous in their siblings and a nonzero exit here; the
-// parent never hangs on a dead child's pipe.
+// Children that die before publishing a port (crash, SIGKILL, DMX_CHECK)
+// are detected by polling the pipe against child liveness: the parent
+// records their 128+signo exit without blocking, and the zero port in the
+// broadcast map makes every sibling's rendezvous throw instead of dialing
+// a port that never existed.
 #pragma once
+
+#include <sys/types.h>
 
 #include <atomic>
 #include <cstdint>
@@ -33,23 +40,46 @@ namespace dmx::transport {
 /// Cross-process witness state, placed in a MAP_SHARED region.
 struct SharedWitness {
   static constexpr int kMaxResources = 64;
+  static constexpr int kSlots = 16;
   /// Nodes currently inside resource r's critical section.
   std::atomic<int> occupancy[kMaxResources];
+  /// Which node holds resource r (kNilNode = nobody); lets a repair
+  /// retire a holder that died inside its CS.
+  std::atomic<NodeId> holder[kMaxResources];
   /// Exclusivity violations observed by any process (must stay 0).
   std::atomic<int> violations;
   /// Total critical-section entries across all processes.
   std::atomic<std::uint64_t> entries;
+  /// Raw cross-process coordination slots for tests (phase flags,
+  /// barriers); the harness only zeroes them.
+  std::atomic<int> slots[kSlots];
 
-  /// Entry bookkeeping: call with the resource just locked.
-  void enter(ResourceId r) {
+  /// Entry bookkeeping: call with the resource just locked, as `self`.
+  void enter(ResourceId r, NodeId self) {
     if (occupancy[r].fetch_add(1, std::memory_order_acq_rel) != 0) {
       violations.fetch_add(1, std::memory_order_relaxed);
     }
+    holder[r].store(self, std::memory_order_release);
     entries.fetch_add(1, std::memory_order_relaxed);
   }
   /// Exit bookkeeping: call before unlocking.
   void exit(ResourceId r) {
+    holder[r].store(kNilNode, std::memory_order_release);
     occupancy[r].fetch_sub(1, std::memory_order_acq_rel);
+  }
+  /// Retires `victim`'s occupancy of any resource it died holding: the
+  /// repair-winner's on_repair hook calls this BEFORE the regenerated
+  /// world can grant, so a survivor's re-entry meets a clean witness. The
+  /// compare-exchange keeps it idempotent and safe against the victim
+  /// having already exited.
+  void abandon(NodeId victim) {
+    for (int r = 0; r < kMaxResources; ++r) {
+      NodeId expected = victim;
+      if (holder[r].compare_exchange_strong(expected, kNilNode,
+                                            std::memory_order_acq_rel)) {
+        occupancy[r].fetch_sub(1, std::memory_order_acq_rel);
+      }
+    }
   }
 };
 
@@ -80,7 +110,7 @@ class ProcessHarness {
   /// Publishes this node's port; returns every node's port indexed by
   /// node id (index 0 unused). Blocks until all siblings published.
   /// Throws std::runtime_error if the rendezvous collapses (a sibling
-  /// died first).
+  /// died before publishing its port).
   using Rendezvous =
       std::function<std::vector<std::uint16_t>(std::uint16_t my_port)>;
 
@@ -89,8 +119,18 @@ class ProcessHarness {
   using Body = std::function<int(NodeId self, const Rendezvous& rendezvous,
                                  SharedWitness& shared)>;
 
+  /// Parent-side hook, run after the port broadcast while the children
+  /// are working: fault injection (kill a child by pid) and shared-slot
+  /// choreography live here. `pids` is indexed by node id (index 0
+  /// unused).
+  using Parent =
+      std::function<void(const std::vector<pid_t>& pids,
+                         SharedWitness& shared)>;
+
   /// Forks `n` children, runs `body` in each, waits for all of them.
-  static HarnessResult run(int n, const Body& body);
+  /// `parent`, if given, runs in the parent between broadcast and reap.
+  static HarnessResult run(int n, const Body& body,
+                           const Parent& parent = nullptr);
 };
 
 }  // namespace dmx::transport

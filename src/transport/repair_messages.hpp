@@ -1,0 +1,118 @@
+// Wire-level membership repair control messages.
+//
+// When a peer dies without GOODBYE, the elected regenerator (smallest
+// live node, iff a strict majority survives — quorum::elect_regenerator)
+// announces the repair with REPAIR: the fresh epoch and the compact
+// survivor membership, as original node ids in ascending order. Every
+// survivor fences its old world at the announced epoch and answers
+// REPAIR-ACK carrying the highest epoch it has adopted; the winner
+// installs the regenerated world — and thereby re-mints the token — only
+// once every survivor acked the target epoch and no local client still
+// holds the old-world critical section. An ack above the winner's own
+// target tells a lagging winner to re-announce past it (a prior winner
+// died mid-repair), which keeps epochs converging under repeated crashes.
+//
+// Both families ride the ordinary frame path (they are addressed,
+// per-resource, epoch-stamped), but the space handles them directly on
+// the loop thread instead of posting them to the protocol strand: they
+// are ABOUT the world the strand runs, not traffic within it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "net/wire_format.hpp"
+
+namespace dmx::transport {
+
+class RepairMessage final : public net::Message {
+ public:
+  /// `epoch` is the target epoch being announced, `winner` the announcing
+  /// regenerator, `members` the survivor set as original node ids in
+  /// strictly ascending order (the compact ranks are implied by position).
+  RepairMessage(Epoch epoch, NodeId winner, std::vector<NodeId> members)
+      : net::Message(interned_kind()), epoch_(epoch), winner_(winner),
+        members_(std::move(members)) {}
+
+  Epoch epoch() const { return epoch_; }
+  NodeId winner() const { return winner_; }
+  const std::vector<NodeId>& members() const { return members_; }
+
+  std::size_t payload_bytes() const override {
+    return 2 * sizeof(std::uint32_t) +
+           (members_.size() + 1) * sizeof(NodeId);
+  }
+  std::string describe() const override {
+    std::string out = "REPAIR(e=" + std::to_string(epoch_) +
+                      ",w=" + std::to_string(winner_) + ",[";
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(members_[i]);
+    }
+    return out + "])";
+  }
+  net::MessagePtr clone() const override {
+    return std::make_unique<RepairMessage>(*this);
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind = net::MessageKind::of("fault.repair");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter w(out);
+    w.u32(epoch_);
+    w.i32(winner_);
+    w.u32(static_cast<std::uint32_t>(members_.size()));
+    for (const NodeId v : members_) w.i32(v);
+  }
+
+  static net::MessageKind interned_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("REPAIR");
+    return kind;
+  }
+
+ private:
+  Epoch epoch_;
+  NodeId winner_;
+  std::vector<NodeId> members_;
+};
+
+class RepairAckMessage final : public net::Message {
+ public:
+  /// `epoch` is the highest target epoch the acker has adopted — equal to
+  /// the announced epoch for a plain ack, above it when the acker is
+  /// fenced past the announcing (lagging) winner.
+  explicit RepairAckMessage(Epoch epoch)
+      : net::Message(interned_kind()), epoch_(epoch) {}
+
+  Epoch epoch() const { return epoch_; }
+
+  std::size_t payload_bytes() const override { return sizeof(std::uint32_t); }
+  std::string describe() const override {
+    return "REPAIR-ACK(e=" + std::to_string(epoch_) + ")";
+  }
+  net::MessagePtr clone() const override {
+    return std::make_unique<RepairAckMessage>(*this);
+  }
+  net::MessageKind wire_kind() const override {
+    static const net::MessageKind kind =
+        net::MessageKind::of("fault.repair_ack");
+    return kind;
+  }
+  void encode_binary(std::string& out) const override {
+    net::WireWriter w(out);
+    w.u32(epoch_);
+  }
+
+  static net::MessageKind interned_kind() {
+    static const net::MessageKind kind = net::MessageKind::of("REPAIR-ACK");
+    return kind;
+  }
+
+ private:
+  Epoch epoch_;
+};
+
+}  // namespace dmx::transport

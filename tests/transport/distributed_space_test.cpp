@@ -22,18 +22,17 @@ namespace {
 
 using namespace std::chrono_literals;
 
-/// Shared-witness slots used as raw cross-process channels, well clear
-/// of any ResourceId in these tests (resource counts stay small).
-constexpr int kFlagSlot = SharedWitness::kMaxResources - 1;
-constexpr int kBarrierSlot = SharedWitness::kMaxResources - 2;
+/// Shared-witness coordination slots used as raw cross-process channels.
+constexpr int kFlagSlot = 0;
+constexpr int kBarrierSlot = 1;
 
 /// Quiesce barrier before shutdown(): departure is collective — a node
 /// that leaves the mesh while a sibling still wants locks strands that
 /// sibling's requests (see distributed_lock_space.hpp), so every body
 /// finishes its workload before anyone says GOODBYE.
 void done_barrier(SharedWitness& shared, int n) {
-  shared.occupancy[kBarrierSlot].fetch_add(1);
-  while (shared.occupancy[kBarrierSlot].load() < n) {
+  shared.slots[kBarrierSlot].fetch_add(1);
+  while (shared.slots[kBarrierSlot].load() < n) {
     std::this_thread::sleep_for(1ms);
   }
 }
@@ -83,7 +82,7 @@ ProcessHarness::Body contention_body(int n, const std::string& algorithm,
       for (const std::string& name : resources) {
         const ResourceId r = space.lookup(name);
         space.lock(r);
-        shared.enter(r);
+        shared.enter(r, self);
         // A few spins inside the section widen the overlap window any
         // exclusivity bug would need to hit.
         for (volatile int spin = 0; spin < 500; ++spin) {
@@ -112,9 +111,7 @@ TEST(DistributedLockSpace, NeilsenExcludesAcrossThreeProcesses) {
   EXPECT_EQ(result.witness.violations, 0);
   EXPECT_EQ(result.witness.entries,
             static_cast<std::uint64_t>(n * iterations * resources.size()));
-  // Every real resource slot drained to zero (the top slots are the
-  // tests' raw flag/barrier channels, not resources).
-  for (int r = 0; r < kBarrierSlot; ++r) {
+  for (int r = 0; r < SharedWitness::kMaxResources; ++r) {
     EXPECT_EQ(result.witness.occupancy[r], 0) << "resource " << r;
   }
 }
@@ -152,8 +149,8 @@ TEST(DistributedLockSpace, TryLockTimesOutWhileHeldRemotely) {
           // Hold the section until node 2 reports its timeout through
           // the flag slot.
           space.lock(r);
-          shared.enter(r);
-          while (shared.occupancy[kFlagSlot].load() == 0) {
+          shared.enter(r, self);
+          while (shared.slots[kFlagSlot].load() == 0) {
             std::this_thread::sleep_for(1ms);
           }
           shared.exit(r);
@@ -167,9 +164,9 @@ TEST(DistributedLockSpace, TryLockTimesOutWhileHeldRemotely) {
           }
           const LockError error = space.try_lock_for(r, 30ms);
           if (error != LockError::kTimeout) return 4;
-          shared.occupancy[kFlagSlot].store(1);
+          shared.slots[kFlagSlot].store(1);
           space.lock(r);
-          shared.enter(r);
+          shared.enter(r, self);
           shared.exit(r);
           space.unlock(r);
         }
@@ -186,8 +183,11 @@ TEST(DistributedLockSpace, TryLockTimesOutWhileHeldRemotely) {
 
 TEST(DistributedLockSpace, PeerCrashSurfacesAsUnavailable) {
   // Node 2 dies without the GOODBYE handshake (_exit skips the orderly
-  // shutdown); node 1 must observe kUnavailable on a bounded wait rather
-  // than hanging — the transport analogue of the in-process crash path.
+  // shutdown). One survivor of two is NOT a live strict majority, so the
+  // repair protocol must refuse to regenerate the token: node 1 observes
+  // kUnavailable on a bounded wait rather than hanging — the transport
+  // analogue of the in-process no-majority path. (Majority crashes that
+  // DO repair live in wire_repair_test.cpp.)
   const int n = 2;
   const HarnessResult result = ProcessHarness::run(
       n,
@@ -200,13 +200,13 @@ TEST(DistributedLockSpace, PeerCrashSurfacesAsUnavailable) {
         if (self == 2) {
           // One clean entry proves the mesh worked, then crash hard.
           space.lock(r);
-          shared.enter(r);
+          shared.enter(r, self);
           shared.exit(r);
           space.unlock(r);
-          shared.occupancy[kFlagSlot].store(1);
+          shared.slots[kFlagSlot].store(1);
           _exit(0);  // no GOODBYE, no destructors: a real crash
         }
-        while (shared.occupancy[kFlagSlot].load() == 0) {
+        while (shared.slots[kFlagSlot].load() == 0) {
           std::this_thread::sleep_for(1ms);
         }
         // Keep asking with a bounded wait; once the loop notices the
@@ -222,6 +222,47 @@ TEST(DistributedLockSpace, PeerCrashSurfacesAsUnavailable) {
   EXPECT_EQ(result.exit_codes[1], 0);
   EXPECT_EQ(result.exit_codes[2], 0);
   EXPECT_EQ(result.witness.violations, 0);
+}
+
+TEST(DistributedLockSpace, EpochBumpMidWaitKeepsDeadline) {
+  // Regression: a repair's epoch bump wakes parked clients so they can
+  // re-check their predicates. That wake must neither return early (the
+  // waiter is not granted, not timed out, and the resource is still
+  // available) nor re-park against a recomputed deadline. Single process:
+  // the epoch bump comes from the debug fence, the exact stimulus the
+  // repair path delivers, without needing a real crash.
+  DistributedLockSpace space(make_config(1, 1, "Neilsen", {"res"}));
+  space.listen();
+  space.start();
+  const ResourceId r = space.lookup("res");
+  ASSERT_EQ(space.epoch(r), 0u);
+
+  space.lock(r);  // park the second thread behind this hold
+  LockError got = LockError::kOk;
+  const auto wait_started = std::chrono::steady_clock::now();
+  std::thread waiter([&space, r, &got] {
+    got = space.try_lock_for(r, 400ms);
+  });
+  std::this_thread::sleep_for(100ms);
+  space.debug_fence_epoch(r);  // wakes the waiter mid-wait
+  EXPECT_EQ(space.epoch(r), 1u);
+  std::this_thread::sleep_for(100ms);
+  // The holder's world is fenced: its release drops itself, so no grant
+  // (stale or fresh) can ever reach the waiter — the deadline governs.
+  space.unlock(r);
+  waiter.join();
+  const auto waited = std::chrono::steady_clock::now() - wait_started;
+
+  EXPECT_EQ(got, LockError::kTimeout);
+  // Not early (the two wakes at ~100ms and ~200ms must not terminate the
+  // wait) and not re-parked past the original deadline.
+  EXPECT_GE(waited, 380ms);
+  EXPECT_LT(waited, 1500ms);
+
+  // A request minted after the fence is also fenced (no world exists at
+  // the bumped epoch); a bounded wait still honors its deadline.
+  EXPECT_EQ(space.try_lock_for(r, 50ms), LockError::kTimeout);
+  space.shutdown();
 }
 
 }  // namespace

@@ -102,6 +102,19 @@ class RawClient {
     }
   }
 
+  /// Hard close: SO_LINGER with zero timeout makes close() send RST, so
+  /// the peer sees a connection reset instead of an orderly FIN.
+  void reset_close() {
+    if (fd_ < 0) return;
+    struct linger lin;
+    lin.l_onoff = 1;
+    lin.l_linger = 0;
+    EXPECT_EQ(::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin)),
+              0);
+    ::close(fd_);
+    fd_ = -1;
+  }
+
  private:
   int fd_ = -1;
 };
@@ -223,6 +236,50 @@ TEST(EventLoop, GoodbyeThenCloseIsNotACrash) {
   client.close();
 
   // Give the loop ample time to process EOF; no peer-down may fire.
+  EXPECT_FALSE(sink.wait_down(300ms));
+  loop.stop();
+  EXPECT_TRUE(sink.downs.empty());
+  EXPECT_FALSE(loop.first_error().has_value());
+}
+
+TEST(EventLoop, GoodbyeBufferedBehindResetIsNotACrash) {
+  // Regression for the GOODBYE-vs-EOF race: the peer's GOODBYE is still
+  // in the reassembly buffer when the socket errors out. The loop's read
+  // path must drain buffered frames BEFORE classifying the close, or an
+  // orderly departure is misreported as a crash (and, in the lock space
+  // above, needlessly fences the epoch).
+  //
+  // Deterministic construction: queue exactly one 64 KiB read chunk —
+  // HELLO + 2 request frames + 2726 privilege frames + GOODBYE = 65536
+  // bytes — then reset-close, all before the loop starts. The loop's
+  // first recv() fills its whole chunk buffer (GOODBYE at the tail goes
+  // into the reassembly buffer), the second recv() reports ECONNRESET
+  // with the GOODBYE not yet processed.
+  Sink sink;
+  EventLoop loop({.self = 1}, sink.frame_handler(), sink.down_handler());
+  const std::uint16_t port = loop.listen();
+
+  std::string bytes;
+  Codec::encode_control_frame(bytes, kHelloWireId, /*from=*/3);
+  for (int i = 0; i < 2; ++i) {
+    Codec::encode_frame(bytes, /*epoch=*/0, /*resource=*/0, /*from=*/3,
+                        /*to=*/1, core::RequestMessage(3, 3));
+  }
+  for (int i = 0; i < 2726; ++i) {
+    Codec::encode_frame(bytes, /*epoch=*/0, /*resource=*/0, /*from=*/3,
+                        /*to=*/1, core::PrivilegeMessage());
+  }
+  Codec::encode_control_frame(bytes, kGoodbyeWireId, /*from=*/3);
+  ASSERT_EQ(bytes.size(), 64u * 1024u);
+
+  RawClient client(port);
+  client.write_all(bytes);
+  client.reset_close();
+  loop.start();
+
+  // Every protocol frame is delivered, and the buffered GOODBYE
+  // classifies the reset as an orderly departure: no peer-down.
+  ASSERT_TRUE(sink.wait_frames(2728, 5000ms));
   EXPECT_FALSE(sink.wait_down(300ms));
   loop.stop();
   EXPECT_TRUE(sink.downs.empty());

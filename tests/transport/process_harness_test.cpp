@@ -1,0 +1,102 @@
+// ProcessHarness tests: rendezvous collapse when a child dies by signal
+// before publishing its port (the reaping regression), the parent-side
+// fault-injection hook, and the shared witness's holder/abandon
+// bookkeeping that wire repair relies on.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/types.h>
+
+#include <chrono>
+#include <thread>
+
+#include "transport/process_harness.hpp"
+
+namespace dmx::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ProcessHarness, ChildKilledBeforeRendezvousCollapsesCleanly) {
+  // Node 2 dies by signal before ever publishing a port. The parent must
+  // not hang collecting ports; node 2 must surface as 128+SIGKILL; and
+  // the siblings' rendezvous must throw (zero port in the map) instead
+  // of dialing a port that never existed — the harness catch turns that
+  // into exit 70.
+  const int n = 3;
+  const HarnessResult result = ProcessHarness::run(
+      n,
+      [](NodeId self, const ProcessHarness::Rendezvous& rendezvous,
+         SharedWitness&) -> int {
+        if (self == 2) {
+          ::raise(SIGKILL);  // no port write, no pipe etiquette
+        }
+        (void)rendezvous(1000 + static_cast<std::uint16_t>(self));
+        // A live sibling must never get here: the map has node 2's zero
+        // port, so rendezvous throws.
+        return 9;
+      });
+  EXPECT_EQ(result.exit_codes[1], 70);
+  EXPECT_EQ(result.exit_codes[2], 128 + SIGKILL);
+  EXPECT_EQ(result.exit_codes[3], 70);
+}
+
+TEST(ProcessHarness, ParentHookCanKillAChild) {
+  // The parent hook runs between broadcast and reap; fault injection by
+  // pid lives there. The child parks forever and only SIGKILL ends it.
+  const HarnessResult result = ProcessHarness::run(
+      1,
+      [](NodeId, const ProcessHarness::Rendezvous& rendezvous,
+         SharedWitness& shared) -> int {
+        (void)rendezvous(1);
+        shared.slots[0].store(1);
+        for (;;) {
+          std::this_thread::sleep_for(10ms);
+        }
+      },
+      [](const std::vector<pid_t>& pids, SharedWitness& shared) {
+        while (shared.slots[0].load() == 0) {
+          std::this_thread::sleep_for(1ms);
+        }
+        ::kill(pids[1], SIGKILL);
+      });
+  EXPECT_EQ(result.exit_codes[1], 128 + SIGKILL);
+}
+
+TEST(SharedWitness, AbandonRetiresOnlyTheVictimsHold) {
+  SharedWitness w;
+  for (int r = 0; r < SharedWitness::kMaxResources; ++r) {
+    w.occupancy[r].store(0);
+    w.holder[r].store(kNilNode);
+  }
+  w.violations.store(0);
+  w.entries.store(0);
+
+  w.enter(3, /*self=*/2);
+  EXPECT_EQ(w.occupancy[3].load(), 1);
+  EXPECT_EQ(w.holder[3].load(), 2);
+
+  // Abandoning a node that holds nothing is a no-op.
+  w.abandon(5);
+  EXPECT_EQ(w.occupancy[3].load(), 1);
+  EXPECT_EQ(w.holder[3].load(), 2);
+
+  // Abandoning the holder retires its occupancy; idempotently.
+  w.abandon(2);
+  EXPECT_EQ(w.occupancy[3].load(), 0);
+  EXPECT_EQ(w.holder[3].load(), kNilNode);
+  w.abandon(2);
+  EXPECT_EQ(w.occupancy[3].load(), 0);
+
+  // The normal exit path also clears the holder, so a later abandon of
+  // the same node cannot double-retire.
+  w.enter(7, /*self=*/4);
+  w.exit(7);
+  w.abandon(4);
+  EXPECT_EQ(w.occupancy[7].load(), 0);
+  EXPECT_EQ(w.violations.load(), 0);
+  EXPECT_EQ(w.entries.load(), 2u);
+}
+
+}  // namespace
+}  // namespace dmx::transport

@@ -21,6 +21,7 @@
 #include "core/messages.hpp"
 #include "net/wire_format.hpp"
 #include "transport/codec.hpp"
+#include "transport/repair_messages.hpp"
 
 namespace dmx::transport {
 namespace {
@@ -122,12 +123,23 @@ std::vector<net::MessagePtr> corpus() {
       std::make_unique<CentralMessage>(CentralMessage::Type::kGrant));
   out.push_back(
       std::make_unique<CentralMessage>(CentralMessage::Type::kRelease));
+  // Membership repair.
+  out.push_back(std::make_unique<RepairMessage>(
+      7, 2, std::vector<NodeId>{2, 3, 5}));
+  out.push_back(std::make_unique<RepairMessage>(
+      8, 2, std::vector<NodeId>{2, 3, 5}));
+  out.push_back(std::make_unique<RepairMessage>(
+      7, 3, std::vector<NodeId>{3, 5}));
+  out.push_back(std::make_unique<RepairMessage>(7, 2,
+                                                std::vector<NodeId>{2}));
+  out.push_back(std::make_unique<RepairAckMessage>(7));
+  out.push_back(std::make_unique<RepairAckMessage>(8));
   return out;
 }
 
 TEST(WireCodec, RegistersEveryFamily) {
   Codec::ensure_registered();
-  EXPECT_EQ(Codec::family_count(), 13u);
+  EXPECT_EQ(Codec::family_count(), 15u);
   // Wire ids are dense and self-consistent: each registered kind resolves
   // back to its own wire id through a message of that family.
   for (const net::MessagePtr& message : corpus()) {
@@ -245,6 +257,22 @@ TEST(WireCodec, RejectsMalformedInput) {
     net::WireWriter writer(payload);
     writer.u32(0x40000000u);  // one-billion-entry LN array, 4 bytes follow
     writer.i32(1);
+    net::WireReader reader(payload);
+    EXPECT_THROW(Codec::decode(Codec::wire_id_of(probe), reader),
+                 net::WireError);
+  }
+  // A repair membership that is not strictly ascending cannot have come
+  // from the repair protocol — corrupt frame, refused.
+  {
+    const RepairMessage probe(1, 2, {2, 3});
+    std::string payload;
+    net::WireWriter writer(payload);
+    writer.u32(1);   // epoch
+    writer.i32(2);   // winner
+    writer.u32(3);   // member count
+    writer.i32(2);
+    writer.i32(5);
+    writer.i32(3);   // out of order
     net::WireReader reader(payload);
     EXPECT_THROW(Codec::decode(Codec::wire_id_of(probe), reader),
                  net::WireError);

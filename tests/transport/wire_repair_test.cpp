@@ -1,0 +1,386 @@
+// Wire-level membership repair under real SIGKILL: a five-process
+// loopback-TCP mesh loses its token holder to kill -9 at every protocol
+// phase (idle with the token, inside the critical section, with a remote
+// waiter parked) and must regenerate the token, re-form the survivor
+// membership behind a fresh epoch, and grant again — with zero witness
+// violations. The transport analogue of the threaded substrate's
+// crash-fault tests, except the crash is a real dead process and every
+// repair message crosses a real socket.
+//
+// The parent process is the fault injector: it watches the shared-memory
+// slots for the victim to reach the scripted phase, then delivers
+// SIGKILL by pid (the ProcessHarness::Parent hook). The repair winner's
+// on_repair callback retires the dead holder's shared-witness occupancy
+// (shared.abandon) before the regenerated world can grant, so the
+// witness stays a strict exclusivity check across the repair boundary.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/types.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/registry.hpp"
+#include "fault/membership.hpp"
+#include "service/directory.hpp"
+#include "transport/distributed_lock_space.hpp"
+#include "transport/process_harness.hpp"
+
+namespace dmx::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Shared-witness coordination slots (raw cross-process channels).
+constexpr int kSlotReady = 0;    ///< nodes past mesh bring-up
+constexpr int kSlotPhase = 1;    ///< victim is in the scripted position
+constexpr int kSlotWaiter = 2;   ///< remote waiter has parked its request
+constexpr int kSlotKilled = 3;   ///< parent has delivered SIGKILL
+constexpr int kSlotDone = 4;     ///< survivors finished their workload
+
+/// Where in the victim's lifecycle the SIGKILL lands.
+enum class KillPhase {
+  kIdleWithToken,   ///< holds the token, outside the critical section
+  kInsideCs,        ///< inside the critical section (occupancy held)
+  kRemoteWaiterParked,  ///< inside the CS with a survivor's request parked
+};
+
+DistributedLockSpaceConfig repair_config(NodeId self, int n,
+                                         const std::string& algorithm,
+                                         SharedWitness& shared) {
+  DistributedLockSpaceConfig config;
+  config.self = self;
+  config.n = n;
+  config.algorithm = baselines::algorithm_by_name(algorithm);
+  config.resources = {"res"};
+  // Repair winner only: before the regenerated world can grant, retire
+  // the shared-witness occupancy of every node the fresh membership
+  // excludes — a SIGKILLed holder can never call exit() itself.
+  config.on_repair = [&shared, n](Epoch, const fault::Membership& members) {
+    for (NodeId v = 1; v <= n; ++v) {
+      if (!members.contains(v)) shared.abandon(v);
+    }
+  };
+  return config;
+}
+
+bool bring_up(DistributedLockSpace& space,
+              const ProcessHarness::Rendezvous& rendezvous) {
+  const std::uint16_t port = space.listen();
+  std::vector<std::uint16_t> ports;
+  try {
+    ports = rendezvous(port);
+  } catch (const std::exception&) {
+    return false;
+  }
+  for (NodeId peer = 1; peer < space.self(); ++peer) {
+    if (ports[static_cast<std::size_t>(peer)] == 0) return false;
+    space.connect(peer, ports[static_cast<std::size_t>(peer)]);
+  }
+  space.start();
+  return space.wait_connected(10000ms);
+}
+
+void wait_slot(SharedWitness& shared, int slot) {
+  while (shared.slots[slot].load() == 0) {
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+/// Bounded post-crash acquisition: keep asking with a short wait until
+/// the repaired world grants. Exit codes: 0 entered, 4 the resource went
+/// unavailable (repair refused despite a live majority), 5 never granted.
+int acquire_after_repair(DistributedLockSpace& space, SharedWitness& shared,
+                         ResourceId r, NodeId self) {
+  const auto deadline = std::chrono::steady_clock::now() + 20s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const LockError error = space.try_lock_for(r, 250ms);
+    if (error == LockError::kUnavailable) return 4;
+    if (error != LockError::kOk) continue;
+    shared.enter(r, self);
+    for (volatile int spin = 0; spin < 500; ++spin) {
+    }
+    shared.exit(r);
+    space.unlock(r);
+    return 0;
+  }
+  return 5;
+}
+
+/// Victim pid is computed from the same directory parameters the space
+/// uses, so parent and children agree on who holds the token at start.
+NodeId token_holder(int n) {
+  service::Directory directory(n, /*vnodes_per_node=*/16, /*seed=*/1);
+  return directory.home_node(directory.open("res"));
+}
+
+/// One kill-the-token-holder scenario: bring up an n-process mesh, park
+/// the victim at `phase`, SIGKILL it from the parent, and require every
+/// survivor to enter the critical section afterwards.
+HarnessResult run_kill_scenario(const std::string& algorithm, int n,
+                                KillPhase phase) {
+  const NodeId victim = token_holder(n);
+  // The parked waiter (when the phase wants one) is the smallest
+  // survivor id — deterministic for parent and children alike.
+  const NodeId waiter = (victim == 1) ? 2 : 1;
+
+  const ProcessHarness::Body body =
+      [&, n, victim, waiter, phase](
+          NodeId self, const ProcessHarness::Rendezvous& rendezvous,
+          SharedWitness& shared) -> int {
+    DistributedLockSpace space(repair_config(self, n, algorithm, shared));
+    if (!bring_up(space, rendezvous)) return 2;
+    const ResourceId r = space.lookup("res");
+    if (space.home_node(r) != victim) return 6;  // placement drifted
+    shared.slots[kSlotReady].fetch_add(1);
+    while (shared.slots[kSlotReady].load() < n) {
+      std::this_thread::sleep_for(1ms);
+    }
+
+    if (self == victim) {
+      // Reach the scripted position, raise the phase flag, and park —
+      // only the parent's SIGKILL ends this process.
+      if (phase != KillPhase::kIdleWithToken) {
+        space.lock(r);
+        shared.enter(r, self);
+      }
+      shared.slots[kSlotPhase].store(1);
+      for (;;) {
+        std::this_thread::sleep_for(10ms);
+      }
+    }
+
+    if (phase == KillPhase::kRemoteWaiterParked && self == waiter) {
+      // Park a bounded-wait request behind the doomed holder BEFORE the
+      // kill. The request is minted in the old world; repair must fence
+      // it, re-request in the regenerated world, and still grant.
+      wait_slot(shared, kSlotPhase);
+      shared.slots[kSlotWaiter].store(1);
+      const LockError error = space.try_lock_for(r, 15000ms);
+      if (error == LockError::kUnavailable) return 4;
+      if (error != LockError::kOk) return 5;
+      shared.enter(r, self);
+      shared.exit(r);
+      space.unlock(r);
+    } else {
+      wait_slot(shared, kSlotKilled);
+      const int code = acquire_after_repair(space, shared, r, self);
+      if (code != 0) return code;
+    }
+
+    // Collective departure among the survivors.
+    shared.slots[kSlotDone].fetch_add(1);
+    while (shared.slots[kSlotDone].load() < n - 1) {
+      std::this_thread::sleep_for(1ms);
+    }
+    if (space.first_error().has_value()) return 3;
+    space.shutdown();
+    return 0;
+  };
+
+  const ProcessHarness::Parent parent =
+      [victim, phase](const std::vector<pid_t>& pids, SharedWitness& shared) {
+        wait_slot(shared, kSlotPhase);
+        if (phase == KillPhase::kRemoteWaiterParked) {
+          wait_slot(shared, kSlotWaiter);
+          // Let the waiter's request reach the holder and park.
+          std::this_thread::sleep_for(200ms);
+        }
+        ::kill(pids[static_cast<std::size_t>(victim)], SIGKILL);
+        shared.slots[kSlotKilled].store(1);
+      };
+
+  return ProcessHarness::run(n, body, parent);
+}
+
+void expect_survivors_ok(const HarnessResult& result, int n, NodeId victim,
+                         std::uint64_t expected_entries) {
+  for (NodeId v = 1; v <= n; ++v) {
+    if (v == victim) {
+      EXPECT_EQ(result.exit_codes[v], 128 + SIGKILL) << "victim " << v;
+    } else {
+      EXPECT_EQ(result.exit_codes[v], 0) << "survivor " << v;
+    }
+  }
+  EXPECT_EQ(result.witness.violations, 0);
+  EXPECT_EQ(result.witness.entries, expected_entries);
+  for (int r = 0; r < SharedWitness::kMaxResources; ++r) {
+    EXPECT_EQ(result.witness.occupancy[r], 0) << "resource " << r;
+  }
+}
+
+TEST(WireRepair, NeilsenSurvivesKillOfIdleTokenHolder) {
+  const int n = 5;
+  const HarnessResult result =
+      run_kill_scenario("Neilsen", n, KillPhase::kIdleWithToken);
+  // The victim never entered; each of the four survivors entered once.
+  expect_survivors_ok(result, n, token_holder(n),
+                      static_cast<std::uint64_t>(n - 1));
+}
+
+TEST(WireRepair, NeilsenSurvivesKillInsideCriticalSection) {
+  const int n = 5;
+  const HarnessResult result =
+      run_kill_scenario("Neilsen", n, KillPhase::kInsideCs);
+  // The victim died holding the section (one entry, occupancy retired by
+  // abandon); every survivor entered after the repair.
+  expect_survivors_ok(result, n, token_holder(n),
+                      static_cast<std::uint64_t>(n));
+}
+
+TEST(WireRepair, NeilsenRepairsAroundParkedRemoteWaiter) {
+  const int n = 5;
+  const HarnessResult result =
+      run_kill_scenario("Neilsen", n, KillPhase::kRemoteWaiterParked);
+  expect_survivors_ok(result, n, token_holder(n),
+                      static_cast<std::uint64_t>(n));
+}
+
+TEST(WireRepair, RaymondSurvivesKillOfIdleTokenHolder) {
+  const int n = 5;
+  const HarnessResult result =
+      run_kill_scenario("Raymond", n, KillPhase::kIdleWithToken);
+  expect_survivors_ok(result, n, token_holder(n),
+                      static_cast<std::uint64_t>(n - 1));
+}
+
+TEST(WireRepair, RaymondSurvivesKillInsideCriticalSection) {
+  const int n = 5;
+  const HarnessResult result =
+      run_kill_scenario("Raymond", n, KillPhase::kInsideCs);
+  expect_survivors_ok(result, n, token_holder(n),
+                      static_cast<std::uint64_t>(n));
+}
+
+TEST(WireRepair, RaymondRepairsAroundParkedRemoteWaiter) {
+  const int n = 5;
+  const HarnessResult result =
+      run_kill_scenario("Raymond", n, KillPhase::kRemoteWaiterParked);
+  expect_survivors_ok(result, n, token_holder(n),
+                      static_cast<std::uint64_t>(n));
+}
+
+TEST(WireRepair, BystanderHolderDefersInstallUntilUnlock) {
+  // The CRASHED node is NOT the holder: a surviving bystander sits inside
+  // the critical section when the REPAIR announcement lands. The install
+  // (and on a non-winner, the ack) must defer until that holder's unlock
+  // — the old-world critical section finishes undisturbed — and the mesh
+  // must still converge and grant everyone afterwards.
+  const int n = 5;
+  const NodeId holder = token_holder(n);
+  const NodeId victim = holder % n + 1;  // any node other than the holder
+
+  const ProcessHarness::Body body =
+      [&, n, holder, victim](NodeId self,
+                             const ProcessHarness::Rendezvous& rendezvous,
+                             SharedWitness& shared) -> int {
+    DistributedLockSpace space(repair_config(self, n, "Neilsen", shared));
+    if (!bring_up(space, rendezvous)) return 2;
+    const ResourceId r = space.lookup("res");
+    if (space.home_node(r) != holder) return 6;
+    shared.slots[kSlotReady].fetch_add(1);
+    while (shared.slots[kSlotReady].load() < n) {
+      std::this_thread::sleep_for(1ms);
+    }
+
+    if (self == victim) {
+      shared.slots[kSlotPhase].store(1);
+      for (;;) {
+        std::this_thread::sleep_for(10ms);
+      }
+    }
+
+    if (self == holder) {
+      // Inside the section across the whole crash + announcement window;
+      // the repair may not install (or grant anyone) until this unlock.
+      space.lock(r);
+      shared.enter(r, self);
+      wait_slot(shared, kSlotKilled);
+      std::this_thread::sleep_for(300ms);
+      shared.exit(r);
+      space.unlock(r);
+    } else {
+      wait_slot(shared, kSlotKilled);
+    }
+    const int code = acquire_after_repair(space, shared, r, self);
+    if (code != 0) return code;
+
+    shared.slots[kSlotDone].fetch_add(1);
+    while (shared.slots[kSlotDone].load() < n - 1) {
+      std::this_thread::sleep_for(1ms);
+    }
+    if (space.first_error().has_value()) return 3;
+    space.shutdown();
+    return 0;
+  };
+
+  const ProcessHarness::Parent parent =
+      [victim](const std::vector<pid_t>& pids, SharedWitness& shared) {
+        wait_slot(shared, kSlotPhase);
+        ::kill(pids[static_cast<std::size_t>(victim)], SIGKILL);
+        shared.slots[kSlotKilled].store(1);
+      };
+
+  const HarnessResult result = ProcessHarness::run(n, body, parent);
+  // The bystander entered once pre-crash and once post-repair; the other
+  // three survivors once each: 1 + (n - 1) entries, victim none.
+  expect_survivors_ok(result, n, victim, static_cast<std::uint64_t>(n));
+}
+
+TEST(WireRepair, NoMajorityAfterDoubleKillDrainsUnavailable) {
+  // Kill two of three: the lone survivor is not a live strict majority,
+  // so repair must refuse — every bounded wait drains kUnavailable, no
+  // matter which intermediate repair the first kill managed to start.
+  const int n = 3;
+
+  const ProcessHarness::Body body =
+      [n](NodeId self, const ProcessHarness::Rendezvous& rendezvous,
+          SharedWitness& shared) -> int {
+    DistributedLockSpace space(repair_config(self, n, "Neilsen", shared));
+    if (!bring_up(space, rendezvous)) return 2;
+    const ResourceId r = space.lookup("res");
+    shared.slots[kSlotReady].fetch_add(1);
+    while (shared.slots[kSlotReady].load() < n) {
+      std::this_thread::sleep_for(1ms);
+    }
+    if (self != 3) {
+      shared.slots[kSlotPhase].fetch_add(1);  // victims in position
+      for (;;) {
+        std::this_thread::sleep_for(10ms);
+      }
+    }
+    wait_slot(shared, kSlotKilled);
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const LockError error = space.try_lock_for(r, 100ms);
+      if (error == LockError::kUnavailable) return 0;
+      if (error == LockError::kOk) space.unlock(r);
+    }
+    return 5;  // never surfaced
+  };
+
+  const ProcessHarness::Parent parent = [](const std::vector<pid_t>& pids,
+                                           SharedWitness& shared) {
+    while (shared.slots[kSlotPhase].load() < 2) {
+      std::this_thread::sleep_for(1ms);
+    }
+    ::kill(pids[1], SIGKILL);
+    // Let the two-of-three intermediate repair make whatever progress it
+    // can before the second kill collapses the majority.
+    std::this_thread::sleep_for(150ms);
+    ::kill(pids[2], SIGKILL);
+    shared.slots[kSlotKilled].store(1);
+  };
+
+  const HarnessResult result = ProcessHarness::run(n, body, parent);
+  EXPECT_EQ(result.exit_codes[1], 128 + SIGKILL);
+  EXPECT_EQ(result.exit_codes[2], 128 + SIGKILL);
+  EXPECT_EQ(result.exit_codes[3], 0);
+  EXPECT_EQ(result.witness.violations, 0);
+}
+
+}  // namespace
+}  // namespace dmx::transport
