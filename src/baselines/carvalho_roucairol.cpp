@@ -129,6 +129,7 @@ proto::Algorithm make_carvalho_roucairol_algorithm() {
   algo.name = "Carvalho-Roucairol";
   algo.token_based = false;
   algo.needs_tree = false;
+  algo.holder_sees_remote_requests = true;
   algo.factory = [](const proto::ClusterSpec& spec) {
     std::vector<std::unique_ptr<proto::MutexNode>> nodes(
         static_cast<std::size_t>(spec.n) + 1);

@@ -140,6 +140,7 @@ proto::Algorithm make_central_algorithm() {
   algo.name = "Central";
   algo.token_based = false;
   algo.needs_tree = false;
+  algo.holder_sees_remote_requests = false;
   algo.factory = [](const proto::ClusterSpec& spec) {
     std::vector<std::unique_ptr<proto::MutexNode>> nodes(
         static_cast<std::size_t>(spec.n) + 1);

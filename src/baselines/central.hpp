@@ -55,6 +55,16 @@ class CentralNode final : public proto::MutexNode {
   void on_message(proto::Context& ctx, NodeId from,
                   const net::Message& message) override;
   bool has_token() const override { return false; }
+  /// Only the coordinator has any visibility: a remote client queued
+  /// behind the current grant. Client holders are always blind
+  /// (holder_sees_remote_requests is false for this scheme).
+  bool has_remote_request() const override {
+    if (!is_coordinator()) return false;
+    for (const NodeId v : queue_) {
+      if (v != self_) return true;
+    }
+    return false;
+  }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
   std::string snapshot() const override;

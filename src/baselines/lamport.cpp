@@ -134,6 +134,7 @@ proto::Algorithm make_lamport_algorithm(bool ack_optimization) {
   algo.name = ack_optimization ? "Lamport" : "Lamport-noopt";
   algo.token_based = false;
   algo.needs_tree = false;
+  algo.holder_sees_remote_requests = true;
   algo.factory = [ack_optimization](const proto::ClusterSpec& spec) {
     std::vector<std::unique_ptr<proto::MutexNode>> nodes(
         static_cast<std::size_t>(spec.n) + 1);

@@ -66,6 +66,16 @@ class LamportNode final : public proto::MutexNode {
   void on_message(proto::Context& ctx, NodeId from,
                   const net::Message& message) override;
   bool has_token() const override { return false; }
+  /// The replicated queue holds a pending request from some other node
+  /// (REQUEST is broadcast, so the grant holder always sees it).
+  bool has_remote_request() const override {
+    for (NodeId j = 1; j <= n_; ++j) {
+      if (j != self_ && request_ts_[static_cast<std::size_t>(j)] != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
   std::string snapshot() const override;

@@ -298,6 +298,7 @@ proto::Algorithm make_maekawa_algorithm() {
   algo.name = "Maekawa";
   algo.token_based = false;
   algo.needs_tree = false;
+  algo.holder_sees_remote_requests = false;
   algo.factory = [](const proto::ClusterSpec& spec) {
     const quorum::QuorumSet quorums = quorum::maekawa_quorums(spec.n);
     std::vector<std::unique_ptr<proto::MutexNode>> nodes(

@@ -77,6 +77,17 @@ class MaekawaNode final : public proto::MutexNode {
   void on_message(proto::Context& ctx, NodeId from,
                   const net::Message& message) override;
   bool has_token() const override { return false; }
+  /// A remote request queued at this node's arbiter role, or an INQUIRE we
+  /// owe an answer to. NOTE: a Maekawa CS holder is NOT guaranteed to see
+  /// remote interest — an outranked request gets FAIL from arbiters the
+  /// holder never hears about (holder_sees_remote_requests is false).
+  bool has_remote_request() const override {
+    if (!pending_inquires_.empty()) return true;
+    for (const auto& [priority, request] : waiting_) {
+      if (priority.second != self_) return true;
+    }
+    return false;
+  }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
   std::string snapshot() const override;

@@ -57,6 +57,14 @@ class RaymondNode final : public proto::MutexNode {
   void on_message(proto::Context& ctx, NodeId from,
                   const net::Message& message) override;
   bool has_token() const override { return holder_ == self_; }
+  /// A neighbour's REQUEST queued here (possibly on behalf of a distant
+  /// subtree) — own queue entries do not count.
+  bool has_remote_request() const override {
+    for (const NodeId v : queue_) {
+      if (v != self_) return true;
+    }
+    return false;
+  }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
   std::string snapshot() const override;

@@ -114,6 +114,7 @@ proto::Algorithm make_ricart_agrawala_algorithm() {
   algo.name = "Ricart-Agrawala";
   algo.token_based = false;
   algo.needs_tree = false;
+  algo.holder_sees_remote_requests = true;
   algo.factory = [](const proto::ClusterSpec& spec) {
     std::vector<std::unique_ptr<proto::MutexNode>> nodes(
         static_cast<std::size_t>(spec.n) + 1);

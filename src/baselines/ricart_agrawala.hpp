@@ -60,6 +60,14 @@ class RaNode final : public proto::MutexNode {
   void on_message(proto::Context& ctx, NodeId from,
                   const net::Message& message) override;
   bool has_token() const override { return false; }
+  /// A REPLY owed to another node — deferred_ is only ever set for remote
+  /// requesters that lost the priority comparison against our entry.
+  bool has_remote_request() const override {
+    for (NodeId j = 1; j <= n_; ++j) {
+      if (deferred_[static_cast<std::size_t>(j)]) return true;
+    }
+    return false;
+  }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
   std::string snapshot() const override;

@@ -158,6 +158,23 @@ void SinghalNode::on_message(proto::Context& ctx, NodeId from,
   DMX_CHECK_MSG(false, "unexpected message kind " << message.kind());
 }
 
+bool SinghalNode::has_remote_request() const {
+  if (!has_token_) return false;
+  // Read-only replay of the release-path merge: where the local sequence
+  // number is strictly fresher the local view wins; otherwise the token's
+  // view wins (at the SN==0 tie the token's init entry is N, so the
+  // staircase prior — an over-approximation, not a real request — never
+  // reports a phantom waiter here, matching the hand-off scan).
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (j == self_) continue;
+    const auto idx = static_cast<std::size_t>(j);
+    const SinghalState merged =
+        sn_[idx] > token_.tsn[idx] ? sv_[idx] : token_.tsv[idx];
+    if (merged == SinghalState::kRequesting) return true;
+  }
+  return false;
+}
+
 std::size_t SinghalNode::state_bytes() const {
   std::size_t bytes =
       static_cast<std::size_t>(n_) * (sizeof(char) + sizeof(int)) +
@@ -218,6 +235,7 @@ proto::Algorithm make_singhal_algorithm() {
   algo.token_based = true;
   algo.token_message_kinds = {"TOKEN"};
   algo.needs_tree = false;
+  algo.holder_sees_remote_requests = true;
   algo.factory = [](const proto::ClusterSpec& spec) {
     // The staircase initialization fixes node 1 as the initial holder.
     std::vector<std::unique_ptr<proto::MutexNode>> nodes(

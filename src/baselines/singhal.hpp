@@ -131,6 +131,11 @@ class SinghalNode final : public proto::MutexNode {
   void on_message(proto::Context& ctx, NodeId from,
                   const net::Message& message) override;
   bool has_token() const override { return has_token_; }
+  /// A remote requester the release-path scan would hand the token to:
+  /// the merged node/token view (fresher sequence number wins, exactly as
+  /// release_cs merges) shows some j != self in state R. Non-holders
+  /// report false.
+  bool has_remote_request() const override;
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
   std::string snapshot() const override;

@@ -85,6 +85,20 @@ void SkNode::on_message(proto::Context& ctx, NodeId from,
   DMX_CHECK_MSG(false, "unexpected message kind " << message.kind());
 }
 
+bool SkNode::has_remote_request() const {
+  if (!has_token_) return false;
+  for (const NodeId v : token_.queue) {
+    if (v != self_) return true;
+  }
+  for (NodeId j = 1; j <= n_; ++j) {
+    if (j != self_ && rn_[static_cast<std::size_t>(j)] >
+                          token_.last_granted[static_cast<std::size_t>(j)]) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::size_t SkNode::state_bytes() const {
   std::size_t bytes = static_cast<std::size_t>(n_) * sizeof(int)  // RN
                       + sizeof(bool);
@@ -141,6 +155,7 @@ proto::Algorithm make_suzuki_kasami_algorithm() {
   algo.token_based = true;
   algo.token_message_kinds = {"TOKEN"};
   algo.needs_tree = false;
+  algo.holder_sees_remote_requests = true;
   algo.factory = [](const proto::ClusterSpec& spec) {
     std::vector<std::unique_ptr<proto::MutexNode>> nodes(
         static_cast<std::size_t>(spec.n) + 1);

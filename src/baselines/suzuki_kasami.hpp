@@ -110,6 +110,11 @@ class SkNode final : public proto::MutexNode {
   void on_message(proto::Context& ctx, NodeId from,
                   const net::Message& message) override;
   bool has_token() const override { return has_token_; }
+  /// A remote node with an unsatisfied request, visible to the token
+  /// holder either on the token's queue or as RN[j] ahead of LN[j] (the
+  /// release-path condition that would enqueue j). Non-holders have no
+  /// token arrays to consult and report false.
+  bool has_remote_request() const override;
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
   std::string snapshot() const override;

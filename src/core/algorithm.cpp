@@ -13,6 +13,7 @@ proto::Algorithm make_neilsen_algorithm() {
   algo.token_based = true;
   algo.token_message_kinds = {"PRIVILEGE"};
   algo.needs_tree = true;
+  algo.holder_sees_remote_requests = true;
   algo.factory = [](const proto::ClusterSpec& spec) {
     DMX_CHECK_MSG(spec.tree != nullptr, "Neilsen requires a logical tree");
     DMX_CHECK(spec.tree->size() == spec.n);

@@ -60,6 +60,10 @@ class NeilsenNode final : public proto::MutexNode {
   void on_message(proto::Context& ctx, NodeId from,
                   const net::Message& message) override;
   bool has_token() const override;
+  /// A remote requester is queued behind this node exactly when FOLLOW is
+  /// set: every REQUEST routed to the sink lands in its FOLLOW variable
+  /// (P2), so a token holder always sees remote interest here.
+  bool has_remote_request() const override { return follow_ != kNilNode; }
   std::size_t state_bytes() const override;
   std::string debug_state() const override;
   std::string snapshot() const override;

@@ -107,6 +107,10 @@ std::string make_repro(const SwarmConfig& config) {
     repro += " faults='" + config.fault_plan.describe() + "'";
     repro += config.crash_recovery_enabled ? " recovery=on" : " recovery=off";
   }
+  if (config.queue_local) {
+    repro += " queue_local=on lease.max_chain=" +
+             std::to_string(config.lease.max_chain);
+  }
   return repro;
 }
 
@@ -193,6 +197,8 @@ SwarmResult run_swarm_space(const SwarmConfig& config) {
   space_config.fault_plan = config.fault_plan;
   space_config.recovery_enabled = config.crash_recovery_enabled;
   space_config.detect_after = config.detect_after;
+  space_config.queue_local = config.queue_local;
+  space_config.lease = config.lease;
 
   SwarmResult result;
   result.repro = make_repro(config);
@@ -232,12 +238,14 @@ SwarmResult run_swarm_space(const SwarmConfig& config) {
   wl.hold_lo = config.hold_lo;
   wl.hold_hi = config.hold_hi;
   wl.seed = config.seed * 0x9e3779b97f4a7c15ULL + 1;
+  wl.queue_local = config.queue_local;
 
   try {
     const service::SpaceWorkloadResult run =
         service::run_space_workload(space, wl);
     result.entries = run.entries;
     result.makespan = run.makespan;
+    result.max_wait_ticks = run.max_wait_ticks;
   } catch (const std::logic_error& error) {
     result.violation = error.what();
   }
@@ -247,16 +255,29 @@ SwarmResult run_swarm_space(const SwarmConfig& config) {
   if (result.violation.empty()) {
     for (ResourceId r = 0; r < space.resource_count(); ++r) {
       // A resource left degraded (no live majority, or recovery off) may
-      // legitimately strand waiters; anything else must have drained.
+      // legitimately strand waiters; anything else must have drained —
+      // including every node's local waiter queue.
       if (space.is_degraded(r)) continue;
       for (NodeId v = 1; v <= config.n && result.violation.empty(); ++v) {
         if (space.is_waiting(r, v)) {
           result.violation = "node " + std::to_string(v) +
                              " still waiting on " + space.name(r) +
                              " after quiescence";
+        } else if (space.local_queue_depth(r, v) != 0) {
+          result.violation = "node " + std::to_string(v) + " still has " +
+                             std::to_string(space.local_queue_depth(r, v)) +
+                             " queued local waiters on " + space.name(r) +
+                             " after quiescence";
         }
       }
     }
+  }
+  if (result.violation.empty() && config.max_wait_bound > 0 &&
+      result.max_wait_ticks > config.max_wait_bound) {
+    result.violation = "bounded waiting violated: max request->grant wait " +
+                       std::to_string(result.max_wait_ticks) +
+                       " ticks exceeds bound " +
+                       std::to_string(config.max_wait_bound);
   }
   result.ok = result.violation.empty();
   if (!result.ok) result.violation += "\nrepro: " + result.repro;

@@ -23,6 +23,7 @@
 #include "common/types.hpp"
 #include "fault/fault_plan.hpp"
 #include "proto/algorithm.hpp"
+#include "service/lease.hpp"
 
 namespace dmx::modelcheck {
 
@@ -73,6 +74,18 @@ struct SwarmConfig {
   double zipf_s = 0.0;
   /// Client loops per node in multi-resource mode.
   int clients_per_node = 1;
+  /// Multi-resource mode: clients keep their Zipf draw even when the node
+  /// already has that resource outstanding, so acquires queue locally and
+  /// co-located waiter chains form — the precondition for lease chaining.
+  bool queue_local = false;
+  /// Local grant-chaining lease policy applied when queue_local is on.
+  service::LeaseConfig lease;
+  /// When > 0, the run fails if any request→grant wait exceeds this many
+  /// virtual ticks — the bounded-waiting check under chaining (0 = off).
+  /// With the default finite lease cap every algorithm must pass; with an
+  /// unbounded lease (max_chain < 0) a hot-shard workload must trip it —
+  /// the starvation counterexample.
+  Tick max_wait_bound = 0;
 };
 
 struct SwarmResult {

@@ -46,6 +46,15 @@ struct Algorithm {
   std::vector<std::string> token_message_kinds;
   /// True if the algorithm needs `ClusterSpec::tree`.
   bool needs_tree = false;
+  /// True iff a node holding the token/grant is GUARANTEED to observe a
+  /// remote waiter via MutexNode::has_remote_request() before that waiter
+  /// can starve: requests reach the holder directly (broadcast, deferred
+  /// replies) or by forwarding (DAG/tree paths, token trails). False for
+  /// schemes whose holder can stay blind — Central clients never see the
+  /// coordinator's queue, and a Maekawa holder's arbiters FAIL outranked
+  /// requests without consulting it. Lease renewal at a chain cap is only
+  /// sound when this is true; blind algorithms must yield unconditionally.
+  bool holder_sees_remote_requests = false;
   NodeFactory factory;
 };
 

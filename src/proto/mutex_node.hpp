@@ -69,6 +69,16 @@ class MutexNode {
   /// algorithms (which have no token) always return false.
   virtual bool has_token() const = 0;
 
+  /// True iff a request from ANOTHER node is pending at this one: queued
+  /// behind this node's token/grant (FOLLOW set, a non-self queue entry, a
+  /// deferred reply owed, an unanswered INQUIRE, ...). Own requests never
+  /// count. Service layers consult this on the release path — a lease
+  /// chain ends early when the holder can see a remote waiter — and it is
+  /// only guaranteed meaningful at a node that currently holds the token
+  /// or the grant; see Algorithm::holder_sees_remote_requests for whether
+  /// a holder is guaranteed to observe remote interest at all.
+  virtual bool has_remote_request() const = 0;
+
   /// Resident protocol state in bytes, accounted the way §6.4 does:
   /// semantic variable sizes (bool=1, int=4) plus current dynamic
   /// structures (queues, arrays). Used by the storage-overhead bench.

@@ -1,0 +1,54 @@
+// Bounded lease windows for hot-shard local grant chaining.
+//
+// When a node's protocol instance holds the token for a resource and more
+// local clients are queued, the release path may hand the critical section
+// directly to the next local waiter — zero protocol messages — instead of
+// releasing into the protocol. Unbounded chaining starves remote
+// requesters (the swarm tester reproduces this with max_chain < 0), so the
+// chain runs under a lease: after `max_chain` consecutive local hand-offs
+// (or `max_hold_ns` of wall-clock possession) the token must be offered
+// back to the protocol. At that cap boundary one refinement is sound for
+// algorithms whose holder is GUARANTEED to observe remote interest
+// (proto::Algorithm::holder_sees_remote_requests): if no remote request is
+// visible, releasing into the protocol would hand the token straight back
+// — the lease renews instead, skipping the pointless round. Blind schemes
+// (Central clients, Maekawa holders) must yield unconditionally, which is
+// what keeps the bounded-waiting witness green on all nine algorithms.
+#pragma once
+
+#include <cstdint>
+
+namespace dmx::service {
+
+struct LeaseConfig {
+  /// Consecutive local hand-offs allowed after a protocol grant before the
+  /// token must be offered back. 0 disables chaining entirely; negative
+  /// means unbounded — the deliberately unsafe configuration the swarm's
+  /// starvation counterexample runs.
+  int max_chain = 16;
+  /// Wall-clock ceiling on one node's continuous possession across a chain
+  /// (0 = no ceiling). Only the threaded and TCP substrates consult it;
+  /// the deterministic sim has no wall clock and relies on max_chain.
+  std::uint64_t max_hold_ns = 2'000'000;
+  /// At the max_chain boundary, renew the lease (reset the chain) instead
+  /// of yielding when the algorithm guarantees holder-side visibility and
+  /// no remote request is pending. Ignored for blind algorithms.
+  bool renew_when_no_remote = true;
+};
+
+/// Another chained grant is within the lease right now.
+inline bool lease_chain_allowed(const LeaseConfig& lease, int chain_len) {
+  if (lease.max_chain == 0) return false;
+  if (lease.max_chain < 0) return true;
+  return chain_len < lease.max_chain;
+}
+
+/// At the cap boundary: may the chain counter reset in place rather than
+/// yield to the protocol? Callers pass the algorithm's visibility
+/// guarantee and the holder's current has_remote_request() observation.
+inline bool lease_renewable(const LeaseConfig& lease, bool holder_sees_remote,
+                            bool remote_pending) {
+  return lease.renew_when_no_remote && holder_sees_remote && !remote_pending;
+}
+
+}  // namespace dmx::service

@@ -137,6 +137,8 @@ ResourceId LockSpace::open(std::string_view name,
                               nullptr);
   res->tickets.assign(static_cast<std::size_t>(config_.n) + 1, nullptr);
   res->node_epoch.assign(static_cast<std::size_t>(config_.n) + 1, 0);
+  res->local_queue.resize(static_cast<std::size_t>(config_.n) + 1);
+  res->chain_len.assign(static_cast<std::size_t>(config_.n) + 1, 0);
   // Seed the resident-token mirror with one full scan; every subsequent
   // event reconciles just the node it mutated.
   if (res->algorithm.token_based) {
@@ -181,9 +183,18 @@ Ticket LockSpace::acquire(ResourceId r, NodeId v, GrantCallback on_grant) {
     // grants (drivers treat it as a failed acquire).
     return std::make_shared<Acquisition>();
   }
-  DMX_CHECK_MSG(res.app_state[static_cast<std::size_t>(v)] == AppState::kIdle,
-                "node " << v << " already requesting or in CS of resource "
-                        << directory_.name(r));
+  if (res.app_state[static_cast<std::size_t>(v)] != AppState::kIdle) {
+    DMX_CHECK_MSG(config_.queue_local,
+                  "node " << v << " already requesting or in CS of resource "
+                          << directory_.name(r));
+    // Queue behind this node's outstanding request: granted by a chained
+    // hand-off at release, or promoted into the protocol when the chain
+    // yields.
+    auto ticket = std::make_shared<Acquisition>();
+    res.local_queue[static_cast<std::size_t>(v)].push_back(
+        {ticket, std::move(on_grant)});
+    return ticket;
+  }
   res.app_state[static_cast<std::size_t>(v)] = AppState::kWaiting;
   res.grant_callbacks[static_cast<std::size_t>(v)] = std::move(on_grant);
   auto ticket = std::make_shared<Acquisition>();
@@ -267,10 +278,55 @@ void LockSpace::release(ResourceId r, NodeId v) {
                                                  << res.occupant);
   res.app_state[static_cast<std::size_t>(v)] = AppState::kIdle;
   res.occupant = kNilNode;
+  auto& queue = res.local_queue[static_cast<std::size_t>(v)];
+  int& chain = res.chain_len[static_cast<std::size_t>(v)];
+  if (!queue.empty() && !res.repair_pending &&
+      (!fault_active_ ||
+       res.node_epoch[static_cast<std::size_t>(v)] == res.epoch)) {
+    // Local grant chaining: the token (or grant) stays put and the CS is
+    // handed straight to the next co-located waiter — zero protocol
+    // messages — as long as the lease allows. At the cap boundary the
+    // lease renews in place iff the algorithm guarantees the holder sees
+    // remote interest and none is visible; blind algorithms (Central,
+    // Maekawa) always yield at the cap, which is what keeps remote
+    // waiting bounded on all nine.
+    bool hand_off = lease_chain_allowed(config_.lease, chain);
+    if (!hand_off && config_.lease.max_chain != 0 &&
+        lease_renewable(config_.lease,
+                        res.algorithm.holder_sees_remote_requests,
+                        res.nodes[static_cast<std::size_t>(v)]
+                            ->has_remote_request())) {
+      chain = 0;
+      hand_off = true;
+    }
+    if (hand_off) {
+      ++chain;
+      ++chained_grants_;
+      LocalWaiter next = std::move(queue.front());
+      queue.pop_front();
+      res.app_state[static_cast<std::size_t>(v)] = AppState::kInCs;
+      res.occupant = v;
+      ++res.entries;
+      ++total_entries_;
+      if (next.ticket) {
+        next.ticket->granted = true;
+        next.ticket->granted_at = sim_.now();
+      }
+      if (next.callback) next.callback(r, v);
+      check_invariants(r);
+      if (post_event_hook_) post_event_hook_(*this, r);
+      return;
+    }
+  }
+  chain = 0;
+  if (!queue.empty()) ++lease_yields_;
   if (res.repair_pending) {
     // A repair arrived while this node sat in the CS. Skip the protocol
     // release — the world it would release into is being discarded — and
-    // run the deferred repair now that the CS is empty.
+    // run the deferred repair now that the CS is empty. A queued local
+    // waiter is promoted to the application-level waiting slot first so
+    // the repair re-issues its request into the fresh world.
+    promote_local_waiter(res, v);
     res.repair_pending = false;
     repair_resource(r);
     if (post_event_hook_) post_event_hook_(*this, r);
@@ -279,8 +335,27 @@ void LockSpace::release(ResourceId r, NodeId v) {
   res.nodes[static_cast<std::size_t>(v)]->release_cs(
       *res.contexts[static_cast<std::size_t>(v) - 1]);
   sync_resident_token(res, v);
+  // The chain yielded (or chaining is off): the next local waiter, if
+  // any, re-enters through the protocol so remote requesters get their
+  // turn first.
+  if (promote_local_waiter(res, v)) {
+    res.nodes[static_cast<std::size_t>(v)]->request_cs(
+        *res.contexts[static_cast<std::size_t>(v) - 1]);
+    sync_resident_token(res, v);
+  }
   check_invariants(r);
   if (post_event_hook_) post_event_hook_(*this, r);
+}
+
+bool LockSpace::promote_local_waiter(Resource& res, NodeId v) {
+  auto& queue = res.local_queue[static_cast<std::size_t>(v)];
+  if (queue.empty()) return false;
+  LocalWaiter next = std::move(queue.front());
+  queue.pop_front();
+  res.app_state[static_cast<std::size_t>(v)] = AppState::kWaiting;
+  res.grant_callbacks[static_cast<std::size_t>(v)] = std::move(next.callback);
+  res.tickets[static_cast<std::size_t>(v)] = std::move(next.ticket);
+  return true;
 }
 
 bool LockSpace::is_idle(ResourceId r, NodeId v) const {
@@ -306,6 +381,10 @@ std::uint64_t LockSpace::entries(ResourceId r) const {
 
 int LockSpace::resident_tokens(ResourceId r) const {
   return resource(r).resident_tokens;
+}
+
+std::size_t LockSpace::local_queue_depth(ResourceId r, NodeId v) const {
+  return resource(r).local_queue[static_cast<std::size_t>(v)].size();
 }
 
 void LockSpace::check_invariants(ResourceId r) {
@@ -456,6 +535,9 @@ void LockSpace::crash(NodeId v) {
       res.grant_callbacks[static_cast<std::size_t>(v)] = nullptr;
       res.tickets[static_cast<std::size_t>(v)] = nullptr;
     }
+    // Local waiters die with their node: their tickets never grant.
+    res.local_queue[static_cast<std::size_t>(v)].clear();
+    res.chain_len[static_cast<std::size_t>(v)] = 0;
     if (config_.recovery_enabled && res.algorithm.token_based) {
       // Until the repair we cannot tell whether the token died with the
       // node; tolerate transient loss. With recovery disabled checks stay

@@ -20,6 +20,7 @@
 //    the handler instead of scanning all N nodes after every event.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -34,6 +35,7 @@
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 #include "service/directory.hpp"
+#include "service/lease.hpp"
 #include "sim/simulator.hpp"
 #include "topology/tree.hpp"
 
@@ -68,6 +70,16 @@ struct LockSpaceConfig {
   /// Failure-detection timeout: virtual ticks between a fault event and
   /// the repair it triggers, modeling timeout-based detection.
   Tick detect_after = 25;
+  /// When true, a second acquire from a node already requesting or inside
+  /// a resource's CS queues FIFO behind the first (per resource, node)
+  /// instead of being a caller error — the precondition for local grant
+  /// chaining. Default off: the protocol's one-outstanding-request
+  /// contract stays enforced and existing behavior is bit-identical.
+  bool queue_local = false;
+  /// Lease policy for local grant chaining on the release path (effective
+  /// only with queue_local; max_hold_ns is ignored — virtual time has no
+  /// wall clock, the sim's bound is max_chain alone).
+  LeaseConfig lease;
 };
 
 /// Completion handle for an async acquire. The space sets `granted` (and
@@ -141,6 +153,14 @@ class LockSpace {
   std::uint64_t total_entries() const { return total_entries_; }
   std::uint64_t entries(ResourceId r) const;
 
+  /// CS entries handed directly to a co-located waiter on the release path
+  /// (zero protocol messages), and release-time lease yields that offered
+  /// the token back to the protocol while local waiters still queued.
+  std::uint64_t chained_grants() const { return chained_grants_; }
+  std::uint64_t lease_yields() const { return lease_yields_; }
+  /// Local waiters currently queued behind (r, v)'s outstanding request.
+  std::size_t local_queue_depth(ResourceId r, NodeId v) const;
+
   /// Harness-maintained count of resource `r`'s tokens resident at nodes
   /// (excluding in-flight token messages). 0 for non-token algorithms.
   /// Tests cross-check it against an explicit has_token() scan.
@@ -192,6 +212,14 @@ class LockSpace {
   class ResourceContext;
   enum class AppState : std::uint8_t { kIdle, kWaiting, kInCs };
 
+  /// A co-located client queued behind this node's outstanding request
+  /// (queue_local only); granted either by a chained hand-off or by
+  /// promotion into the protocol when the chain yields.
+  struct LocalWaiter {
+    std::shared_ptr<Acquisition> ticket;
+    GrantCallback callback;
+  };
+
   struct Resource {
     proto::Algorithm algorithm;
     std::vector<net::MessageKind> token_kinds;
@@ -224,6 +252,11 @@ class LockSpace {
     /// repair runs inside that node's release() instead, which then skips
     /// the protocol release (the old world is discarded wholesale).
     bool repair_pending = false;
+    /// Per-node FIFO of co-located waiters (queue_local only; 1..n).
+    std::vector<std::deque<LocalWaiter>> local_queue;
+    /// Consecutive chained grants since the token last arrived through the
+    /// protocol at each node (1..n); reset on every yield or renewal.
+    std::vector<int> chain_len;
   };
 
   Resource& resource(ResourceId r);
@@ -238,8 +271,15 @@ class LockSpace {
   /// Reconciles node `v`'s entry of the resident-token mirror after a
   /// handler ran on it.
   static void sync_resident_token(Resource& res, NodeId v);
+  /// Moves the head of (res, v)'s local queue into the application-level
+  /// waiting slot (ticket + callback, state kWaiting). The caller issues
+  /// the protocol request (or lets a pending repair re-issue it). Returns
+  /// false if the queue was empty.
+  static bool promote_local_waiter(Resource& res, NodeId v);
 
   LockSpaceConfig config_;
+  std::uint64_t chained_grants_ = 0;
+  std::uint64_t lease_yields_ = 0;
   Directory directory_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> network_;

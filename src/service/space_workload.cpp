@@ -38,6 +38,7 @@ struct Driver {
   std::uint64_t completed = 0;
   bool stopped = false;
   std::vector<std::uint64_t> entries_by_resource;
+  Tick max_wait = 0;
 
   Driver(LockSpace& s, const SpaceWorkloadConfig& cfg)
       : space(s), config(cfg), rng(cfg.seed),
@@ -57,13 +58,17 @@ struct Driver {
     return std::max<Tick>(t, 1);
   }
 
-  /// Zipf-draws a resource for node `v`; if the drawn resource already has
-  /// a request outstanding from `v` (one per (resource, node) is the
-  /// protocol's precondition), falls through to the next rank so the
-  /// client keeps working instead of double-requesting.
+  /// Zipf-draws a resource for node `v`. With queue_local the draw stands
+  /// as-is — a busy (resource, node) acquire queues behind the node's
+  /// outstanding request, which is how co-located chains form. Otherwise,
+  /// if the drawn resource already has a request outstanding from `v`
+  /// (one per (resource, node) is the protocol's precondition), falls
+  /// through to the next rank so the client keeps working instead of
+  /// double-requesting.
   ResourceId pick(NodeId v) {
     const int m = space.resource_count();
     const int first = zipf.sample(rng);
+    if (config.queue_local) return static_cast<ResourceId>(first);
     for (int i = 0; i < m; ++i) {
       const auto r = static_cast<ResourceId>((first + i) % m);
       if (space.is_idle(r, v)) return r;
@@ -80,7 +85,9 @@ struct Driver {
       space.simulator().schedule_after(1, [this, v] { issue(v); });
       return;
     }
-    space.acquire(r, v, [this](ResourceId res, NodeId entered) {
+    const Tick requested_at = space.simulator().now();
+    space.acquire(r, v, [this, requested_at](ResourceId res, NodeId entered) {
+      max_wait = std::max(max_wait, space.simulator().now() - requested_at);
       space.simulator().schedule_after(sample_hold(), [this, res, entered] {
         // Under faults the release may be a ghost (the node died in the
         // CS, or a repair revoked its world); LockSpace no-ops it. The
@@ -163,6 +170,7 @@ SpaceWorkloadResult run_space_workload(LockSpace& space,
                 static_cast<double>(result.makespan)
           : 0.0;
   result.entries_by_resource = std::move(driver->entries_by_resource);
+  result.max_wait_ticks = driver->max_wait;
   return result;
 }
 

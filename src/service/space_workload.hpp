@@ -45,6 +45,13 @@ struct SpaceWorkloadConfig {
   Tick hold_lo = 0;
   Tick hold_hi = 0;
   std::uint64_t seed = 42;
+  /// When true (requires a LockSpace opened with queue_local), a client
+  /// keeps its Zipf draw even if the node already has that resource
+  /// outstanding — the acquire queues locally, forming the co-located
+  /// waiter chains the lease policy serves. When false a busy draw falls
+  /// through to the next rank (the historical behavior; local queues
+  /// never form).
+  bool queue_local = false;
 };
 
 struct SpaceWorkloadResult {
@@ -59,6 +66,11 @@ struct SpaceWorkloadResult {
   double entries_per_kilotick = 0.0;
   /// Completed entries per resource, indexed by ResourceId.
   std::vector<std::uint64_t> entries_by_resource;
+  /// Longest acquire-to-grant wait any client experienced, in virtual
+  /// ticks — the bounded-waiting observable: with a finite lease cap it
+  /// stays bounded; an unbounded chain starves a remote waiter and this
+  /// grows toward the makespan.
+  Tick max_wait_ticks = 0;
 };
 
 /// Drives `space` (with every resource already opened) until

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <thread>
 
 #include "common/check.hpp"
@@ -78,6 +79,7 @@ struct ThreadedLockSpace::ResourceNode {
     } catch (const std::exception& e) {
       space.fail(e.what());
     }
+    publish_remote_pending();
   }
 
   void request(Epoch tag) {
@@ -92,6 +94,7 @@ struct ThreadedLockSpace::ResourceNode {
     } catch (const std::exception& e) {
       space.fail(e.what());
     }
+    publish_remote_pending();
   }
 
   void release(Epoch tag) {
@@ -103,6 +106,7 @@ struct ThreadedLockSpace::ResourceNode {
     } catch (const std::exception& e) {
       space.fail(e.what());
     }
+    publish_remote_pending();
   }
 
   /// Post-repair request re-issue: the node's pre-repair protocol request
@@ -126,6 +130,7 @@ struct ThreadedLockSpace::ResourceNode {
     } catch (const std::exception& e) {
       space.fail(e.what());
     }
+    publish_remote_pending();
   }
 
   void on_grant() {
@@ -137,6 +142,7 @@ struct ThreadedLockSpace::ResourceNode {
       if (!dead && waiting > 0) {
         granted = true;
         granted_epoch = epoch;
+        grant_via_chain = false;
         hand_off = true;
       } else {
         // Nobody will consume this grant — every waiter timed out, or the
@@ -151,6 +157,17 @@ struct ThreadedLockSpace::ResourceNode {
     }
     const Epoch tag = epoch;  // on_grant runs on the strand
     strand.post([this, tag] { release(tag); });
+  }
+
+  /// Publishes node->has_remote_request() at the end of every strand
+  /// task, so a holder's release can consult it without touching
+  /// strand-confined state. The value may lag by an in-flight message —
+  /// the lease cap, not this hint, carries the bounded-waiting
+  /// guarantee; the hint only decides whether a cap-expired lease may
+  /// renew in place.
+  void publish_remote_pending() {
+    remote_pending.store(node->has_remote_request(),
+                         std::memory_order_relaxed);
   }
 
   void maybe_jitter() {
@@ -179,12 +196,28 @@ struct ThreadedLockSpace::ResourceNode {
   bool request_outstanding = false;
   Context context;
 
-  /// Local waiters and grant hand-off; client_mutex guards every field.
+  /// Local waiters and grant hand-off; client_mutex guards every field
+  /// below except the trailing atomic.
   std::mutex client_mutex;
   std::condition_variable client_cv;
   int waiting = 0;
   bool requested = false;
   bool granted = false;
+  /// Arrival-order tickets of the parked waiters: a grant (protocol or
+  /// chained) is consumed only by the waiter whose ticket is at the
+  /// front, so same-node waiters cannot overtake each other.
+  std::deque<std::uint64_t> fifo;
+  std::uint64_t ticket_seq = 0;
+  /// Consecutive local hand-offs in the current lease window, and
+  /// telemetry::now_ns() when the window opened (its first grant).
+  int chain_len = 0;
+  std::uint64_t chain_started_ns = 0;
+  /// Epoch the current holder's grant was minted in; a release chains
+  /// only while it still matches the resource's epoch (no repair since).
+  Epoch held_epoch = 0;
+  /// Whether the pending grant rode the local chain (keeps the lease
+  /// window open) or came from the protocol (opens a fresh window).
+  bool grant_via_chain = false;
   /// telemetry::now_ns() when the current holder entered (0 = not held);
   /// closes the client.hold_ns histogram at unlock.
   std::uint64_t hold_started_ns = 0;
@@ -194,6 +227,9 @@ struct ThreadedLockSpace::ResourceNode {
   /// alongside the regenerated token.
   Epoch granted_epoch = 0;
   bool held = false;
+  /// has_remote_request() as of this strand's last protocol task (see
+  /// publish_remote_pending).
+  std::atomic<bool> remote_pending{false};
 };
 
 ThreadedLockSpace::ThreadedLockSpace(ThreadedLockSpaceConfig config)
@@ -287,6 +323,7 @@ ThreadedLockSpace::ThreadedLockSpace(ThreadedLockSpaceConfig config)
   // paths then record through plain array indices.
   auto& registry = telemetry::Registry::global();
   hold_hist_ = registry.histogram("client.hold_ns");
+  chain_hist_ = registry.histogram("client.chain_len");
   repair_hist_ = registry.histogram("fault.repair_ns");
   unavail_hist_ = registry.histogram("fault.unavail_window_ns");
   unavailable_since_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(
@@ -355,6 +392,11 @@ LockError ThreadedLockSpace::wait_for_grant(
   {
     std::unique_lock<std::mutex> guard(x.client_mutex);
     ++x.waiting;
+    // Arrival-order ticket: grants are consumed strictly in ticket order,
+    // so a later waiter on the same (resource, node) can never overtake
+    // an earlier one through a lucky condvar wake.
+    const std::uint64_t ticket = x.ticket_seq++;
+    x.fifo.push_back(ticket);
     // One protocol request at a time per (resource, node): the first local
     // waiter requests; later waiters ride local hand-off (unlock posts the
     // next request once the current holder leaves).
@@ -364,8 +406,9 @@ LockError ThreadedLockSpace::wait_for_grant(
           std::memory_order_acquire);
       x.strand.post([&x, tag] { x.request(tag); });
     }
-    const auto ready = [this, r, &x] {
-      return x.granted || failed_.load(std::memory_order_relaxed) ||
+    const auto ready = [this, r, &x, ticket] {
+      return (x.granted && x.fifo.front() == ticket) ||
+             failed_.load(std::memory_order_relaxed) ||
              node_down_[static_cast<std::size_t>(x.self)].load(
                  std::memory_order_relaxed) ||
              unavailable_[static_cast<std::size_t>(r)].load(
@@ -382,12 +425,17 @@ LockError ThreadedLockSpace::wait_for_grant(
         // Deadline passed. The request stays posted; a grant arriving
         // with nobody waiting is handed straight back by on_grant.
         --x.waiting;
+        x.fifo.erase(std::find(x.fifo.begin(), x.fifo.end(), ticket));
+        guard.unlock();
+        // The waiter behind us is the new front; a pending grant it was
+        // fenced off may now be its to consume.
+        x.client_cv.notify_all();
         telemetry::count(rt.timeouts);
         telemetry::FlightRecorder::record(telemetry::FlightEvent::kTimeout, r,
                                           v);
         return LockError::kTimeout;
       }
-      if (x.granted) {
+      if (x.granted && x.fifo.front() == ticket) {
         // Revalidate against the current epoch: a repair may have fenced
         // the world this grant came from, in which case the regenerated
         // token supersedes it and entering would break exclusion. The
@@ -401,14 +449,23 @@ LockError ThreadedLockSpace::wait_for_grant(
         x.granted = false;
         x.requested = false;
         --x.waiting;
+        x.fifo.pop_front();
         x.held = true;
+        x.held_epoch = x.granted_epoch;
         // One clock read serves three consumers: the hold-time stamp,
         // the wait histograms, and the grant flight event.
         grant_ns = telemetry::now_ns();
         x.hold_started_ns = grant_ns;
+        if (x.grant_via_chain) {
+          x.grant_via_chain = false;  // window stays open, length counted
+        } else {
+          x.chain_len = 0;  // fresh protocol grant opens a fresh window
+          x.chain_started_ns = grant_ns;
+        }
         break;
       }
       --x.waiting;
+      x.fifo.erase(std::find(x.fifo.begin(), x.fifo.end(), ticket));
       if (node_down_[static_cast<std::size_t>(x.self)].load(
               std::memory_order_relaxed) ||
           unavailable_[static_cast<std::size_t>(r)].load(
@@ -469,7 +526,14 @@ void ThreadedLockSpace::unlock(ResourceId r, NodeId v) {
   DMX_CHECK(v >= 1 && v <= config_.n);
   DMX_CHECK(r >= 0 && r < resource_count());
   ResourceNode& x = rn(r, v);
+  // One clock read ahead of the mutex serves the lease-window check, the
+  // hold histogram, and the release/chain flight event.
+  const std::uint64_t release_ns = telemetry::now_ns();
   std::uint64_t hold_started_ns = 0;
+  bool chained = false;
+  int chain_arg = 0;
+  int ended_chain = 0;  // lease window closed at this length (0 = none)
+  bool yielded_with_waiters = false;
   {
     std::lock_guard<std::mutex> guard(x.client_mutex);
     if (!x.held) {
@@ -488,25 +552,85 @@ void ThreadedLockSpace::unlock(ResourceId r, NodeId v) {
     // must not drive the counter negative), yet before the release reaches
     // the protocol — after that the next grant may already increment it.
     occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
-    // Strand FIFO orders the release ahead of the follow-up request, and
-    // posting under client_mutex keeps a racing lock() on another thread
-    // from slipping its request in between.
     const Epoch tag = resource_epoch_[static_cast<std::size_t>(r)].load(
         std::memory_order_acquire);
-    x.strand.post([&x, tag] { x.release(tag); });
-    if (x.waiting > 0 && !x.requested) {
-      x.requested = true;
-      x.strand.post([&x, tag] { x.request(tag); });
+    // Local grant chaining: with waiters parked on this node and the
+    // lease not exhausted, hand the CS straight to the next one — one
+    // condvar wake, zero protocol messages. Never across a fault: a
+    // repair fences the holder's world (tag != held_epoch) before it can
+    // defer, and any crash disables chaining outright (fault_active_) so
+    // repairs and token-loss detection see a quiescing resource.
+    if (x.waiting > 0 && tag == x.held_epoch &&
+        !fault_active_.load(std::memory_order_relaxed) &&
+        !failed_.load(std::memory_order_relaxed)) {
+      int chain = x.chain_len;
+      const bool window_ok =
+          config_.lease.max_hold_ns == 0 ||
+          release_ns - x.chain_started_ns < config_.lease.max_hold_ns;
+      bool hand_off = window_ok && lease_chain_allowed(config_.lease, chain);
+      if (!hand_off && config_.lease.max_chain != 0 &&
+          lease_renewable(config_.lease,
+                          algorithms_[static_cast<std::size_t>(r)]
+                              .holder_sees_remote_requests,
+                          x.remote_pending.load(std::memory_order_relaxed))) {
+        // Lease expired but the protocol instance can see that no remote
+        // request is pending: renew in place instead of a pointless
+        // release/re-request round trip. Blind algorithms (Maekawa,
+        // Central clients) never take this branch, keeping the cap
+        // unconditional where remote demand is invisible.
+        ended_chain = chain;
+        chain = 0;
+        x.chain_started_ns = release_ns;
+        hand_off = true;
+      }
+      if (hand_off) {
+        x.chain_len = chain + 1;
+        chain_arg = x.chain_len;
+        x.granted = true;
+        x.granted_epoch = x.held_epoch;
+        x.grant_via_chain = true;
+        chained = true;
+      }
+    }
+    if (!chained) {
+      ended_chain = x.chain_len;
+      x.chain_len = 0;
+      yielded_with_waiters = x.waiting > 0;
+      // Strand FIFO orders the release ahead of the follow-up request,
+      // and posting under client_mutex keeps a racing lock() on another
+      // thread from slipping its request in between.
+      x.strand.post([&x, tag] { x.release(tag); });
+      if (x.waiting > 0 && !x.requested) {
+        x.requested = true;
+        x.strand.post([&x, tag] { x.request(tag); });
+      }
     }
   }
-  // Telemetry off the client mutex: one clock read feeds both the hold
-  // histogram and the release flight event.
-  const std::uint64_t release_ns = telemetry::now_ns();
+  // Telemetry off the client mutex.
   if (hold_started_ns != 0 && telemetry::sample_1_in_8()) {
     telemetry::observe(hold_hist_, release_ns - hold_started_ns);
   }
+  if (ended_chain > 0) {
+    telemetry::observe(chain_hist_,
+                       static_cast<std::uint64_t>(ended_chain));
+  }
+  if (chained) {
+    x.client_cv.notify_all();
+    chained_grants_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::FlightRecorder::record_at(
+        release_ns, telemetry::FlightEvent::kChainGrant, r, v, chain_arg);
+    // No protocol release happened, so no deferred repair can complete
+    // here: chaining requires !fault_active_, and rs.pending implies a
+    // crash already flipped it.
+    return;
+  }
   telemetry::FlightRecorder::record_at(release_ns,
                                        telemetry::FlightEvent::kRelease, r, v);
+  if (yielded_with_waiters) {
+    lease_yields_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::FlightRecorder::record_at(
+        release_ns, telemetry::FlightEvent::kLeaseYield, r, v, ended_chain);
+  }
   // Complete a repair that deferred while this node held the lock. Taken
   // without client_mutex: maybe_repair acquires client mutexes under the
   // repair mutex, never the reverse.
@@ -535,6 +659,8 @@ void ThreadedLockSpace::crash(NodeId v) {
       x.held = false;
       x.granted = false;
       x.requested = false;
+      x.chain_len = 0;
+      x.grant_via_chain = false;
     }
     // The victim died inside its CS: the occupancy witness retires with it
     // (the repair will re-mint the token among the survivors).
@@ -667,6 +793,7 @@ void ThreadedLockSpace::maybe_repair(ResourceId r) {
       x.epoch = e;
       x.membership = shared;
       x.request_outstanding = false;
+      x.publish_remote_pending();
     });
   }
   // Phase 2: only after EVERY reset is queued, re-issue requests for
@@ -718,6 +845,14 @@ std::uint64_t ThreadedLockSpace::entries(ResourceId r) const {
       std::memory_order_relaxed);
 }
 
+int ThreadedLockSpace::local_waiters(ResourceId r, NodeId v) {
+  DMX_CHECK(v >= 1 && v <= config_.n);
+  DMX_CHECK(r >= 0 && r < resource_count());
+  ResourceNode& x = rn(r, v);
+  std::lock_guard<std::mutex> guard(x.client_mutex);
+  return x.waiting;
+}
+
 std::optional<std::string> ThreadedLockSpace::first_error() const {
   std::lock_guard<std::mutex> guard(error_mutex_);
   return first_error_;
@@ -731,6 +866,8 @@ telemetry::MetricsSnapshot ThreadedLockSpace::telemetry_snapshot() const {
   snap.set_counter("exec.parks", stats.parks);
   snap.set_counter("exec.injector_polls", stats.injector_polls);
   snap.set_counter("service.messages_sent", messages_sent());
+  snap.set_counter("client.chained_grants", chained_grants());
+  snap.set_counter("client.lease_yields", lease_yields());
   // The hot path records wait time on the per-resource lane only; fold
   // the lanes into the process-wide view here, in cold code.
   snap.roll_up("client.wait_ns");

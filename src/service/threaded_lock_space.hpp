@@ -41,6 +41,7 @@
 #include "proto/algorithm.hpp"
 #include "proto/mutex_node.hpp"
 #include "service/directory.hpp"
+#include "service/lease.hpp"
 #include "telemetry/telemetry.hpp"
 #include "topology/tree.hpp"
 
@@ -86,6 +87,11 @@ struct ThreadedLockSpaceConfig {
   /// resource's home leaves the resource unavailable — try_lock_for
   /// returns LockError::kUnavailable instead of waiting forever.
   bool recovery_enabled = true;
+  /// Local grant-chaining lease: how many consecutive releases may hand
+  /// the CS straight to a co-located waiter (one condvar wake, zero
+  /// protocol messages) before the token must be offered back to the
+  /// protocol so remote requesters keep bounded waiting.
+  LeaseConfig lease;
 };
 
 class ThreadedLockSpace {
@@ -139,6 +145,20 @@ class ThreadedLockSpace {
   std::uint64_t messages_sent() const {
     return messages_sent_.load(std::memory_order_relaxed);
   }
+  /// Releases that handed the CS straight to a co-located waiter without
+  /// a protocol round, and lease windows that closed with local waiters
+  /// still queued (the token went back to the protocol anyway — the
+  /// bounded-waiting cap at work).
+  std::uint64_t chained_grants() const {
+    return chained_grants_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lease_yields() const {
+    return lease_yields_.load(std::memory_order_relaxed);
+  }
+  /// Application threads of node `v` currently parked in lock() /
+  /// try_lock_for() on `r`. Test observability for the FIFO hand-off
+  /// queue; racy by nature, stable once the callers are known parked.
+  int local_waiters(ResourceId r, NodeId v);
 
   /// First protocol or exclusivity error observed on any thread, if any.
   std::optional<std::string> first_error() const;
@@ -225,10 +245,13 @@ class ThreadedLockSpace {
   std::unique_ptr<std::atomic<int>[]> occupancy_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> entries_;
   std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> chained_grants_{0};
+  std::atomic<std::uint64_t> lease_yields_{0};
   std::atomic<bool> failed_{false};
 
   std::vector<ResourceTelemetry> resource_telemetry_;  // by ResourceId
   telemetry::HistogramId hold_hist_;
+  telemetry::HistogramId chain_hist_;
   telemetry::HistogramId repair_hist_;
   telemetry::HistogramId unavail_hist_;
   /// telemetry::now_ns() when resource r last became unavailable (0 when

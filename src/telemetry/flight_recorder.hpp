@@ -42,6 +42,11 @@ enum class FlightEvent : std::uint8_t {
   kRelease,
   kTimeout,
   kUnavailable,
+  /// Lease chaining: a release handed the CS straight to a co-located
+  /// waiter (arg = chain length so far) / offered the token back to the
+  /// protocol with local waiters still queued (arg = chain length ended).
+  kChainGrant,
+  kLeaseYield,
   // strand: executor scheduling.
   kTokenForward,
   kPark,

@@ -410,6 +410,8 @@ std::string_view flight_event_name(FlightEvent event) {
     case FlightEvent::kRelease: return "client.release";
     case FlightEvent::kTimeout: return "client.timeout";
     case FlightEvent::kUnavailable: return "client.unavailable";
+    case FlightEvent::kChainGrant: return "client.chain_grant";
+    case FlightEvent::kLeaseYield: return "client.lease_yield";
     case FlightEvent::kTokenForward: return "strand.token_forward";
     case FlightEvent::kPark: return "strand.park";
     case FlightEvent::kSteal: return "strand.steal";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <utility>
 
@@ -73,6 +74,7 @@ struct DistributedLockSpace::ResourceNode {
     } catch (const std::exception& e) {
       space.fail(e.what());
     }
+    publish_remote_pending();
   }
 
   void request(Epoch tag) {
@@ -87,6 +89,7 @@ struct DistributedLockSpace::ResourceNode {
     } catch (const std::exception& e) {
       space.fail(e.what());
     }
+    publish_remote_pending();
   }
 
   void release(Epoch tag) {
@@ -98,6 +101,7 @@ struct DistributedLockSpace::ResourceNode {
     } catch (const std::exception& e) {
       space.fail(e.what());
     }
+    publish_remote_pending();
   }
 
   /// Post-repair request re-issue: the pre-repair protocol request died
@@ -121,6 +125,18 @@ struct DistributedLockSpace::ResourceNode {
     } catch (const std::exception& e) {
       space.fail(e.what());
     }
+    publish_remote_pending();
+  }
+
+  /// Publishes node->has_remote_request() at the end of every strand
+  /// task, so a holder's release can consult it without touching
+  /// strand-confined state. The value may lag by an in-flight frame —
+  /// the lease cap, not this hint, carries the bounded-waiting
+  /// guarantee; the hint only decides whether a cap-expired lease may
+  /// renew in place.
+  void publish_remote_pending() {
+    remote_pending.store(node->has_remote_request(),
+                         std::memory_order_relaxed);
   }
 
   void on_grant() {
@@ -130,6 +146,7 @@ struct DistributedLockSpace::ResourceNode {
       if (waiting > 0) {
         granted = true;
         granted_epoch = epoch;
+        grant_via_chain = false;
         hand_off = true;
       } else {
         // Every waiter timed out; hand the CS straight back so the
@@ -160,12 +177,28 @@ struct DistributedLockSpace::ResourceNode {
   bool request_outstanding = false;
   Context context;
 
-  /// Local waiters and grant hand-off; client_mutex guards every field.
+  /// Local waiters and grant hand-off; client_mutex guards every field
+  /// below except the trailing atomic.
   std::mutex client_mutex;
   std::condition_variable client_cv;
   int waiting = 0;
   bool requested = false;
   bool granted = false;
+  /// Arrival-order tickets of the parked waiters: a grant (protocol or
+  /// chained) is consumed only by the waiter whose ticket is at the
+  /// front, so same-node waiters cannot overtake each other.
+  std::deque<std::uint64_t> fifo;
+  std::uint64_t ticket_seq = 0;
+  /// Consecutive local hand-offs in the current lease window, and
+  /// telemetry::now_ns() when the window opened (its first grant).
+  int chain_len = 0;
+  std::uint64_t chain_started_ns = 0;
+  /// Epoch the current holder's grant was minted in; a release chains
+  /// only while it still matches the resource's epoch (no repair since).
+  Epoch held_epoch = 0;
+  /// Whether the pending grant rode the local chain (keeps the lease
+  /// window open) or came from the protocol (opens a fresh window).
+  bool grant_via_chain = false;
   /// Epoch the pending grant was minted in: the consumer revalidates it
   /// against the resource's current epoch, so a grant from a world a
   /// repair has since fenced is discarded instead of entering the CS
@@ -174,6 +207,9 @@ struct DistributedLockSpace::ResourceNode {
   bool held = false;
   /// telemetry::now_ns() when the current holder entered (0 = not held).
   std::uint64_t hold_started_ns = 0;
+  /// has_remote_request() as of this strand's last protocol task (see
+  /// publish_remote_pending).
+  std::atomic<bool> remote_pending{false};
 };
 
 DistributedLockSpace::DistributedLockSpace(DistributedLockSpaceConfig config)
@@ -245,6 +281,7 @@ DistributedLockSpace::DistributedLockSpace(DistributedLockSpaceConfig config)
   // threaded substrate, so cross-substrate snapshots line up).
   auto& registry = telemetry::Registry::global();
   hold_hist_ = registry.histogram("client.hold_ns");
+  chain_hist_ = registry.histogram("client.chain_len");
   repair_hist_ = registry.histogram("fault.repair_ns");
   resource_telemetry_.reserve(static_cast<std::size_t>(m));
   for (ResourceId r = 0; r < m; ++r) {
@@ -641,6 +678,7 @@ void DistributedLockSpace::install_world_locked(ResourceId r,
     x.epoch = e;
     x.membership = shared;
     x.request_outstanding = false;
+    x.publish_remote_pending();
   });
   // Re-issue behind the reset for parked waiters; any message it triggers
   // lands behind the destination's own reset or in its parked queue.
@@ -730,14 +768,20 @@ LockError DistributedLockSpace::wait_for_grant(
   {
     std::unique_lock<std::mutex> guard(x.client_mutex);
     ++x.waiting;
+    // Arrival-order ticket: grants are consumed strictly in ticket order,
+    // so a later waiter on this node can never overtake an earlier one
+    // through a lucky condvar wake.
+    const std::uint64_t ticket = x.ticket_seq++;
+    x.fifo.push_back(ticket);
     if (!x.requested && !x.held) {
       x.requested = true;
       const Epoch tag = resource_epoch_[static_cast<std::size_t>(r)].load(
           std::memory_order_acquire);
       x.strand.post([&x, tag] { x.request(tag); });
     }
-    const auto ready = [this, r, &x] {
-      return x.granted || failed_.load(std::memory_order_relaxed) ||
+    const auto ready = [this, r, &x, ticket] {
+      return (x.granted && x.fifo.front() == ticket) ||
+             failed_.load(std::memory_order_relaxed) ||
              unavailable_[static_cast<std::size_t>(r)].load(
                  std::memory_order_relaxed);
     };
@@ -755,12 +799,17 @@ LockError DistributedLockSpace::wait_for_grant(
         // re-arms against the ORIGINAL deadline after every spurious or
         // stale-grant wake.
         --x.waiting;
+        x.fifo.erase(std::find(x.fifo.begin(), x.fifo.end(), ticket));
+        guard.unlock();
+        // The waiter behind us is the new front; a pending grant it was
+        // fenced off may now be its to consume.
+        x.client_cv.notify_all();
         telemetry::count(rt.timeouts);
         telemetry::FlightRecorder::record(telemetry::FlightEvent::kTimeout, r,
                                           config_.self);
         return LockError::kTimeout;
       }
-      if (x.granted) {
+      if (x.granted && x.fifo.front() == ticket) {
         // Revalidate against the current epoch: a repair may have fenced
         // the world this grant came from, in which case the regenerated
         // token supersedes it and entering would break exclusion. The
@@ -774,16 +823,25 @@ LockError DistributedLockSpace::wait_for_grant(
         x.granted = false;
         x.requested = false;
         --x.waiting;
+        x.fifo.pop_front();
         x.held = true;
+        x.held_epoch = x.granted_epoch;
         // One clock read serves the hold stamp, the wait histogram, and
         // the grant flight event.
         grant_ns = telemetry::now_ns();
         x.hold_started_ns = grant_ns;
+        if (x.grant_via_chain) {
+          x.grant_via_chain = false;  // window stays open, length counted
+        } else {
+          x.chain_len = 0;  // fresh protocol grant opens a fresh window
+          x.chain_started_ns = grant_ns;
+        }
         break;
       }
       if (unavailable_[static_cast<std::size_t>(r)].load(
               std::memory_order_relaxed)) {
         --x.waiting;
+        x.fifo.erase(std::find(x.fifo.begin(), x.fifo.end(), ticket));
         telemetry::count(rt.unavailable);
         telemetry::FlightRecorder::record(telemetry::FlightEvent::kUnavailable,
                                           r, config_.self);
@@ -791,6 +849,7 @@ LockError DistributedLockSpace::wait_for_grant(
       }
       if (failed_.load(std::memory_order_relaxed)) {
         --x.waiting;
+        x.fifo.erase(std::find(x.fifo.begin(), x.fifo.end(), ticket));
         DMX_CHECK_MSG(false, "distributed lock space failed while waiting on "
                                  << name(r) << "; see first_error()");
       }
@@ -833,7 +892,14 @@ LockError DistributedLockSpace::try_lock_for(
 
 void DistributedLockSpace::unlock(ResourceId r) {
   ResourceNode& x = rn(r);
+  // One clock read ahead of the mutex serves the lease-window check, the
+  // hold histogram, and the release/chain flight event.
+  const std::uint64_t release_ns = telemetry::now_ns();
   std::uint64_t hold_started_ns = 0;
+  bool chained = false;
+  int chain_arg = 0;
+  int ended_chain = 0;  // lease window closed at this length (0 = none)
+  bool yielded_with_waiters = false;
   {
     std::lock_guard<std::mutex> guard(x.client_mutex);
     DMX_CHECK_MSG(x.held, "unlock of resource " << name(r)
@@ -842,27 +908,89 @@ void DistributedLockSpace::unlock(ResourceId r) {
     hold_started_ns = x.hold_started_ns;
     x.hold_started_ns = 0;
     occupancy_[static_cast<std::size_t>(r)].fetch_sub(1);
-    // Strand FIFO orders the release ahead of the follow-up request, and
-    // posting under client_mutex keeps a racing lock() on another thread
-    // from slipping its request in between. The tag is re-read here: if a
-    // repair fenced us while we held, the release is minted in the NEW
-    // epoch and drops itself (the old world is being discarded whole).
+    // The tag is re-read here: if a repair fenced us while we held, the
+    // release is minted in the NEW epoch and drops itself (the old world
+    // is being discarded whole).
     const Epoch tag = resource_epoch_[static_cast<std::size_t>(r)].load(
         std::memory_order_acquire);
-    x.strand.post([&x, tag] { x.release(tag); });
-    if (x.waiting > 0 && !x.requested) {
-      x.requested = true;
-      x.strand.post([&x, tag] { x.request(tag); });
+    // Local grant chaining: with waiters parked on this node and the
+    // lease not exhausted, hand the CS straight to the next one — one
+    // condvar wake, zero wire frames. Never across an epoch transition:
+    // a repair fences (bumps the epoch) BEFORE it checks for a local
+    // holder, so tag != held_epoch exactly when an install is waiting on
+    // this unlock, and the normal path below completes it.
+    if (x.waiting > 0 && tag == x.held_epoch &&
+        !failed_.load(std::memory_order_relaxed) &&
+        !unavailable_[static_cast<std::size_t>(r)].load(
+            std::memory_order_relaxed)) {
+      int chain = x.chain_len;
+      const bool window_ok =
+          config_.lease.max_hold_ns == 0 ||
+          release_ns - x.chain_started_ns < config_.lease.max_hold_ns;
+      bool hand_off =
+          window_ok && service::lease_chain_allowed(config_.lease, chain);
+      if (!hand_off && config_.lease.max_chain != 0 &&
+          service::lease_renewable(
+              config_.lease, config_.algorithm.holder_sees_remote_requests,
+              x.remote_pending.load(std::memory_order_relaxed))) {
+        // Lease expired but the protocol instance can see that no remote
+        // request is pending: renew in place instead of a pointless
+        // release/re-request wire round.
+        ended_chain = chain;
+        chain = 0;
+        x.chain_started_ns = release_ns;
+        hand_off = true;
+      }
+      if (hand_off) {
+        x.chain_len = chain + 1;
+        chain_arg = x.chain_len;
+        x.granted = true;
+        x.granted_epoch = x.held_epoch;
+        x.grant_via_chain = true;
+        chained = true;
+      }
+    }
+    if (!chained) {
+      ended_chain = x.chain_len;
+      x.chain_len = 0;
+      yielded_with_waiters = x.waiting > 0;
+      // Strand FIFO orders the release ahead of the follow-up request,
+      // and posting under client_mutex keeps a racing lock() on another
+      // thread from slipping its request in between.
+      x.strand.post([&x, tag] { x.release(tag); });
+      if (x.waiting > 0 && !x.requested) {
+        x.requested = true;
+        x.strand.post([&x, tag] { x.request(tag); });
+      }
     }
   }
-  // Telemetry off the client mutex; one clock read for both consumers.
-  const std::uint64_t release_ns = telemetry::now_ns();
+  // Telemetry off the client mutex.
   if (hold_started_ns != 0 && telemetry::sample_1_in_8()) {
     telemetry::observe(hold_hist_, release_ns - hold_started_ns);
+  }
+  if (ended_chain > 0) {
+    telemetry::observe(chain_hist_,
+                       static_cast<std::uint64_t>(ended_chain));
+  }
+  if (chained) {
+    x.client_cv.notify_all();
+    chained_grants_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::FlightRecorder::record_at(release_ns,
+                                         telemetry::FlightEvent::kChainGrant,
+                                         r, config_.self, chain_arg);
+    // No deferred install can be waiting on this unlock: a repair fences
+    // the epoch before deferring, which disables chaining above.
+    return;
   }
   telemetry::FlightRecorder::record_at(release_ns,
                                        telemetry::FlightEvent::kRelease, r,
                                        config_.self);
+  if (yielded_with_waiters) {
+    lease_yields_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::FlightRecorder::record_at(release_ns,
+                                         telemetry::FlightEvent::kLeaseYield,
+                                         r, config_.self, ended_chain);
+  }
   // Complete a repair that deferred while this client held the lock.
   // Taken without client_mutex: the repair path acquires client_mutex
   // under rs.mutex, never the reverse.
@@ -929,6 +1057,8 @@ telemetry::MetricsSnapshot DistributedLockSpace::telemetry_snapshot() const {
                    wire.epoll_wakeups.load(std::memory_order_relaxed));
   snap.set_counter("wire.stale_epoch_frames",
                    stale_frames_.load(std::memory_order_relaxed));
+  snap.set_counter("client.chained_grants", chained_grants());
+  snap.set_counter("client.lease_yields", lease_yields());
   return snap;
 }
 

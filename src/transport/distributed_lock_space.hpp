@@ -51,6 +51,7 @@
 #include "net/message_kind.hpp"
 #include "proto/algorithm.hpp"
 #include "service/directory.hpp"
+#include "service/lease.hpp"
 #include "service/threaded_lock_space.hpp"  // service::LockError
 #include "telemetry/telemetry.hpp"
 #include "topology/tree.hpp"
@@ -89,6 +90,11 @@ struct DistributedLockSpaceConfig {
   /// Runs on the event-loop thread or an unlocking client thread; keep it
   /// brief and non-blocking.
   std::function<void(Epoch, const fault::Membership&)> on_repair;
+  /// Local grant-chaining lease: how many consecutive releases may hand
+  /// the CS straight to a co-located waiter (one condvar wake, zero wire
+  /// frames) before the token must be offered back to the protocol so
+  /// remote requesters keep bounded waiting.
+  service::LeaseConfig lease;
 };
 
 class DistributedLockSpace {
@@ -157,6 +163,15 @@ class DistributedLockSpace {
   /// resource's fence (old-world traffic after a repair).
   std::uint64_t stale_frames_dropped() const {
     return stale_frames_.load(std::memory_order_relaxed);
+  }
+  /// Releases that handed the CS straight to a co-located waiter without
+  /// a wire round, and lease windows that closed with local waiters
+  /// still queued (the bounded-waiting cap at work).
+  std::uint64_t chained_grants() const {
+    return chained_grants_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lease_yields() const {
+    return lease_yields_.load(std::memory_order_relaxed);
   }
 
   /// First protocol, exclusivity, or transport error observed, if any.
@@ -272,6 +287,8 @@ class DistributedLockSpace {
   /// Socket-liveness vector, by original node id; self is never down.
   std::unique_ptr<std::atomic<bool>[]> peer_down_;
   std::atomic<std::uint64_t> stale_frames_{0};
+  std::atomic<std::uint64_t> chained_grants_{0};
+  std::atomic<std::uint64_t> lease_yields_{0};
   std::atomic<bool> failed_{false};
   std::atomic<bool> shut_down_{false};
 
@@ -280,6 +297,7 @@ class DistributedLockSpace {
 
   std::vector<ResourceTelemetry> resource_telemetry_;  // by ResourceId
   telemetry::HistogramId hold_hist_;
+  telemetry::HistogramId chain_hist_;
   telemetry::HistogramId repair_hist_;
   /// Interned kinds of token-carrying messages (one algorithm per space),
   /// for flight-recording token forwards in route().

@@ -169,5 +169,46 @@ TEST(DeterminismGolden, PinnedSwarmSeedPerAlgorithm) {
   }
 }
 
+TEST(DeterminismGolden, PinnedChainingSwarmSeedPerAlgorithm) {
+  // Same contract as above, but with queue_local chaining on: the lease
+  // layer's local hand-offs suppress protocol traffic, so these hashes
+  // also pin WHICH releases reach the wire. A change to the chaining
+  // decision (cap, window, renewal) shows up here before anywhere else.
+  const SwarmGolden goldens[] = {
+      {"Neilsen", 0xaedd537279165dabULL},
+      {"Raymond", 0xcc1f73172ea894e9ULL},
+      {"Central", 0x7aa530f0fad13da9ULL},
+      {"Suzuki-Kasami", 0xf1ec833a32ecce9dULL},
+      {"Singhal", 0x026e9eafb6fbb53dULL},
+      {"Lamport", 0x8d0ae2e56ad8af0fULL},
+      {"Ricart-Agrawala", 0xec727a1a6831d305ULL},
+      {"Carvalho-Roucairol", 0xf28de959832e10f5ULL},
+      {"Maekawa", 0x8e05c896c764f322ULL},
+  };
+  for (const SwarmGolden& golden : goldens) {
+    const proto::Algorithm algo =
+        baselines::algorithm_by_name(golden.algorithm);
+    modelcheck::SwarmConfig config;
+    config.algorithm = &algo;
+    config.n = 8;
+    config.topology = modelcheck::SwarmConfig::Topology::kRandom;
+    config.seed = 2026;
+    config.target_entries = 50;
+    config.latency_lo = 1;
+    config.latency_hi = 9;
+    config.mean_think_ticks = 1.5;
+    config.hold_lo = 0;
+    config.hold_hi = 2;
+    config.resources = 4;
+    config.zipf_s = 0.99;
+    config.clients_per_node = 3;
+    config.queue_local = true;
+    const modelcheck::SwarmResult result = modelcheck::run_swarm(config);
+    ASSERT_TRUE(result.ok) << golden.algorithm << ": " << result.violation;
+    EXPECT_EQ(result.trace_hash, golden.trace_hash)
+        << golden.algorithm << " actual: 0x" << std::hex << result.trace_hash;
+  }
+}
+
 }  // namespace
 }  // namespace dmx

@@ -271,6 +271,166 @@ TEST(LockSpace, ResidentTokenCounterStaysZeroForNonTokenAlgorithms) {
   EXPECT_EQ(space.resident_tokens(r), 0);
 }
 
+// ---- Local grant chaining (queue_local + lease) -----------------------------
+
+TEST(LockSpace, QueueLocalHandsOffToColocatedWaiterWithoutMessages) {
+  LockSpaceConfig config = space_config(4);
+  config.queue_local = true;
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("hot");
+  const NodeId home = space.home_node(r);
+
+  const Ticket holder = space.acquire(r, home);
+  EXPECT_TRUE(holder->granted);
+  // Second acquire from the same node queues locally instead of throwing.
+  const Ticket waiter = space.acquire(r, home);
+  EXPECT_FALSE(waiter->granted);
+  EXPECT_EQ(space.local_queue_depth(r, home), 1u);
+
+  const std::uint64_t sent_before = space.network().stats().total_sent;
+  space.release(r, home);
+  // The release handed the CS straight to the waiter: no protocol traffic.
+  EXPECT_TRUE(waiter->granted);
+  EXPECT_EQ(space.occupant(r), home);
+  EXPECT_EQ(space.network().stats().total_sent, sent_before);
+  EXPECT_EQ(space.chained_grants(), 1u);
+  EXPECT_EQ(space.local_queue_depth(r, home), 0u);
+  space.release(r, home);
+  EXPECT_EQ(space.entries(r), 2u);
+  space.check_all_invariants();
+}
+
+TEST(LockSpace, LeaseCapYieldsAndPromotesWaitersInFifoOrder) {
+  // max_chain = 1 with renewal off: grant A chains, B must go back
+  // through the protocol (a lease yield), C chains again off B's fresh
+  // window — and the service order is strictly the local arrival order.
+  LockSpaceConfig config = space_config(4);
+  config.queue_local = true;
+  config.lease.max_chain = 1;
+  config.lease.renew_when_no_remote = false;
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("hot");
+  const NodeId home = space.home_node(r);
+
+  std::vector<int> order;
+  space.acquire(r, home);
+  space.acquire(r, home, [&order](ResourceId, NodeId) { order.push_back(0); });
+  space.acquire(r, home, [&order](ResourceId, NodeId) { order.push_back(1); });
+  space.acquire(r, home, [&order](ResourceId, NodeId) { order.push_back(2); });
+  EXPECT_EQ(space.local_queue_depth(r, home), 3u);
+
+  for (int i = 0; i < 4; ++i) {
+    space.run_to_quiescence();
+    space.release(r, home);
+  }
+  space.run_to_quiescence();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(space.chained_grants(), 2u);  // grants 0 and 2 rode the chain
+  EXPECT_EQ(space.lease_yields(), 1u);    // grant 1 went via the protocol
+  EXPECT_EQ(space.entries(r), 4u);
+  space.check_all_invariants();
+}
+
+TEST(LockSpace, LeaseRenewsAtCapWhenHolderSeesNoRemoteDemand) {
+  // Neilsen's holder observes remote interest, and there is none: at the
+  // cap the lease renews in place, so every hand-off still chains and no
+  // pointless protocol round is paid.
+  LockSpaceConfig config = space_config(4);
+  config.queue_local = true;
+  config.lease.max_chain = 1;  // renewal on (default)
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("hot");
+  const NodeId home = space.home_node(r);
+
+  space.acquire(r, home);
+  for (int i = 0; i < 3; ++i) space.acquire(r, home);
+  for (int i = 0; i < 4; ++i) space.release(r, home);
+  EXPECT_EQ(space.chained_grants(), 3u);
+  EXPECT_EQ(space.lease_yields(), 0u);
+  EXPECT_EQ(space.entries(r), 4u);
+  space.check_all_invariants();
+}
+
+TEST(LockSpace, BlindAlgorithmAlwaysYieldsAtTheCap) {
+  // Central's client nodes cannot see remote demand, so renewal is never
+  // sound and the cap is unconditional — the property the nine-algorithm
+  // bounded-waiting witness rests on.
+  LockSpaceConfig config = space_config(4);
+  config.algorithm = baselines::algorithm_by_name("Central");
+  config.queue_local = true;
+  config.lease.max_chain = 1;  // renewal on, but must not apply
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("hot");
+  const NodeId home = space.home_node(r);
+
+  space.acquire(r, home);
+  space.run_to_quiescence();
+  for (int i = 0; i < 2; ++i) space.acquire(r, home);
+  for (int i = 0; i < 3; ++i) {
+    space.run_to_quiescence();
+    space.release(r, home);
+  }
+  space.run_to_quiescence();
+  EXPECT_EQ(space.chained_grants(), 1u);
+  EXPECT_EQ(space.lease_yields(), 1u);
+  EXPECT_EQ(space.entries(r), 3u);
+  space.check_all_invariants();
+}
+
+TEST(LockSpace, RemoteRequesterBreaksTheChainAtTheCap) {
+  // With a remote requester visible at the holder, renewal is off the
+  // table at the cap: the token must leave the node, the remote side gets
+  // its turn, and the remaining local waiter is served afterwards.
+  LockSpaceConfig config = space_config(4);
+  config.queue_local = true;
+  config.lease.max_chain = 1;
+  LockSpace space(std::move(config));
+  const ResourceId r = space.open("hot");
+  const NodeId home = space.home_node(r);
+  const NodeId remote = home == 1 ? 2 : 1;
+
+  space.acquire(r, home);
+  for (int i = 0; i < 2; ++i) space.acquire(r, home);
+  std::vector<NodeId> grants;
+  const Ticket remote_ticket =
+      space.acquire(r, remote, [&grants](ResourceId, NodeId v) {
+        grants.push_back(v);
+      });
+  space.run_to_quiescence();  // the remote REQUEST reaches the holder
+
+  space.release(r, home);  // chain 1: still within the lease
+  EXPECT_EQ(space.chained_grants(), 1u);
+  space.run_to_quiescence();
+  space.release(r, home);  // at the cap, remote visible: must yield
+  space.run_to_quiescence();
+  EXPECT_TRUE(remote_ticket->granted);
+  EXPECT_EQ(grants, (std::vector<NodeId>{remote}));
+  EXPECT_EQ(space.occupant(r), remote);
+  space.release(r, remote);
+  space.run_to_quiescence();
+  // The last local waiter was promoted into the protocol and served after
+  // the remote requester.
+  EXPECT_EQ(space.occupant(r), home);
+  space.release(r, home);
+  space.run_to_quiescence();
+  EXPECT_EQ(space.entries(r), 4u);
+  EXPECT_EQ(space.local_queue_depth(r, home), 0u);
+  space.check_all_invariants();
+}
+
+TEST(LockSpace, DoubleAcquireStillThrowsWithoutQueueLocal) {
+  // The historical contract is untouched by default: queue_local is the
+  // explicit opt-in, not a behavior change.
+  LockSpace space(space_config(4));
+  const ResourceId r = space.open("strict");
+  const NodeId home = space.home_node(r);
+  space.acquire(r, home);
+  EXPECT_THROW(space.acquire(r, home), std::logic_error);
+  EXPECT_EQ(space.chained_grants(), 0u);
+  space.release(r, home);
+}
+
 // ---- Space workload ---------------------------------------------------------
 
 TEST(SpaceWorkload, CompletesTargetAcrossResources) {
